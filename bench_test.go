@@ -1,0 +1,352 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6) at a reduced, laptop-friendly scale, plus the ablations
+// from DESIGN.md and micro-benchmarks of the substrates.
+//
+// Conventions:
+//   - Each simulation benchmark runs a complete event-driven simulation
+//     per iteration and reports the paper's metrics via b.ReportMetric
+//     (hit ratio, background bps, latencies in ms), so `go test -bench`
+//     output directly shows the reproduced quantities.
+//   - Bench-scale sweep values keep the paper's ratios; the full-scale
+//     rows (paper parameters, 24 simulated hours) are produced by
+//     `flowersim -exp <table|figure>` and recorded in EXPERIMENTS.md.
+//
+// Paper reference values are quoted in comments on each benchmark.
+package flowercdn
+
+import (
+	"testing"
+
+	"flowercdn/internal/harness"
+	"flowercdn/internal/simkernel"
+)
+
+// benchParams is the shared bench-scale configuration: ~30 simulated
+// minutes, 3 localities, 3 active websites.
+func benchParams(seed int64) Params {
+	p := ScaledParams(seed)
+	p.Duration = 30 * Minute
+	p.QueryRate = 3
+	p.TGossip = 3 * Minute
+	p.TKeepalive = 3 * Minute
+	p.BucketWidth = 10 * Minute
+	return p
+}
+
+type benchTotals struct {
+	hit, bps, lookup, transfer float64
+	n                          int
+}
+
+func (t *benchTotals) add(r Report) {
+	t.hit += r.HitRatio
+	t.bps += r.BackgroundBps
+	t.lookup += r.AvgLookupMs
+	t.transfer += r.AvgTransferMs
+	t.n++
+}
+
+func (t *benchTotals) report(b *testing.B) {
+	if t.n == 0 {
+		return
+	}
+	n := float64(t.n)
+	b.ReportMetric(t.hit/n, "hit/ratio")
+	b.ReportMetric(t.bps/n, "background/bps")
+	b.ReportMetric(t.lookup/n, "lookup/ms")
+	b.ReportMetric(t.transfer/n, "transfer/ms")
+}
+
+func benchFlower(b *testing.B, mod func(*Params)) {
+	b.Helper()
+	var tot benchTotals
+	for i := 0; i < b.N; i++ {
+		p := benchParams(int64(i) + 1)
+		if mod != nil {
+			mod(&p)
+		}
+		res, err := RunFlower(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tot.add(res.Report)
+	}
+	tot.report(b)
+}
+
+func benchSquirrel(b *testing.B, mod func(*Params)) {
+	b.Helper()
+	var tot benchTotals
+	for i := 0; i < b.N; i++ {
+		p := benchParams(int64(i) + 1)
+		if mod != nil {
+			mod(&p)
+		}
+		res, err := RunSquirrel(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tot.add(res.Report)
+	}
+	tot.report(b)
+}
+
+// --- Table 2(a): background bandwidth vs L_gossip --------------------------
+// Paper: L=5 → hit 0.823 / 37 bps; L=10 → 0.86 / 74 bps; L=20 → 0.89 / 147
+// bps (bandwidth ∝ L).
+
+func BenchmarkTable2a_L5(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.ViewSize = 24; p.GossipLen = 5 })
+}
+
+func BenchmarkTable2a_L10(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.ViewSize = 24; p.GossipLen = 10 })
+}
+
+func BenchmarkTable2a_L20(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.ViewSize = 24; p.GossipLen = 20 })
+}
+
+// --- Table 2(b): background bandwidth vs T_gossip --------------------------
+// Paper: 1 min → hit 0.94 / 2239 bps; 30 min → 0.86 / 74 bps; 1 h → 0.81 /
+// 37 bps (bandwidth ∝ 1/T). Bench scale uses 1/5/15 minutes.
+
+func BenchmarkTable2b_TFast(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.TGossip = Minute; p.TKeepalive = Minute })
+}
+
+func BenchmarkTable2b_TChosen(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.TGossip = 5 * Minute; p.TKeepalive = 5 * Minute })
+}
+
+func BenchmarkTable2b_TSlow(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.TGossip = 15 * Minute; p.TKeepalive = 15 * Minute })
+}
+
+// --- Table 2(c): hit ratio vs V_gossip -------------------------------------
+// Paper: V=20 → 0.78; V=50 → 0.86; V=70 → 0.863 — bandwidth unchanged.
+// Bench scale uses 6/12/24 against overlays of up to 20 peers.
+
+func BenchmarkTable2c_VSmall(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.ViewSize = 6 })
+}
+
+func BenchmarkTable2c_VChosen(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.ViewSize = 12 })
+}
+
+func BenchmarkTable2c_VLarge(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.ViewSize = 24 })
+}
+
+// --- Figure 5: hit ratio & background traffic over time --------------------
+// Paper: traffic stabilises at 74 bps after ~5 h while hit ratio keeps
+// rising. The bench reports the end-of-run values; the series itself comes
+// from `flowersim -exp fig5`.
+
+func BenchmarkFig5(b *testing.B) {
+	benchFlower(b, nil)
+}
+
+// --- Figure 6: hit ratio, Flower-CDN vs Squirrel ---------------------------
+// Paper: both converge toward 1; Flower-CDN ≈13% lower at 24 h.
+
+func BenchmarkFig6_Flower(b *testing.B)   { benchFlower(b, nil) }
+func BenchmarkFig6_Squirrel(b *testing.B) { benchSquirrel(b, nil) }
+
+// --- Figure 7: lookup latency ----------------------------------------------
+// Paper: Flower-CDN stabilises ≈120 ms; 87% of its lookups ≤150 ms while
+// 61% of Squirrel's exceed 1050 ms.
+
+func BenchmarkFig7a_FlowerLookup(b *testing.B) {
+	var within float64
+	var tot benchTotals
+	for i := 0; i < b.N; i++ {
+		res, err := RunFlower(benchParams(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tot.add(res.Report)
+		within += FracWithin(res.Report.LatencyHist, 150)
+	}
+	tot.report(b)
+	b.ReportMetric(within/float64(b.N), "within150ms/frac")
+}
+
+func BenchmarkFig7b_SquirrelLookup(b *testing.B) {
+	var beyond float64
+	var tot benchTotals
+	for i := 0; i < b.N; i++ {
+		res, err := RunSquirrel(benchParams(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tot.add(res.Report)
+		beyond += FracBeyond(res.Report.LatencyHist, 1050)
+	}
+	tot.report(b)
+	b.ReportMetric(beyond/float64(b.N), "beyond1050ms/frac")
+}
+
+// --- Figure 8: transfer distance -------------------------------------------
+// Paper: Flower-CDN drops to ≈80 ms; 59% of its transfers ≤100 ms vs 17%
+// for Squirrel.
+
+func BenchmarkFig8a_FlowerTransfer(b *testing.B) {
+	var within float64
+	var tot benchTotals
+	for i := 0; i < b.N; i++ {
+		res, err := RunFlower(benchParams(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tot.add(res.Report)
+		within += FracWithin(res.Report.DistanceHist, 100)
+	}
+	tot.report(b)
+	b.ReportMetric(within/float64(b.N), "within100ms/frac")
+}
+
+func BenchmarkFig8b_SquirrelTransfer(b *testing.B) {
+	var within float64
+	var tot benchTotals
+	for i := 0; i < b.N; i++ {
+		res, err := RunSquirrel(benchParams(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tot.add(res.Report)
+		within += FracWithin(res.Report.DistanceHist, 100)
+	}
+	tot.report(b)
+	b.ReportMetric(within/float64(b.N), "within100ms/frac")
+}
+
+// --- Headline: lookup ×9, transfer ×2 --------------------------------------
+
+func BenchmarkHeadlineComparison(b *testing.B) {
+	var lookupF, transferF float64
+	for i := 0; i < b.N; i++ {
+		f, s, err := Comparison(benchParams(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := ComputeHeadline(f, s)
+		lookupF += h.LookupFactor
+		transferF += h.TransferFactor
+	}
+	b.ReportMetric(lookupF/float64(b.N), "lookup-improvement/x")
+	b.ReportMetric(transferF/float64(b.N), "transfer-improvement/x")
+}
+
+// --- Ablations (DESIGN.md A1–A5) -------------------------------------------
+
+// §6.2: push thresholds 0.1 / 0.5 / 0.7 show "almost same gains".
+func BenchmarkAblationPushThreshold01(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.PushThreshold = 0.1 })
+}
+
+func BenchmarkAblationPushThreshold05(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.PushThreshold = 0.5 })
+}
+
+func BenchmarkAblationPushThreshold07(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.PushThreshold = 0.7 })
+}
+
+// A1: view-only member lookups (the paper) vs view-then-directory.
+func BenchmarkAblationQueryPolicyViewOnly(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.QueryPolicy = PolicyViewOnly })
+}
+
+func BenchmarkAblationQueryPolicyViaDirectory(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.QueryPolicy = PolicyViewThenDirectory })
+}
+
+// A2: churn resilience (§5 mechanisms under failure injection).
+func BenchmarkAblationChurnModerate(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.ChurnPerHour = 60; p.ChurnIncludesDirs = true })
+}
+
+func BenchmarkAblationChurnHeavy(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.ChurnPerHour = 240; p.ChurnIncludesDirs = true })
+}
+
+// A3: Squirrel home-store strategy (§7).
+func BenchmarkAblationHomeStore(b *testing.B) {
+	benchSquirrel(b, func(p *Params) { p.SquirrelHomeStore = true })
+}
+
+// §8 extension: active replication of popular objects between sibling
+// overlays of the same website.
+func BenchmarkAblationActiveReplicationOff(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.ReplicationTopK = 0 })
+}
+
+func BenchmarkAblationActiveReplicationTop10(b *testing.B) {
+	benchFlower(b, func(p *Params) { p.ReplicationTopK = 10 })
+}
+
+// A5: §5.3 scale-up — extra instance bits double the directory peers per
+// (website, locality), letting overflowing client populations join.
+func BenchmarkAblationScaleUpBasic(b *testing.B) {
+	benchFlower(b, func(p *Params) {
+		p.MaxOverlaySize = 8
+		p.ClientsPerSite = 60
+		p.InstanceBits = 0
+	})
+}
+
+func BenchmarkAblationScaleUpB1(b *testing.B) {
+	benchFlower(b, func(p *Params) {
+		p.MaxOverlaySize = 8
+		p.ClientsPerSite = 60
+		p.InstanceBits = 1
+	})
+}
+
+// A4: D-ring conditional routing (Algorithm 2) vs standard DHT routing
+// (Algorithm 1) with 20% of directory positions dead.
+func BenchmarkAblationConditionalRouting(b *testing.B) {
+	var alg1, alg2 float64
+	for i := 0; i < b.N; i++ {
+		res, err := AblationConditionalRouting(int64(i)+1, 40, 6, 0.2, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alg1 += res.SameWebsiteAlg1
+		alg2 += res.SameWebsiteAlg2
+	}
+	b.ReportMetric(alg1/float64(b.N), "alg1-same-website/frac")
+	b.ReportMetric(alg2/float64(b.N), "alg2-same-website/frac")
+}
+
+// --- Substrate micro-benchmarks --------------------------------------------
+
+func BenchmarkSimulationThroughput(b *testing.B) {
+	// Events processed per second of wall clock, the simulator's core cost.
+	var events uint64
+	p := benchParams(1)
+	for i := 0; i < b.N; i++ {
+		pools := p.BuildPools()
+		_ = pools
+		res, err := RunFlower(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += uint64(res.Report.TotalQueries)
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "queries/run")
+}
+
+func BenchmarkHarnessPoolBuild(b *testing.B) {
+	p := harness.DefaultParams(1)
+	for i := 0; i < b.N; i++ {
+		pools := p.BuildPools()
+		if len(pools) == 0 {
+			b.Fatal("no pools")
+		}
+	}
+}
+
+var _ = simkernel.Second // keep the substrate import for bench docs

@@ -1,0 +1,418 @@
+// Command flowersim regenerates the evaluation of the Flower-CDN paper
+// (EDBT 2009): every table and figure, the headline comparison against
+// Squirrel, and the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	flowersim -exp table2a                 # full paper scale (24 simulated hours)
+//	flowersim -exp fig6 -scale small       # laptop-scale shape check
+//	flowersim -exp all -hours 6 -seed 7    # shorter day, different seed
+//	flowersim -list                        # enumerate experiments
+//
+// Experiments: table2a table2b table2c fig5 fig6 fig7 fig8 headline
+// push-threshold query-policy churn home-store conditional-routing all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"flowercdn"
+)
+
+var experiments = map[string]func(w *writer, p flowercdn.Params) error{
+	"table2a":             runTable2a,
+	"table2b":             runTable2b,
+	"table2c":             runTable2c,
+	"fig5":                runFig5,
+	"fig6":                runFig6,
+	"fig7":                runFig7,
+	"fig8":                runFig8,
+	"headline":            runHeadline,
+	"push-threshold":      runPushThreshold,
+	"query-policy":        runQueryPolicy,
+	"churn":               runChurn,
+	"home-store":          runHomeStore,
+	"conditional-routing": runConditionalRouting,
+	"substrates":          runSubstrates,
+	"active-replication":  runActiveReplication,
+	"scale-up":            runScaleUp,
+	"trace":               runTrace,
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "headline", "experiment to run (see -list)")
+		scale = flag.String("scale", "paper", "paper | small")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		hours = flag.Int("hours", 0, "override simulated duration in hours")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		quiet = flag.Bool("quiet", false, "suppress progress notes on stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(experiments)+1)
+		for n := range experiments {
+			names = append(names, n)
+		}
+		names = append(names, "all")
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	var p flowercdn.Params
+	switch *scale {
+	case "paper":
+		p = flowercdn.DefaultParams(*seed)
+	case "small":
+		p = flowercdn.ScaledParams(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *hours > 0 {
+		p.Duration = flowercdn.Time(*hours) * flowercdn.Hour
+	}
+
+	w := &writer{quiet: *quiet}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table2a", "table2b", "table2c", "fig5", "fig6", "fig7", "fig8",
+			"headline", "push-threshold", "query-policy", "churn", "home-store",
+			"conditional-routing", "substrates", "active-replication", "scale-up"}
+	}
+	for _, name := range names {
+		fn, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		w.notef("=== %s (scale=%s, %s simulated) ===", name, *scale, p.Duration)
+		start := time.Now()
+		if err := fn(w, p); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		w.notef("--- %s done in %s wall-clock", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+type writer struct{ quiet bool }
+
+func (w *writer) printf(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+func (w *writer) notef(format string, args ...any) {
+	if !w.quiet {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+}
+
+func runTable2a(w *writer, p flowercdn.Params) error {
+	rows, err := flowercdn.Table2a(p, nil)
+	if err != nil {
+		return err
+	}
+	w.printf("Table 2(a) — varying L_gossip (T_gossip=%s, V_gossip=%d)", p.TGossip, p.ViewSize)
+	w.printf("%-10s %-10s %-14s", "L_gossip", "Hit ratio", "Background BW")
+	for _, r := range rows {
+		w.printf("%-10s %-10.3f %8.1f bps", r.Label, r.HitRatio, r.BackgroundBps)
+	}
+	w.printf("(paper: 5→0.823/37bps, 10→0.86/74bps, 20→0.89/147bps)")
+	return nil
+}
+
+func runTable2b(w *writer, p flowercdn.Params) error {
+	rows, err := flowercdn.Table2b(p, nil)
+	if err != nil {
+		return err
+	}
+	w.printf("Table 2(b) — varying T_gossip (L_gossip=%d, V_gossip=%d)", p.GossipLen, p.ViewSize)
+	w.printf("%-10s %-10s %-14s", "T_gossip", "Hit ratio", "Background BW")
+	for _, r := range rows {
+		w.printf("%-10s %-10.3f %8.1f bps", r.Label, r.HitRatio, r.BackgroundBps)
+	}
+	w.printf("(paper: 1m→0.94/2239bps, 30m→0.86/74bps, 1h→0.81/37bps)")
+	return nil
+}
+
+func runTable2c(w *writer, p flowercdn.Params) error {
+	rows, err := flowercdn.Table2c(p, nil)
+	if err != nil {
+		return err
+	}
+	w.printf("Table 2(c) — varying V_gossip (L_gossip=%d, T_gossip=%s)", p.GossipLen, p.TGossip)
+	w.printf("%-10s %-10s %-14s", "V_gossip", "Hit ratio", "Background BW")
+	for _, r := range rows {
+		w.printf("%-10s %-10.3f %8.1f bps", r.Label, r.HitRatio, r.BackgroundBps)
+	}
+	w.printf("(paper: 20→0.78/74bps, 50→0.86/74bps, 70→0.863/74bps)")
+	return nil
+}
+
+func runFig5(w *writer, p flowercdn.Params) error {
+	res, err := flowercdn.Fig5(p)
+	if err != nil {
+		return err
+	}
+	w.printf("Figure 5 — hit ratio and background traffic vs time")
+	w.printf("%-8s %-10s %-12s %-14s", "hour", "hit(win)", "hit(cum)", "background")
+	for _, b := range res.Report.Series {
+		w.printf("%-8.1f %-10.3f %-12.3f %8.1f bps",
+			float64(b.Start)/float64(flowercdn.Hour), b.HitRatio, b.CumHitRatio, b.BackgroundBps)
+	}
+	w.printf("final: hit=%.3f background=%.1f bps (paper: →0.86, 74 bps stable after ~5h)",
+		res.Report.HitRatio, res.Report.BackgroundBps)
+	return nil
+}
+
+func runFig6(w *writer, p flowercdn.Params) error {
+	f, s, err := flowercdn.Comparison(p)
+	if err != nil {
+		return err
+	}
+	w.printf("Figure 6 — hit ratio vs time, Flower-CDN vs Squirrel")
+	w.printf("%-8s %-14s %-14s", "hour", "flower(cum)", "squirrel(cum)")
+	n := len(f.Report.Series)
+	if len(s.Report.Series) < n {
+		n = len(s.Report.Series)
+	}
+	for i := 0; i < n; i++ {
+		w.printf("%-8.1f %-14.3f %-14.3f",
+			float64(f.Report.Series[i].Start)/float64(flowercdn.Hour),
+			f.Report.Series[i].CumHitRatio, s.Report.Series[i].CumHitRatio)
+	}
+	w.printf("final: flower=%.3f squirrel=%.3f (paper: flower ≈13%% below squirrel at 24h, both →1)",
+		f.Report.HitRatio, s.Report.HitRatio)
+	return nil
+}
+
+func runFig7(w *writer, p flowercdn.Params) error {
+	f, s, err := flowercdn.Comparison(p)
+	if err != nil {
+		return err
+	}
+	w.printf("Figure 7(a) — Flower-CDN average lookup latency vs time")
+	w.printf("%-8s %-12s", "hour", "lookup(ms)")
+	for _, b := range f.Report.Series {
+		w.printf("%-8.1f %-12.0f", float64(b.Start)/float64(flowercdn.Hour), b.AvgLookupMs)
+	}
+	w.printf("")
+	w.printf("Figure 7(b) — lookup latency distribution")
+	w.printf("%-16s %-10s %-10s", "bin", "flower", "squirrel")
+	for i := range f.Report.LatencyHist {
+		fb, sb := f.Report.LatencyHist[i], s.Report.LatencyHist[i]
+		label := fmt.Sprintf("%4.0f-%4.0f ms", fb.LoMs, fb.HiMs)
+		if fb.Overflow {
+			label = fmt.Sprintf(">%4.0f ms", fb.LoMs)
+		}
+		w.printf("%-16s %8.2f%% %8.2f%%", label, 100*fb.Frac, 100*sb.Frac)
+	}
+	w.printf("flower ≤150ms: %.1f%% (paper 87%%); squirrel >1050ms: %.1f%% (paper 61%%)",
+		100*flowercdn.FracWithin(f.Report.LatencyHist, 150),
+		100*flowercdn.FracBeyond(s.Report.LatencyHist, 1050))
+	return nil
+}
+
+func runFig8(w *writer, p flowercdn.Params) error {
+	f, s, err := flowercdn.Comparison(p)
+	if err != nil {
+		return err
+	}
+	w.printf("Figure 8(a) — Flower-CDN average transfer distance vs time")
+	w.printf("%-8s %-12s", "hour", "distance(ms)")
+	for _, b := range f.Report.Series {
+		w.printf("%-8.1f %-12.0f", float64(b.Start)/float64(flowercdn.Hour), b.AvgTransferMs)
+	}
+	w.printf("")
+	w.printf("Figure 8(b) — transfer distance distribution")
+	w.printf("%-16s %-10s %-10s", "bin", "flower", "squirrel")
+	for i := range f.Report.DistanceHist {
+		fb, sb := f.Report.DistanceHist[i], s.Report.DistanceHist[i]
+		label := fmt.Sprintf("%4.0f-%4.0f ms", fb.LoMs, fb.HiMs)
+		if fb.Overflow {
+			label = fmt.Sprintf(">%4.0f ms", fb.LoMs)
+		}
+		w.printf("%-16s %8.2f%% %8.2f%%", label, 100*fb.Frac, 100*sb.Frac)
+	}
+	w.printf("≤100ms: flower %.1f%% vs squirrel %.1f%% (paper: 59%% vs 17%%)",
+		100*flowercdn.FracWithin(f.Report.DistanceHist, 100),
+		100*flowercdn.FracWithin(s.Report.DistanceHist, 100))
+	return nil
+}
+
+func runHeadline(w *writer, p flowercdn.Params) error {
+	f, s, err := flowercdn.Comparison(p)
+	if err != nil {
+		return err
+	}
+	h := flowercdn.ComputeHeadline(f, s)
+	w.printf("Headline comparison (paper §1/§6: lookup ×9, transfer ×2)")
+	w.printf("%-28s %-12s %-12s", "metric", "flower", "squirrel")
+	w.printf("%-28s %-12.3f %-12.3f", "hit ratio", h.FlowerHit, h.SquirrelHit)
+	w.printf("%-28s %-12.0f %-12.0f", "avg lookup latency (ms)", h.FlowerLookupMs, h.SquirrelLookupMs)
+	w.printf("%-28s %-12.0f %-12.0f", "avg transfer distance (ms)", h.FlowerTransferMs, h.SquirrelTransferMs)
+	w.printf("lookup improvement: %.1fx   transfer improvement: %.1fx", h.LookupFactor, h.TransferFactor)
+	w.printf("flower lookups ≤150ms: %.1f%%   squirrel lookups >1050ms: %.1f%%",
+		100*h.FlowerWithin150ms, 100*h.SquirrelBeyond1050ms)
+	w.printf("transfers ≤100ms: flower %.1f%% vs squirrel %.1f%%",
+		100*h.FlowerDistWithin100ms, 100*h.SquirrelDistWithin100ms)
+	w.printf("lookup percentiles (ms): flower p50=%.0f p95=%.0f p99=%.0f | squirrel p50=%.0f p95=%.0f p99=%.0f",
+		f.Report.LookupPercentiles.P50, f.Report.LookupPercentiles.P95, f.Report.LookupPercentiles.P99,
+		s.Report.LookupPercentiles.P50, s.Report.LookupPercentiles.P95, s.Report.LookupPercentiles.P99)
+	w.printf("diagnostics: flower joins=%d replacements=%d ttl-expiry=%d",
+		f.Stats.Joins, f.Stats.DirReplacements, f.Report.RouteTTLExpiry)
+	return nil
+}
+
+func runPushThreshold(w *writer, p flowercdn.Params) error {
+	rows, err := flowercdn.AblationPushThreshold(p, nil)
+	if err != nil {
+		return err
+	}
+	w.printf("Ablation — push threshold (§6.2: 0.1/0.5/0.7 behave almost identically)")
+	w.printf("%-10s %-10s %-14s", "threshold", "Hit ratio", "Background BW")
+	for _, r := range rows {
+		w.printf("%-10s %-10.3f %8.1f bps", r.Label, r.HitRatio, r.BackgroundBps)
+	}
+	return nil
+}
+
+func runQueryPolicy(w *writer, p flowercdn.Params) error {
+	viewOnly, viaDir, err := flowercdn.AblationQueryPolicy(p)
+	if err != nil {
+		return err
+	}
+	w.printf("Ablation — content-peer query policy")
+	w.printf("%-22s hit=%.3f lookup=%.0fms", "view-only (paper)", viewOnly.Report.HitRatio, viewOnly.Report.AvgLookupMs)
+	w.printf("%-22s hit=%.3f lookup=%.0fms", "view-then-directory", viaDir.Report.HitRatio, viaDir.Report.AvgLookupMs)
+	return nil
+}
+
+func runChurn(w *writer, p flowercdn.Params) error {
+	rows, err := flowercdn.AblationChurn(p, nil)
+	if err != nil {
+		return err
+	}
+	w.printf("Ablation — churn (peer failures per hour; §5 mechanisms)")
+	w.printf("%-12s %-10s %-14s %-14s", "rate", "Hit ratio", "redirectFail", "replacements")
+	for _, r := range rows {
+		w.printf("%-12s %-10.3f %-14d %-14d", r.Label, r.HitRatio,
+			r.Result.Report.RedirectFailures, r.Result.Stats.DirReplacements)
+	}
+	// Rejoin variant: failed clients return stateless after a mean
+	// 30-minute downtime.
+	pr := p
+	pr.ChurnPerHour = 120
+	pr.ChurnIncludesDirs = true
+	pr.ChurnMeanDowntime = 30 * flowercdn.Minute
+	res, err := flowercdn.RunFlower(pr)
+	if err != nil {
+		return err
+	}
+	w.printf("%-12s %-10.3f %-14d %-14d", "120/h+rejoin", res.Report.HitRatio,
+		res.Report.RedirectFailures, res.Stats.DirReplacements)
+	return nil
+}
+
+func runHomeStore(w *writer, p flowercdn.Params) error {
+	dir, hs, err := flowercdn.AblationHomeStore(p)
+	if err != nil {
+		return err
+	}
+	w.printf("Ablation — Squirrel strategies (§7)")
+	w.printf("%-12s hit=%.3f lookup=%.0fms transfer=%.0fms", "directory",
+		dir.Report.HitRatio, dir.Report.AvgLookupMs, dir.Report.AvgTransferMs)
+	w.printf("%-12s hit=%.3f lookup=%.0fms transfer=%.0fms", "home-store",
+		hs.Report.HitRatio, hs.Report.AvgLookupMs, hs.Report.AvgTransferMs)
+	return nil
+}
+
+func runSubstrates(w *writer, p flowercdn.Params) error {
+	res, err := flowercdn.CompareSubstrates(p.Seed, p.Websites, p.Localities, 5000)
+	if err != nil {
+		return err
+	}
+	w.printf("D-ring over two DHT substrates (§3.1: \"any standard DHT (e.g., Chord, Pastry)\")")
+	w.printf("directory peers: %d, lookups: %d", res.Nodes, res.Lookups)
+	w.printf("%-10s %-12s %-16s", "substrate", "avg hops", "exact delivery")
+	w.printf("%-10s %-12.2f %15.1f%%", "chord", res.ChordAvgHops, 100*res.ChordExact)
+	w.printf("%-10s %-12.2f %15.1f%%", "pastry", res.PastryAvgHops, 100*res.PastryExact)
+	return nil
+}
+
+func runActiveReplication(w *writer, p flowercdn.Params) error {
+	rows, err := flowercdn.AblationActiveReplication(p, nil)
+	if err != nil {
+		return err
+	}
+	w.printf("Extension — active replication (§8 future work)")
+	w.printf("%-10s %-10s %-14s %-12s", "top-K", "Hit ratio", "Background BW", "prefetches")
+	for _, r := range rows {
+		w.printf("%-10s %-10.3f %8.1f bps  %-12d", r.Label, r.HitRatio, r.BackgroundBps,
+			r.Result.Stats.Prefetches)
+	}
+	return nil
+}
+
+func runScaleUp(w *writer, p flowercdn.Params) error {
+	pv := p
+	// Overflow the basic scheme's capacity so the extension matters.
+	pv.ClientsPerSite = pv.ClientsPerSite * 2
+	rows, err := flowercdn.AblationScaleUp(pv, []uint{0, 1})
+	if err != nil {
+		return err
+	}
+	w.printf("Extension — §5.3 scale-up (instance bits; clients 2× the basic capacity)")
+	w.printf("%-10s %-10s %-14s %-10s", "bits", "Hit ratio", "Background BW", "joins")
+	for _, r := range rows {
+		w.printf("%-10s %-10.3f %8.1f bps  %-10d", r.Label, r.HitRatio, r.BackgroundBps,
+			r.Result.Stats.Joins)
+	}
+	return nil
+}
+
+func runTrace(w *writer, p flowercdn.Params) error {
+	// Short traced run; print the full path of one new-client query and
+	// one member query.
+	pt := p
+	if pt.Duration > flowercdn.Hour {
+		pt.Duration = flowercdn.Hour
+	}
+	res, buf, err := flowercdn.RunFlowerTraced(pt, 200000)
+	if err != nil {
+		return err
+	}
+	w.printf("Protocol trace — %d events recorded, %d retained", buf.Total(), buf.Len())
+	printQueryOfKind := func(title, detailPrefix string) {
+		for _, e := range buf.Events() {
+			if e.Kind.String() == "query-submitted" && len(e.Detail) >= len(detailPrefix) &&
+				e.Detail[:len(detailPrefix)] == detailPrefix {
+				w.printf("")
+				w.printf("%s (query %d):", title, e.QueryID)
+				w.printf("%s", flowercdn.FormatTrace(buf.QueryTrace(e.QueryID)))
+				return
+			}
+		}
+	}
+	printQueryOfKind("First access through D-ring", "new-client")
+	printQueryOfKind("Member lookup through the content overlay", "member")
+	w.printf("run summary: %s", res.Report.String())
+	return nil
+}
+
+func runConditionalRouting(w *writer, p flowercdn.Params) error {
+	res, err := flowercdn.AblationConditionalRouting(p.Seed, p.Websites, p.Localities, 0.2, 2000)
+	if err != nil {
+		return err
+	}
+	w.printf("Ablation — D-ring conditional routing (Algorithm 2 vs Algorithm 1)")
+	w.printf("failed directories: %d, lookups: %d", res.FailedDirectories, res.Lookups)
+	w.printf("same-website delivery: standard %.1f%%, conditional %.1f%%",
+		100*res.SameWebsiteAlg1, 100*res.SameWebsiteAlg2)
+	return nil
+}

@@ -1,0 +1,47 @@
+// Quickstart: simulate a small Flower-CDN for two hours and print the
+// paper's four metrics (§6): hit ratio, lookup latency, transfer distance
+// and background (gossip+push) bandwidth.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowercdn"
+)
+
+func main() {
+	// Laptop-scale parameters: 3 localities, 3 active websites, small
+	// overlays, 2 simulated hours. flowercdn.DefaultParams(seed) gives the
+	// paper's full 24-hour, 5000-node setup instead.
+	p := flowercdn.ScaledParams(1)
+
+	res, err := flowercdn.RunFlower(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := res.Report
+
+	fmt.Println("Flower-CDN quickstart —", p.Duration, "simulated")
+	fmt.Printf("  queries processed:      %d\n", r.TotalQueries)
+	fmt.Printf("  hit ratio:              %.3f (fraction served by peers, not the origin server)\n", r.HitRatio)
+	fmt.Printf("  avg lookup latency:     %.0f ms\n", r.AvgLookupMs)
+	fmt.Printf("  avg transfer distance:  %.0f ms\n", r.AvgTransferMs)
+	fmt.Printf("  background traffic:     %.1f bps per peer (gossip + push)\n", r.BackgroundBps)
+	fmt.Printf("  clients that joined:    %d content peers\n", res.Stats.Joins)
+
+	fmt.Println("\nWho served the queries?")
+	for _, src := range []string{"local", "peer", "remote-overlay", "server"} {
+		fmt.Printf("  %-16s %d\n", src, r.BySource[src])
+	}
+
+	fmt.Println("\nWarm-up (hit ratio per 15-minute window):")
+	for _, b := range r.Series {
+		fmt.Printf("  t=%-8s hit=%.3f  background=%.1f bps\n",
+			b.Start, b.HitRatio, b.BackgroundBps)
+	}
+}

@@ -1,0 +1,245 @@
+// Package flowercdn is a from-scratch reproduction of "Flower-CDN: A
+// hybrid P2P overlay for Efficient Query Processing in CDN" (El Dick,
+// Pacitti, Kemme — EDBT 2009 / INRIA RR-6689).
+//
+// Flower-CDN is a locality- and interest-aware peer-to-peer content
+// distribution network for under-provisioned websites. Clients that care
+// about a website keep the pages they download and serve them to nearby
+// peers. Two overlay layers cooperate:
+//
+//   - D-ring, a structured overlay (Chord) holding one directory peer per
+//     (website, locality) pair, whose identifiers encode website and
+//     locality so standard key-based routing finds the right directory
+//     (§3 of the paper, Algorithms 1–3);
+//   - per-(website, locality) content overlays managed by gossip: content
+//     peers exchange Bloom-filter summaries of their stored objects and
+//     push content deltas to their directory (§4, Algorithms 4–6).
+//
+// This package is the public facade. It re-exports the experiment harness
+// (full-scale and laptop-scale presets for every table and figure of the
+// paper's evaluation) and the metric types results are reported in. The
+// implementation lives under internal/: the discrete-event simulator
+// (simkernel, simnet, topology), the substrates (chord, bloom, gossip,
+// workload), the contribution (dring, overlay, core), the Squirrel
+// baseline (squirrel) and the harness.
+//
+// Quick start:
+//
+//	p := flowercdn.ScaledParams(1)        // laptop-scale parameters
+//	res, err := flowercdn.RunFlower(p)    // simulate 2 hours
+//	if err != nil { ... }
+//	fmt.Println(res.Report.HitRatio, res.Report.AvgLookupMs)
+//
+// To regenerate the paper's evaluation at full scale, use
+// flowercdn.DefaultParams and the Table2a/Table2b/Table2c/Fig5/Comparison
+// presets, or run cmd/flowersim.
+package flowercdn
+
+import (
+	"io"
+
+	"flowercdn/internal/core"
+	"flowercdn/internal/harness"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/model"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/trace"
+	"flowercdn/internal/workload"
+)
+
+// Time is the simulated time type (milliseconds); see Second, Minute, Hour.
+type Time = simkernel.Time
+
+// Time units for building Params.
+const (
+	Millisecond = simkernel.Millisecond
+	Second      = simkernel.Second
+	Minute      = simkernel.Minute
+	Hour        = simkernel.Hour
+)
+
+// Params configures an experiment (Table 1 of the paper plus harness
+// knobs).
+type Params = harness.Params
+
+// Result is one finished simulation run.
+type Result = harness.Result
+
+// SweepRow is one row of a Table-2-style parameter sweep.
+type SweepRow = harness.SweepRow
+
+// Headline condenses the paper's §1/§6 comparison claims.
+type Headline = harness.Headline
+
+// Report is the metric summary of a run (hit ratio, latency and distance
+// distributions, background traffic, time series).
+type Report = metrics.Report
+
+// HistBin is one bin of a latency/distance distribution.
+type HistBin = metrics.HistBin
+
+// BucketStats is one time-series point (Figures 5–8a).
+type BucketStats = metrics.BucketStats
+
+// QueryPolicy selects the content-peer lookup fallback behaviour.
+type QueryPolicy = core.QueryPolicy
+
+// Query policies.
+const (
+	PolicyViewOnly          = core.PolicyViewOnly
+	PolicyViewThenDirectory = core.PolicyViewThenDirectory
+)
+
+// System kinds in results.
+const (
+	KindFlower   = harness.KindFlower
+	KindSquirrel = harness.KindSquirrel
+)
+
+// DefaultParams returns the paper's full-scale setup: 5000-node topology,
+// k=6 localities, |W|=100 websites (6 active), S_co=100, 6 queries/s,
+// 24 simulated hours, T_gossip=30 min, L_gossip=10, V_gossip=50.
+func DefaultParams(seed int64) Params { return harness.DefaultParams(seed) }
+
+// ScaledParams returns a laptop-scale configuration with the same shape
+// (finishes in seconds).
+func ScaledParams(seed int64) Params { return harness.ScaledParams(seed) }
+
+// RunFlower simulates Flower-CDN under the given parameters.
+func RunFlower(p Params) (Result, error) { return harness.RunFlower(p) }
+
+// TraceEvent is one structured protocol event from a traced run.
+type TraceEvent = trace.Event
+
+// TraceBuffer retains protocol events from a traced run.
+type TraceBuffer = trace.Buffer
+
+// RunFlowerTraced is RunFlower with protocol tracing enabled: up to
+// traceCapacity events (query routing, redirects, failures, replacements)
+// are retained in the returned buffer.
+func RunFlowerTraced(p Params, traceCapacity int) (Result, *TraceBuffer, error) {
+	return harness.RunFlowerTraced(p, traceCapacity)
+}
+
+// FormatTrace renders traced events as a readable transcript.
+func FormatTrace(events []TraceEvent) string { return trace.Format(events) }
+
+// WorkloadQuery is one request of a (synthetic or replayed) query stream.
+type WorkloadQuery = workload.Query
+
+// ParseWorkloadTrace reads the replayable trace format
+// ("at_ms,site_idx,locality,member,object_num" per line).
+func ParseWorkloadTrace(r io.Reader, sites []SiteID) ([]WorkloadQuery, error) {
+	return workload.ParseTrace(r, sites)
+}
+
+// WriteWorkloadTrace serialises queries in the replayable trace format.
+func WriteWorkloadTrace(w io.Writer, queries []WorkloadQuery) error {
+	return workload.WriteTrace(w, queries)
+}
+
+// SiteID names a website.
+type SiteID = model.SiteID
+
+// MakeSites generates n website identifiers.
+func MakeSites(n int) []SiteID { return model.MakeSites(n) }
+
+// RunFlowerReplay runs Flower-CDN against a recorded query trace.
+func RunFlowerReplay(p Params, queries []WorkloadQuery) (Result, error) {
+	return harness.RunFlowerReplay(p, queries)
+}
+
+// RunSquirrel simulates the Squirrel baseline under the same parameters.
+func RunSquirrel(p Params) (Result, error) { return harness.RunSquirrel(p) }
+
+// Comparison runs both systems on the same seed, topology and workload
+// (the basis of Figures 6–8).
+func Comparison(p Params) (flower, baseline Result, err error) {
+	return harness.Comparison(p)
+}
+
+// ComputeHeadline derives the paper's headline ratios (lookup ×9,
+// transfer ×2, …) from a comparison pair.
+func ComputeHeadline(flower, baseline Result) Headline {
+	return harness.ComputeHeadline(flower, baseline)
+}
+
+// Table2a sweeps the gossip length L_gossip (paper: 5, 10, 20; nil uses
+// the paper's values).
+func Table2a(p Params, values []int) ([]SweepRow, error) { return harness.Table2a(p, values) }
+
+// Table2b sweeps the gossip period T_gossip (paper: 1 min, 30 min, 1 h).
+func Table2b(p Params, values []Time) ([]SweepRow, error) { return harness.Table2b(p, values) }
+
+// Table2c sweeps the view size V_gossip (paper: 20, 50, 70).
+func Table2c(p Params, values []int) ([]SweepRow, error) { return harness.Table2c(p, values) }
+
+// Fig5 runs Flower-CDN at the chosen operating point; the Report.Series of
+// the result carries hit ratio and background traffic over time.
+func Fig5(p Params) (Result, error) { return harness.Fig5(p) }
+
+// AblationPushThreshold sweeps the push threshold (§6.2).
+func AblationPushThreshold(p Params, values []float64) ([]SweepRow, error) {
+	return harness.AblationPushThreshold(p, values)
+}
+
+// AblationQueryPolicy compares view-only member lookups (the paper's
+// behaviour) with a view-then-directory fallback.
+func AblationQueryPolicy(p Params) (viewOnly, viaDir Result, err error) {
+	return harness.AblationQueryPolicy(p)
+}
+
+// AblationChurn sweeps peer failure rates, exercising §5's recovery
+// mechanisms.
+func AblationChurn(p Params, perHour []float64) ([]SweepRow, error) {
+	return harness.AblationChurn(p, perHour)
+}
+
+// AblationHomeStore compares Squirrel's directory and home-store
+// strategies (§7).
+func AblationHomeStore(p Params) (directory, homeStore Result, err error) {
+	return harness.AblationHomeStore(p)
+}
+
+// AblationActiveReplication compares the base system with the §8
+// extension (directories proactively replicate popular objects into
+// sibling overlays).
+func AblationActiveReplication(p Params, topK []int) ([]SweepRow, error) {
+	return harness.AblationActiveReplication(p, topK)
+}
+
+// AblationScaleUp compares the basic one-directory-per-(website,locality)
+// scheme with the §5.3 multi-instance extension under a client population
+// that overflows S_co.
+func AblationScaleUp(p Params, instanceBits []uint) ([]SweepRow, error) {
+	return harness.AblationScaleUp(p, instanceBits)
+}
+
+// ConditionalRoutingResult quantifies D-ring's Algorithm 2 against plain
+// DHT routing when directory positions are dead.
+type ConditionalRoutingResult = harness.ConditionalRoutingResult
+
+// AblationConditionalRouting measures same-website delivery rates with
+// and without the conditional local lookup.
+func AblationConditionalRouting(seed int64, websites, localities int, failFraction float64, lookups int) (ConditionalRoutingResult, error) {
+	return harness.AblationConditionalRouting(seed, websites, localities, failFraction, lookups)
+}
+
+// SubstrateResult compares D-ring routing over Chord and Pastry.
+type SubstrateResult = harness.SubstrateResult
+
+// CompareSubstrates routes identical D-ring lookups over Chord and Pastry
+// builds of the same directory population (§3.1's "any standard DHT").
+func CompareSubstrates(seed int64, websites, localities, lookups int) (SubstrateResult, error) {
+	return harness.CompareSubstrates(seed, websites, localities, lookups)
+}
+
+// HistCSV renders a latency/distance distribution as CSV for plotting
+// (Report.SeriesCSV does the same for the time series).
+func HistCSV(hist []HistBin) string { return metrics.HistCSV(hist) }
+
+// FracWithin returns the fraction of a distribution strictly below ms.
+func FracWithin(hist []HistBin, ms float64) float64 { return metrics.FracWithin(hist, ms) }
+
+// FracBeyond returns the fraction of a distribution at or above ms.
+func FracBeyond(hist []HistBin, ms float64) float64 { return metrics.FracBeyond(hist, ms) }

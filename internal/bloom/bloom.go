@@ -1,0 +1,215 @@
+// Package bloom implements the Bloom filters used for content summaries and
+// directory summaries, following the Summary Cache design (Fan et al.,
+// SIGCOMM 1998 — reference [9] in the paper). Table 1 sizes a summary at
+// 8·nb-ob bits, i.e. a load factor of 8 bits per object; with the optimal
+// number of hash functions (⌈8·ln2⌉ ≈ 6) the false-positive rate is about
+// 2 %.
+//
+// Filters use double hashing over two independent 64-bit FNV-1a streams,
+// which is indistinguishable from k independent hash functions for Bloom
+// filter purposes (Kirsch & Mitzenmacher).
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Filter is a standard Bloom filter. The zero value is unusable; construct
+// with New or NewForCapacity.
+type Filter struct {
+	bits   []uint64
+	mBits  uint64
+	hashes uint32
+	count  uint64 // number of Add calls (upper bound on distinct items)
+}
+
+// New creates a filter with mBits bits and k hash functions.
+func New(mBits int, k int) *Filter {
+	if mBits <= 0 {
+		panic(fmt.Sprintf("bloom: non-positive size %d", mBits))
+	}
+	if k <= 0 {
+		panic(fmt.Sprintf("bloom: non-positive hash count %d", k))
+	}
+	return &Filter{
+		bits:   make([]uint64, (mBits+63)/64),
+		mBits:  uint64(mBits),
+		hashes: uint32(k),
+	}
+}
+
+// NewForCapacity creates a filter sized per Table 1 of the paper: 8 bits
+// per expected item, with the optimal hash count for that load.
+func NewForCapacity(n int) *Filter {
+	if n <= 0 {
+		n = 1
+	}
+	return New(8*n, OptimalHashes(8))
+}
+
+// OptimalHashes returns the hash count minimising false positives for a
+// given bits-per-item load factor: round(load · ln 2).
+func OptimalHashes(bitsPerItem float64) int {
+	k := int(math.Round(bitsPerItem * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// fnv1a64 with a seed folded into the offset basis.
+func fnv1a64(seed uint64, s string) uint64 {
+	h := uint64(14695981039346656037) ^ (seed * 0x9E3779B97F4A7C15)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (f *Filter) indices(key string, fn func(idx uint64) bool) {
+	h1 := fnv1a64(0, key)
+	h2 := fnv1a64(1, key) | 1 // odd => full period
+	for i := uint32(0); i < f.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % f.mBits
+		if !fn(idx) {
+			return
+		}
+	}
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key string) {
+	f.indices(key, func(idx uint64) bool {
+		f.bits[idx/64] |= 1 << (idx % 64)
+		return true
+	})
+	f.count++
+}
+
+// Test reports whether key may be in the filter. False positives are
+// possible; false negatives are not.
+func (f *Filter) Test(key string) bool {
+	ok := true
+	f.indices(key, func(idx uint64) bool {
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Reset clears the filter in place.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.count = 0
+}
+
+// Clone returns a deep copy.
+func (f *Filter) Clone() *Filter {
+	cp := &Filter{
+		bits:   make([]uint64, len(f.bits)),
+		mBits:  f.mBits,
+		hashes: f.hashes,
+		count:  f.count,
+	}
+	copy(cp.bits, f.bits)
+	return cp
+}
+
+// ErrIncompatible is returned when combining filters of different shapes.
+var ErrIncompatible = errors.New("bloom: filters have different size or hash count")
+
+// Union ORs other into f. Both filters must have identical parameters.
+func (f *Filter) Union(other *Filter) error {
+	if other == nil || f.mBits != other.mBits || f.hashes != other.hashes {
+		return ErrIncompatible
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.count += other.count
+	return nil
+}
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() int { return int(f.mBits) }
+
+// Hashes returns the number of hash functions.
+func (f *Filter) Hashes() int { return int(f.hashes) }
+
+// Count returns the number of insertions since the last reset.
+func (f *Filter) Count() int { return int(f.count) }
+
+// SizeBytes is the wire size of the filter used for traffic accounting:
+// the bit array only, as in Summary Cache.
+func (f *Filter) SizeBytes() int { return int((f.mBits + 7) / 8) }
+
+// FillRatio returns the fraction of set bits.
+func (f *Filter) FillRatio() float64 {
+	ones := 0
+	for _, w := range f.bits {
+		ones += popcount(w)
+	}
+	return float64(ones) / float64(f.mBits)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// EstimatedFalsePositiveRate returns the expected false-positive rate given
+// the current fill: fill^k.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	return math.Pow(f.FillRatio(), float64(f.hashes))
+}
+
+// MarshalBinary serialises the filter (header + bit array), the format a
+// gossip message would carry on a real wire.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 16+len(f.bits)*8)
+	binary.LittleEndian.PutUint64(buf[0:8], f.mBits)
+	binary.LittleEndian.PutUint32(buf[8:12], f.hashes)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(f.count))
+	for i, w := range f.bits {
+		binary.LittleEndian.PutUint64(buf[16+8*i:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a filter serialised by MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < 16 {
+		return errors.New("bloom: truncated header")
+	}
+	mBits := binary.LittleEndian.Uint64(data[0:8])
+	hashes := binary.LittleEndian.Uint32(data[8:12])
+	count := binary.LittleEndian.Uint32(data[12:16])
+	words := int((mBits + 63) / 64)
+	if len(data) != 16+8*words {
+		return fmt.Errorf("bloom: body is %d bytes, want %d", len(data)-16, 8*words)
+	}
+	if mBits == 0 || hashes == 0 {
+		return errors.New("bloom: invalid parameters")
+	}
+	f.mBits = mBits
+	f.hashes = hashes
+	f.count = uint64(count)
+	f.bits = make([]uint64, words)
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(data[16+8*i:])
+	}
+	return nil
+}

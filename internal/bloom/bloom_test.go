@@ -1,0 +1,238 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewForCapacity(500)
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("site-07/obj-%04d", i)
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.Test(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+// Property: a Bloom filter never forgets an added key, whatever the keys.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	prop := func(keys []string) bool {
+		f := New(1024, 6)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.Test(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateNearDesign(t *testing.T) {
+	// 8 bits/item, k=6 ⇒ theoretical fp ≈ 2.1%. Allow generous slack.
+	f := NewForCapacity(1000)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("member-%d", i))
+	}
+	fp := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if f.Test(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / trials
+	if rate > 0.06 {
+		t.Fatalf("false positive rate %.4f too high", rate)
+	}
+	if est := f.EstimatedFalsePositiveRate(); est <= 0 || est > 0.10 {
+		t.Fatalf("estimated fp rate %.4f implausible", est)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, b := New(2048, 5), New(2048, 5)
+	a.Add("x")
+	b.Add("y")
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Test("x") || !a.Test("y") {
+		t.Fatal("union lost a member")
+	}
+	c := New(1024, 5)
+	if err := a.Union(c); err != ErrIncompatible {
+		t.Fatalf("expected ErrIncompatible, got %v", err)
+	}
+	if err := a.Union(nil); err != ErrIncompatible {
+		t.Fatalf("expected ErrIncompatible for nil, got %v", err)
+	}
+}
+
+// Property: union contains everything either operand contained.
+func TestQuickUnionSuperset(t *testing.T) {
+	prop := func(xs, ys []string) bool {
+		a, b := New(4096, 4), New(4096, 4)
+		for _, k := range xs {
+			a.Add(k)
+		}
+		for _, k := range ys {
+			b.Add(k)
+		}
+		u := a.Clone()
+		if err := u.Union(b); err != nil {
+			return false
+		}
+		for _, k := range xs {
+			if !u.Test(k) {
+				return false
+			}
+		}
+		for _, k := range ys {
+			if !u.Test(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(512, 4)
+	a.Add("one")
+	b := a.Clone()
+	b.Add("two")
+	if a.Test("two") {
+		t.Fatal("clone writes leaked into original")
+	}
+	if !b.Test("one") {
+		t.Fatal("clone missing original member")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(512, 4)
+	f.Add("gone")
+	f.Reset()
+	if f.Test("gone") {
+		t.Fatal("reset did not clear")
+	}
+	if f.Count() != 0 || f.FillRatio() != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestSizeBytesMatchesTable1(t *testing.T) {
+	// Table 1: summary size = 8·nb-ob bits. For 500 objects: 4000 bits =
+	// 500 bytes.
+	f := NewForCapacity(500)
+	if f.SizeBytes() != 500 {
+		t.Fatalf("SizeBytes = %d, want 500", f.SizeBytes())
+	}
+	if f.Bits() != 4000 {
+		t.Fatalf("Bits = %d, want 4000", f.Bits())
+	}
+}
+
+func TestOptimalHashes(t *testing.T) {
+	if k := OptimalHashes(8); k != 6 {
+		t.Fatalf("OptimalHashes(8) = %d, want 6", k)
+	}
+	if k := OptimalHashes(0.1); k != 1 {
+		t.Fatalf("OptimalHashes floor = %d, want 1", k)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := NewForCapacity(100)
+	rng := rand.New(rand.NewSource(9))
+	var keys []string
+	for i := 0; i < 80; i++ {
+		k := fmt.Sprintf("k%d", rng.Int63())
+		keys = append(keys, k)
+		f.Add(k)
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() || g.Hashes() != f.Hashes() || g.Count() != f.Count() {
+		t.Fatal("header mismatch after round trip")
+	}
+	for _, k := range keys {
+		if !g.Test(k) {
+			t.Fatalf("round trip lost %q", k)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var f Filter
+	if err := f.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+	g := New(128, 3)
+	data, _ := g.MarshalBinary()
+	if err := f.UnmarshalBinary(data[:len(data)-1]); err == nil {
+		t.Fatal("expected error for truncated body")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 3) },
+		func() { New(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewForCapacityZero(t *testing.T) {
+	f := NewForCapacity(0)
+	f.Add("a")
+	if !f.Test("a") {
+		t.Fatal("degenerate filter should still work")
+	}
+}
+
+func TestFillRatioMonotone(t *testing.T) {
+	f := New(4096, 4)
+	prev := 0.0
+	for i := 0; i < 100; i++ {
+		f.Add(fmt.Sprintf("x%d", i))
+		r := f.FillRatio()
+		if r < prev {
+			t.Fatal("fill ratio decreased on insert")
+		}
+		prev = r
+	}
+	if prev <= 0 || prev > 1 {
+		t.Fatalf("fill ratio out of range: %v", prev)
+	}
+}

@@ -1,0 +1,92 @@
+// Package chord implements the Chord distributed hash table (Stoica et
+// al., SIGCOMM 2001 — reference [7] in the paper), the structured-overlay
+// substrate under both D-ring and the Squirrel baseline.
+//
+// The package provides the identifier-space arithmetic, per-node routing
+// state (successor list, predecessor, finger table), the maintenance
+// protocol (join, stabilize, notify, fix-fingers, check-predecessor) and
+// the standard key-based routing decision of Algorithm 1 in the paper
+// (route via the closest preceding known peer). Hop-by-hop message
+// forwarding lives in the layers above (dring, squirrel) so that the
+// D-ring variant can interpose its conditional lookup (Algorithm 2).
+//
+// Maintenance operations act on direct node references — the usual
+// simulator simplification for control traffic — while query routing is
+// message-based so lookup latency accumulates through the topology.
+package chord
+
+import "fmt"
+
+// ID is a point on the Chord identifier circle. Only the low Space.Bits
+// bits are meaningful.
+type ID uint64
+
+// Space describes an identifier circle of size 2^Bits.
+type Space struct {
+	Bits uint
+}
+
+// NewSpace validates the bit width and returns a Space.
+func NewSpace(bits uint) Space {
+	if bits == 0 || bits > 63 {
+		panic(fmt.Sprintf("chord: unsupported id width %d", bits))
+	}
+	return Space{Bits: bits}
+}
+
+// Size returns 2^Bits.
+func (s Space) Size() uint64 { return 1 << s.Bits }
+
+// Mask returns the bitmask of valid IDs.
+func (s Space) Mask() ID { return ID(s.Size() - 1) }
+
+// Wrap reduces an arbitrary value into the space.
+func (s Space) Wrap(v uint64) ID { return ID(v) & s.Mask() }
+
+// Add returns a + d on the circle.
+func (s Space) Add(a ID, d uint64) ID { return s.Wrap(uint64(a) + d) }
+
+// Distance returns the clockwise distance from a to b.
+func (s Space) Distance(a, b ID) uint64 {
+	return (uint64(b) - uint64(a)) & uint64(s.Mask())
+}
+
+// CircularDistance returns min(clockwise, counter-clockwise) distance.
+func (s Space) CircularDistance(a, b ID) uint64 {
+	d := s.Distance(a, b)
+	if rd := s.Size() - d; rd < d {
+		return rd
+	}
+	return d
+}
+
+// InOpenClosed reports whether x ∈ (a, b] on the circle. By convention the
+// degenerate interval (a, a] covers the entire circle, matching Chord's
+// single-node ring semantics.
+func (s Space) InOpenClosed(a, b, x ID) bool {
+	if a == b {
+		return true
+	}
+	return s.Distance(a, x) <= s.Distance(a, b) && x != a
+}
+
+// InOpen reports whether x ∈ (a, b) on the circle. The degenerate interval
+// (a, a) covers everything except a.
+func (s Space) InOpen(a, b, x ID) bool {
+	if a == b {
+		return x != a
+	}
+	return s.Distance(a, x) < s.Distance(a, b) && x != a
+}
+
+// HashString maps a string into the identifier space (FNV-1a, masked).
+func (s Space) HashString(key string) ID {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	// Fold the high bits down so small spaces still see the whole hash.
+	h ^= h >> 32
+	return s.Wrap(h)
+}

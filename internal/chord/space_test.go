@@ -1,0 +1,118 @@
+package chord
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceBasics(t *testing.T) {
+	s := NewSpace(8)
+	if s.Size() != 256 || s.Mask() != 255 {
+		t.Fatalf("size/mask wrong: %d %d", s.Size(), s.Mask())
+	}
+	if s.Add(250, 10) != 4 {
+		t.Fatalf("Add wrap: got %d", s.Add(250, 10))
+	}
+	if s.Distance(250, 4) != 10 {
+		t.Fatalf("Distance wrap: got %d", s.Distance(250, 4))
+	}
+	if s.Distance(4, 250) != 246 {
+		t.Fatalf("Distance forward: got %d", s.Distance(4, 250))
+	}
+	if s.CircularDistance(4, 250) != 10 {
+		t.Fatalf("CircularDistance: got %d", s.CircularDistance(4, 250))
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	s := NewSpace(8)
+	cases := []struct {
+		a, b, x  ID
+		oc, open bool
+	}{
+		{10, 20, 15, true, true},
+		{10, 20, 20, true, false},
+		{10, 20, 10, false, false},
+		{10, 20, 25, false, false},
+		{250, 5, 255, true, true}, // wrapping interval
+		{250, 5, 2, true, true},
+		{250, 5, 5, true, false},
+		{250, 5, 250, false, false},
+		{250, 5, 100, false, false},
+		// Degenerate (a,a]: whole circle including a (Chord singleton
+		// semantics); (a,a): everything except a.
+		{7, 7, 7, true, false},
+		{7, 7, 8, true, true},
+	}
+	for _, c := range cases {
+		if got := s.InOpenClosed(c.a, c.b, c.x); got != c.oc {
+			t.Errorf("InOpenClosed(%d,%d,%d) = %v, want %v", c.a, c.b, c.x, got, c.oc)
+		}
+		if got := s.InOpen(c.a, c.b, c.x); got != c.open {
+			t.Errorf("InOpen(%d,%d,%d) = %v, want %v", c.a, c.b, c.x, got, c.open)
+		}
+	}
+}
+
+// Property: for distinct a,b the circle splits exactly into (a,b] and (b,a].
+func TestQuickIntervalPartition(t *testing.T) {
+	s := NewSpace(16)
+	f := func(a, b, x uint16) bool {
+		A, B, X := ID(a), ID(b), ID(x)
+		if A == B {
+			return true
+		}
+		in1 := s.InOpenClosed(A, B, X)
+		in2 := s.InOpenClosed(B, A, X)
+		if X == A || X == B {
+			return in1 != in2 // endpoint sits in exactly one half
+		}
+		return in1 != in2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Distance(a,b) + Distance(b,a) == Size (for a != b).
+func TestQuickDistanceComplement(t *testing.T) {
+	s := NewSpace(16)
+	f := func(a, b uint16) bool {
+		A, B := ID(a), ID(b)
+		if A == B {
+			return s.Distance(A, B) == 0
+		}
+		return s.Distance(A, B)+s.Distance(B, A) == s.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashStringInSpace(t *testing.T) {
+	s := NewSpace(12)
+	seen := map[ID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := s.HashString(string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune(i)))
+		if uint64(id) >= s.Size() {
+			t.Fatalf("hash %d outside space", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) < 500 {
+		t.Fatalf("hash poorly distributed: %d distinct of 1000", len(seen))
+	}
+}
+
+func TestNewSpacePanics(t *testing.T) {
+	for _, bits := range []uint{0, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) should panic", bits)
+				}
+			}()
+			NewSpace(bits)
+		}()
+	}
+}

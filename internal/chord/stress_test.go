@@ -1,0 +1,121 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowercdn/internal/simnet"
+)
+
+// Stress test: an arbitrary interleaving of joins, crashes and graceful
+// leaves with periodic stabilization must keep routing exact from every
+// live node — the liveness property both D-ring and Squirrel depend on.
+func TestChurnStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	r := NewRing(Config{Bits: 20, SuccessorList: 6})
+
+	// Bootstrap with 8 nodes.
+	for i := 0; i < 8; i++ {
+		if _, err := r.AddNode(r.HashAddr(simnet.NodeID(i)), simnet.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.BuildConverged()
+	nextAddr := simnet.NodeID(8)
+
+	stabilizeAll := func(rounds int) {
+		for round := 0; round < rounds; round++ {
+			for _, n := range r.AliveNodes() {
+				n.CheckPredecessor()
+				n.Stabilize()
+			}
+		}
+	}
+	fixAll := func() {
+		for _, n := range r.AliveNodes() {
+			n.FixAllFingers()
+		}
+	}
+
+	for step := 0; step < 120; step++ {
+		alive := r.AliveNodes()
+		switch op := rng.Intn(10); {
+		case op < 4: // join
+			n, err := r.AddNode(r.HashAddr(nextAddr), nextAddr)
+			nextAddr++
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Join(n, alive[rng.Intn(len(alive))]); err != nil {
+				t.Fatal(err)
+			}
+		case op < 7: // crash (keep a quorum alive)
+			if len(alive) > 6 {
+				r.Fail(alive[rng.Intn(len(alive))])
+			}
+		case op < 9: // graceful leave
+			if len(alive) > 6 {
+				r.Leave(alive[rng.Intn(len(alive))])
+			}
+		default: // quiet step
+		}
+		stabilizeAll(4)
+		if step%10 == 9 {
+			fixAll()
+			stabilizeAll(2)
+			// Routing audit: every key resolves to the ground truth.
+			nodes := r.AliveNodes()
+			for trial := 0; trial < 40; trial++ {
+				key := ID(rng.Uint64()) & r.Space().Mask()
+				start := nodes[rng.Intn(len(nodes))]
+				got := start.FindSuccessor(key)
+				want := r.SuccessorOfKey(key)
+				if got != want {
+					t.Fatalf("step %d: FindSuccessor(%d) = %v, want %v", step, key, got, want)
+				}
+			}
+		}
+	}
+	// Final full audit.
+	fixAll()
+	stabilizeAll(3)
+	nodes := r.AliveNodes()
+	if len(nodes) < 6 {
+		t.Fatalf("population collapsed to %d", len(nodes))
+	}
+	for i, n := range nodes {
+		if n.Successor() != nodes[(i+1)%len(nodes)] {
+			t.Fatalf("final ring order broken at %d", n.ID())
+		}
+	}
+}
+
+// Property-style audit: successor lists never contain dead nodes after
+// stabilization rounds.
+func TestSuccessorListsCleanAfterStabilize(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	r := NewRing(Config{Bits: 16, SuccessorList: 4})
+	for i := 0; i < 30; i++ {
+		if _, err := r.AddNode(r.HashAddr(simnet.NodeID(i)), simnet.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.BuildConverged()
+	alive := r.AliveNodes()
+	for i := 0; i < 8; i++ {
+		r.Fail(alive[rng.Intn(len(alive))])
+	}
+	for round := 0; round < 6; round++ {
+		for _, n := range r.AliveNodes() {
+			n.CheckPredecessor()
+			n.Stabilize()
+		}
+	}
+	for _, n := range r.AliveNodes() {
+		for _, s := range n.SuccessorList() {
+			if s != nil && !s.Up() {
+				t.Fatalf("node %d keeps dead successor %d after stabilization", n.ID(), s.ID())
+			}
+		}
+	}
+}

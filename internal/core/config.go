@@ -1,0 +1,182 @@
+// Package core assembles the complete Flower-CDN system (the paper's
+// primary contribution): the D-ring directory overlay (internal/dring),
+// the gossip-managed content overlays (internal/overlay), the query
+// processing paths of §3.4/§4.1, and the dynamicity handling of §5
+// (redirection failures, directory failure and replacement, voluntary
+// directory leaves, locality changes).
+//
+// The package owns all wire messages and the per-node message dispatcher;
+// the protocol state machines live in internal/dring and internal/overlay
+// so they stay unit-testable in isolation.
+package core
+
+import (
+	"fmt"
+
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/model"
+	"flowercdn/internal/overlay"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/topology"
+	"flowercdn/internal/trace"
+)
+
+// QueryPolicy selects how a content peer resolves a query for an object it
+// does not hold (§4.1; see DESIGN.md "Query policy interpretation").
+type QueryPolicy uint8
+
+const (
+	// PolicyViewOnly searches the summaries of the peer's partial view and
+	// falls back to the origin server — the paper's behaviour (Table 2c's
+	// hit-ratio sensitivity to V_gossip only arises under this policy).
+	PolicyViewOnly QueryPolicy = iota
+	// PolicyViewThenDirectory additionally consults the directory peer
+	// (complete overlay view) before giving up — an ablation.
+	PolicyViewThenDirectory
+)
+
+// String names the policy.
+func (p QueryPolicy) String() string {
+	if p == PolicyViewThenDirectory {
+		return "view-then-directory"
+	}
+	return "view-only"
+}
+
+// Config collects every Flower-CDN parameter (Table 1 plus protocol
+// details the paper fixes in prose).
+type Config struct {
+	Seed int64
+
+	Localities     int            // k
+	Websites       int            // |W|
+	ActiveSites    int            // websites receiving queries (6 in §6.1)
+	ObjectsPerSite int            // nb-ob
+	MaxOverlaySize int            // S_co
+	PoolSizes      [][]int        // [activeSiteIdx][locality] potential clients
+	Sites          []model.SiteID // all |W| sites; first ActiveSites are the active ones
+
+	DRingBits    uint // m (identifier width)
+	InstanceBits uint // b, §5.3 scale-up (0 = basic scheme)
+
+	Gossip     overlay.Config // V_gossip, L_gossip, push threshold, summary sizing
+	TGossip    simkernel.Time // gossip period
+	TKeepalive simkernel.Time // keepalive period (defaults to TGossip)
+	TDead      int            // age limit in periods before an entry is dead
+
+	DirSummaryThreshold float64 // §4.2.1 delayed summary propagation
+
+	QueryPolicy       QueryPolicy
+	RetryLimit        int            // candidate peers tried per query before fallback
+	ObjectBytes       int            // modelled transfer payload (0 = not modelled, as in the paper)
+	MaintenancePeriod simkernel.Time // chord stabilization period (0 = off; enabled under churn)
+
+	// Active replication (§8 future work, implemented as an extension):
+	// every ReplicationPeriod, each directory offers its ReplicationTopK
+	// most-requested objects to same-website neighbour directories, which
+	// prefetch the ones their overlay lacks. 0 disables the extension.
+	ReplicationTopK   int
+	ReplicationPeriod simkernel.Time // defaults to TGossip when TopK > 0
+}
+
+// DefaultConfig returns the paper's simulation parameters (Table 1 with
+// the §6.2 chosen gossip operating point).
+func DefaultConfig(seed int64) Config {
+	g := overlay.DefaultConfig()
+	return Config{
+		Seed:                seed,
+		Localities:          6,
+		Websites:            100,
+		ActiveSites:         6,
+		ObjectsPerSite:      500,
+		MaxOverlaySize:      100,
+		DRingBits:           30,
+		InstanceBits:        0,
+		Gossip:              g,
+		TGossip:             30 * simkernel.Minute,
+		TKeepalive:          0, // = TGossip
+		TDead:               4,
+		DirSummaryThreshold: 0.1,
+		QueryPolicy:         PolicyViewOnly,
+		RetryLimit:          3,
+		ObjectBytes:         0,
+	}
+}
+
+// Validate checks internal consistency and fills derived defaults.
+func (c *Config) Validate() error {
+	if c.Localities <= 0 || c.Websites <= 0 || c.ActiveSites <= 0 {
+		return fmt.Errorf("core: localities, websites and active sites must be positive")
+	}
+	if c.ActiveSites > c.Websites {
+		return fmt.Errorf("core: %d active sites exceed %d websites", c.ActiveSites, c.Websites)
+	}
+	if c.ObjectsPerSite <= 0 {
+		return fmt.Errorf("core: objects per site must be positive")
+	}
+	if c.MaxOverlaySize <= 0 {
+		return fmt.Errorf("core: max overlay size must be positive")
+	}
+	if c.TGossip <= 0 {
+		return fmt.Errorf("core: gossip period must be positive")
+	}
+	if c.TKeepalive <= 0 {
+		c.TKeepalive = c.TGossip
+	}
+	if c.TDead <= 0 {
+		c.TDead = 4
+	}
+	if c.RetryLimit <= 0 {
+		c.RetryLimit = 3
+	}
+	if len(c.Sites) == 0 {
+		c.Sites = model.MakeSites(c.Websites)
+	}
+	if len(c.Sites) != c.Websites {
+		return fmt.Errorf("core: %d site names for %d websites", len(c.Sites), c.Websites)
+	}
+	if c.Gossip.SummaryCapacity == 0 {
+		c.Gossip.SummaryCapacity = c.ObjectsPerSite
+	}
+	if c.Gossip.ViewSize <= 0 || c.Gossip.GossipLen <= 0 {
+		return fmt.Errorf("core: gossip view size and length must be positive")
+	}
+	if c.DirSummaryThreshold <= 0 {
+		c.DirSummaryThreshold = 0.1
+	}
+	if c.ReplicationTopK > 0 && c.ReplicationPeriod <= 0 {
+		c.ReplicationPeriod = c.TGossip
+	}
+	if len(c.PoolSizes) == 0 {
+		return fmt.Errorf("core: pool sizes not set (use harness.BuildPools)")
+	}
+	if len(c.PoolSizes) != c.ActiveSites {
+		return fmt.Errorf("core: %d pool rows for %d active sites", len(c.PoolSizes), c.ActiveSites)
+	}
+	for i, row := range c.PoolSizes {
+		if len(row) != c.Localities {
+			return fmt.Errorf("core: pool row %d has %d localities, want %d", i, len(row), c.Localities)
+		}
+		for _, p := range row {
+			// Pools may exceed S_co: clients beyond capacity are served but
+			// never admitted (§6.1: "no new clients may join the overlay").
+			if p < 0 {
+				return fmt.Errorf("core: negative pool size %d", p)
+			}
+		}
+	}
+	return nil
+}
+
+// ActiveSiteIDs returns the sites that receive queries.
+func (c *Config) ActiveSiteIDs() []model.SiteID { return c.Sites[:c.ActiveSites] }
+
+// Deps bundles the externally constructed substrates a System runs on.
+type Deps struct {
+	Kernel  *simkernel.Kernel
+	Topo    *topology.Topology
+	Metrics *metrics.Collector
+	// Tracer receives structured protocol events when non-nil (see
+	// internal/trace); nil disables tracing at zero cost.
+	Tracer trace.Tracer
+}

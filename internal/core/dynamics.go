@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/dring"
+	"flowercdn/internal/model"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/trace"
+)
+
+// This file implements §5, "Dealing with Dynamicity": crash failures,
+// directory failure detection and replacement (§5.2), voluntary directory
+// leaves with state transfer, and locality changes (§5.4). Redirection
+// failures (§5.1) live in query.go next to Algorithm 3.
+
+// FailPeer crashes a node: it stops participating and all traffic to it is
+// lost. Other peers discover the failure through their own timeouts.
+func (s *System) FailPeer(addr simnet.NodeID) {
+	h := s.hosts[addr]
+	if h == nil || h.isServer {
+		return
+	}
+	s.net.Fail(addr)
+	h.stopTickers()
+	if h.dirNode != nil {
+		s.ring.Fail(h.dirNode)
+	}
+	if h.accounted {
+		s.mets.PeerLeft(s.k.Now())
+		h.accounted = false
+	}
+}
+
+// RevivePeer brings a crashed client node back online. Its volatile state
+// (cache, view, overlay membership) is gone — it rejoins as a new client
+// on its next query, exactly like a returning user. Directory hosts cannot
+// be revived this way (their position is re-filled by §5.2 replacement).
+func (s *System) RevivePeer(addr simnet.NodeID) bool {
+	h := s.hosts[addr]
+	if h == nil || h.isServer || h.dir != nil || h.dirNode != nil {
+		return false
+	}
+	if s.net.Alive(addr) {
+		return false
+	}
+	s.net.Recover(addr)
+	h.cp = nil
+	h.stash = nil
+	h.joinInFlight = false
+	h.gossipTicker, h.kaTicker = nil, nil
+	return true
+}
+
+// FailDirectory crashes the current directory peer of (site, loc); returns
+// false if the position is already empty.
+func (s *System) FailDirectory(site model.SiteID, loc int) bool {
+	addr, ok := s.DirectoryAddr(site, loc)
+	if !ok {
+		return false
+	}
+	s.FailPeer(addr)
+	return true
+}
+
+// onDirectoryUnreachable runs at a content peer whose keepalive (or push)
+// went unanswered: forget the directory and try to replace it (§5.2).
+func (s *System) onDirectoryUnreachable(h *host) {
+	if h.cp == nil {
+		return
+	}
+	s.trace(trace.DirFailureDetected, 0, h.addr, -1,
+		fmt.Sprintf("d(%s,%d) silent", h.cp.Site(), h.cp.Locality()))
+	h.cp.ForgetDir()
+	s.attemptDirJoin(h, h.cp.Site(), h.cp.Locality())
+}
+
+// attemptDirJoin starts the §5.2 replacement protocol: the candidate
+// "uses the common key assigned for d(ws,loc) and attempts to join D-ring
+// via the normal join procedure". The join request is routed through
+// D-ring; whoever is closest to the key decides whether the position is
+// already taken.
+func (s *System) attemptDirJoin(h *host, site model.SiteID, loc int) {
+	if h.joinInFlight || h.dir != nil || !s.net.Alive(h.addr) {
+		return
+	}
+	key := s.ks.KeyForWebsiteID(s.widBySite[site], loc, h.dirInstance)
+	if n := s.ring.Lookup(key); n != nil && n.Up() {
+		// Someone already replaced it: adopt.
+		if h.cp != nil {
+			h.cp.SetDir(n.Addr())
+			s.pushFullContent(h)
+		}
+		return
+	}
+	entry, ok := s.randomAliveDir()
+	if !ok {
+		return
+	}
+	h.joinInFlight = true
+	s.net.Send(h.addr, entry, simnet.CatMaintenance, bytesJoinCtl,
+		routedMsg{Key: key, TTL: dring.RouteTTL(s.ks.Space), Inner: innerDirJoin{Candidate: h.addr}})
+	// Clear the in-flight latch if the request is lost in a broken ring.
+	s.k.After(15*simkernel.Second, func() { h.joinInFlight = false })
+}
+
+// handleDirJoinRequest runs at the D-ring node that received the routed
+// join: if the position is filled, point the candidate at the incumbent;
+// otherwise accept and offer ourselves as the bootstrap.
+func (s *System) handleDirJoinRequest(h *host, key chord.ID, m innerDirJoin) {
+	if n := s.ring.Lookup(key); n != nil && n.Up() {
+		s.net.Send(h.addr, m.Candidate, simnet.CatMaintenance, bytesJoinCtl,
+			dirJoinTakenMsg{Key: key, NewDir: n.Addr()})
+		return
+	}
+	s.net.Send(h.addr, m.Candidate, simnet.CatMaintenance, bytesJoinCtl,
+		dirJoinAcceptMsg{Key: key, Bootstrap: h.addr})
+}
+
+// handleDirJoinTaken: another content peer won the race; learn the new
+// directory and make sure it indexes our content ("the content peer gets
+// acquainted with its new directory peer", §5.2).
+func (s *System) handleDirJoinTaken(h *host, m dirJoinTakenMsg) {
+	h.joinInFlight = false
+	if h.cp == nil {
+		return
+	}
+	h.cp.SetDir(m.NewDir)
+	s.pushFullContent(h)
+}
+
+// handleDirJoinAccept: we may take the position. Join D-ring under the
+// common key, become the directory, and rebuild the index from pushes
+// while answering early queries from our own store and view (§5.2).
+func (s *System) handleDirJoinAccept(h *host, m dirJoinAcceptMsg) {
+	h.joinInFlight = false
+	if h.cp == nil || h.dir != nil || !s.net.Alive(h.addr) {
+		return
+	}
+	key := m.Key
+	if n := s.ring.Lookup(key); n != nil {
+		if n.Up() {
+			// Raced: someone else joined first.
+			h.cp.SetDir(n.Addr())
+			s.pushFullContent(h)
+			return
+		}
+		s.ring.RemoveNode(key)
+	}
+	bh := s.hosts[m.Bootstrap]
+	if bh == nil || bh.dirNode == nil || !bh.dirNode.Up() {
+		return
+	}
+	node, err := s.ring.AddNode(key, h.addr)
+	if err != nil {
+		return
+	}
+	if err := s.ring.Join(node, bh.dirNode); err != nil {
+		s.ring.RemoveNode(key)
+		return
+	}
+	node.Stabilize()
+	node.FixAllFingers()
+	s.installDirectory(h, node, h.cp.Site(), h.cp.Locality())
+	// Index our own holdings immediately; overlay members re-register via
+	// their keepalive timeouts and pushes.
+	h.dir.ApplyPush(h.addr, h.cp.Objects(), nil)
+	h.cp.SetDir(h.addr)
+	s.stats.DirReplacements++
+	s.trace(trace.DirReplaced, 0, h.addr, -1,
+		fmt.Sprintf("took over d(%s,%d)", h.cp.Site(), h.cp.Locality()))
+}
+
+// installDirectory wires directory state and tickers onto a host.
+func (s *System) installDirectory(h *host, node *chord.Node, site model.SiteID, loc int) {
+	key := node.ID()
+	h.dirNode = node
+	h.dir = dring.NewDirectory(site, s.widBySite[site], loc, key,
+		s.cfg.MaxOverlaySize, s.cfg.ObjectsPerSite, s.cfg.DirSummaryThreshold)
+	s.dirByKey[key] = h.addr
+	s.dirAddrs = append(s.dirAddrs, h.addr)
+	offset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TGossip)))
+	h.dirTicker = s.k.Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
+	s.startReplicationTicker(h)
+	if s.cfg.MaintenancePeriod > 0 && h.stabTicker == nil {
+		mo := simkernel.Time(s.rng.Int63n(int64(s.cfg.MaintenancePeriod)))
+		h.stabTicker = s.k.Every(mo, s.cfg.MaintenancePeriod, func() { s.maintainNode(h) })
+	}
+}
+
+// pushFullContent re-registers every held object with the (new) directory.
+func (s *System) pushFullContent(h *host) {
+	if h.cp == nil {
+		return
+	}
+	d := h.cp.Dir()
+	if !d.Known || d.Addr == h.addr {
+		return
+	}
+	objs := h.cp.Objects()
+	if len(objs) == 0 {
+		return
+	}
+	m := pushMsg{Site: h.cp.Site(), M: overlayPush(h.addr, objs)}
+	s.net.Send(h.addr, d.Addr, simnet.CatPush, m.M.WireBytes(), m)
+	h.cp.RefreshDir()
+}
+
+// DirectoryLeave performs a §5.2 voluntary departure: the directory picks
+// its most stable member ("according to ... peer stability"), transfers
+// the directory index, summaries and its D-ring routing position, and
+// leaves the system. Returns false when there is no suitable successor.
+func (s *System) DirectoryLeave(site model.SiteID, loc int) bool {
+	addr, ok := s.DirectoryAddr(site, loc)
+	if !ok {
+		return false
+	}
+	old := s.hosts[addr]
+	if old == nil || old.dir == nil || old.dirNode == nil {
+		return false
+	}
+	var best *host
+	for _, mAddr := range old.dir.Members() {
+		mh := s.hosts[mAddr]
+		if mh == nil || mh.cp == nil || mh.dir != nil || !s.net.Alive(mAddr) {
+			continue
+		}
+		if best == nil || mh.cp.JoinedAt() < best.cp.JoinedAt() {
+			best = mh
+		}
+	}
+	if best == nil {
+		return false
+	}
+	// Hand over the D-ring position and the directory state.
+	node := s.ring.Transplant(old.dirNode, best.addr)
+	s.installDirectory(best, node, site, loc)
+	best.dir.ImportEntries(old.dir.ExportEntries())
+	for _, ns := range old.dir.NeighborSummaries() {
+		best.dir.UpdateNeighborSummary(ns.DirID, ns.Locality, ns.Filter)
+	}
+	best.cp.SetDir(best.addr)
+	// The old directory departs.
+	old.dir = nil
+	old.dirNode = nil
+	old.stopTickers()
+	s.net.Fail(old.addr)
+	if old.accounted {
+		s.mets.PeerLeft(s.k.Now())
+		old.accounted = false
+	}
+	s.stats.DirReplacements++
+	s.trace(trace.DirHandoff, 0, old.addr, best.addr,
+		fmt.Sprintf("d(%s,%d) voluntary leave", site, loc))
+	return true
+}
+
+// ChangeLocality implements §5.4: the peer detects it now belongs to a
+// different locality and switches overlays — it leaves its old overlay
+// (contacts discover this via gossip rejections and ages), rejoins the new
+// one as a new client on its next query, and then re-pushes its held
+// content to the new directory.
+func (s *System) ChangeLocality(addr simnet.NodeID, newLoc int) bool {
+	h := s.hosts[addr]
+	if h == nil || h.isServer || h.dir != nil {
+		return false
+	}
+	if newLoc < 0 || newLoc >= s.cfg.Localities {
+		return false
+	}
+	h.assignedLoc = newLoc
+	h.locOverridden = true
+	if h.cp != nil {
+		h.stash = h.cp.Objects()
+		h.cp = nil
+		if h.gossipTicker != nil {
+			h.gossipTicker.Stop()
+			h.gossipTicker = nil
+		}
+		if h.kaTicker != nil {
+			h.kaTicker.Stop()
+			h.kaTicker = nil
+		}
+		// Still an accounted participant; it rejoins on its next query.
+	}
+	return true
+}

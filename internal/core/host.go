@@ -1,0 +1,145 @@
+package core
+
+import (
+	"flowercdn/internal/chord"
+	"flowercdn/internal/dring"
+	"flowercdn/internal/model"
+	"flowercdn/internal/overlay"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
+)
+
+// host is one simulated process. A host can play several roles over its
+// lifetime: origin server, directory peer, content peer — and, after a
+// §5.2 replacement, directory and content peer at once.
+type host struct {
+	sys  *System
+	addr simnet.NodeID
+	loc  int // measured (landmark) locality
+
+	// assignedLoc overrides loc after a §5.4 locality change; 0-value
+	// means "use loc".
+	assignedLoc   int
+	locOverridden bool
+
+	// Roles.
+	isServer   bool
+	serverSite model.SiteID
+	cp         *overlay.ContentPeer
+	dir        *dring.Directory
+	dirNode    *chord.Node
+
+	// Content stashed across a locality change (§5.4): the peer keeps its
+	// objects and re-pushes them after rejoining.
+	stash []string
+
+	// Tickers.
+	dirTicker    *simkernel.Ticker
+	gossipTicker *simkernel.Ticker
+	kaTicker     *simkernel.Ticker
+	stabTicker   *simkernel.Ticker
+	replTicker   *simkernel.Ticker
+
+	// Await tokens.
+	gossipToken  uint64
+	kaToken      uint64
+	joinInFlight bool
+
+	// dirInstance records which §5.3 directory instance this content peer
+	// belongs to (always 0 in the basic scheme).
+	dirInstance int
+
+	// accounted marks the host as a participant in the per-peer traffic
+	// average (joined content peers and active-site directories).
+	accounted bool
+}
+
+func (h *host) overlayLocality() int {
+	if h.locOverridden {
+		return h.assignedLoc
+	}
+	return h.loc
+}
+
+// stopTickers cancels every periodic behaviour (on failure/leave).
+func (h *host) stopTickers() {
+	for _, t := range []*simkernel.Ticker{h.dirTicker, h.gossipTicker, h.kaTicker, h.stabTicker, h.replTicker} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+}
+
+// HandleMessage dispatches simulated datagrams to the protocol engines.
+func (h *host) HandleMessage(msg simnet.Message) {
+	s := h.sys
+	switch m := msg.Payload.(type) {
+	case routedMsg:
+		s.handleRouted(h, m)
+	case redirectMsg:
+		s.handleRedirect(h, m)
+	case redirectAckMsg:
+		m.Q.settle()
+	case redirectFailMsg:
+		s.handleRedirectFail(h, m)
+	case peerQueryMsg:
+		s.handlePeerQuery(h, m)
+	case nackMsg:
+		s.handleNack(h, m)
+	case fetchMsg:
+		s.handleFetch(h, m)
+	case dirQueryMsg:
+		s.handleDirQuery(h, m)
+	case forwardedQueryMsg:
+		s.handleForwardedQuery(h, m)
+	case forwardFailMsg:
+		s.handleForwardFail(h, m)
+	case serveMsg:
+		s.handleServe(h, m)
+	case gossipMsg:
+		s.handleGossip(h, m)
+	case gossipRejectMsg:
+		s.handleGossipReject(h, m)
+	case pushMsg:
+		s.handlePush(h, m)
+	case keepaliveMsg:
+		s.handleKeepalive(h, m)
+	case keepaliveAckMsg:
+		s.handleKeepaliveAck(h, m)
+	case dirSummaryMsg:
+		s.handleDirSummary(h, m)
+	case dirJoinTakenMsg:
+		s.handleDirJoinTaken(h, m)
+	case dirJoinAcceptMsg:
+		s.handleDirJoinAccept(h, m)
+	case replicaOfferMsg:
+		s.handleReplicaOffer(h, m)
+	case prefetchMsg:
+		s.handlePrefetch(h, m)
+	case prefetchFetchMsg:
+		s.handlePrefetchFetch(h, m)
+	case prefetchServeMsg:
+		s.handlePrefetchServe(h, m)
+	default:
+		// Unknown payloads are dropped (future-proofing).
+	}
+}
+
+// timeout estimates a failure-detection deadline for an exchange with the
+// given peer: a round trip plus slack. Simulated processes know their
+// measured RTTs (as real peers would from ping history).
+func (s *System) timeout(a, b simnet.NodeID) simkernel.Time {
+	return 2*s.net.Latency(a, b) + 50*simkernel.Millisecond
+}
+
+// await arms a cancellable timeout for q; any settle() (on response) or a
+// newer await invalidates it.
+func (s *System) await(q *Query, d simkernel.Time, onTimeout func()) {
+	q.token++
+	tok := q.token
+	s.k.After(d, func() {
+		if q.token == tok && !q.finished {
+			onTimeout()
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"flowercdn/internal/bloom"
+	"flowercdn/internal/chord"
+	"flowercdn/internal/gossip"
+	"flowercdn/internal/model"
+	"flowercdn/internal/overlay"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
+)
+
+// Modelled wire sizes (bytes). Object payloads default to 0 because the
+// paper does not model object size (§6.1); control messages are small.
+const (
+	bytesQueryCtl  = 48 // routed queries, redirects, fetches, acks, nacks
+	bytesKeepalive = 20
+	bytesJoinCtl   = 48
+	bytesServeHdr  = 40
+	bytesGossipHdr = 8 // overlay identity added by the core wrapper
+)
+
+// Query carries one client request through the system. It is shared by
+// pointer across the simulated messages of a single in-process run; on a
+// real wire it would be a compact identifier plus the object URL.
+type Query struct {
+	ID        uint64
+	Origin    simnet.NodeID
+	OriginLoc int
+	SiteIdx   int
+	Site      model.SiteID
+	Object    model.ObjectID
+	Obj       string // Object.Key(), cached
+	Start     simkernel.Time
+	NewClient bool
+
+	// Routing/progress state.
+	token    uint64 // await-cancellation token
+	recorded bool   // metrics emitted
+	finished bool
+
+	dringHops int
+
+	candidates []simnet.NodeID // content-peer path candidates
+	candIdx    int
+
+	targetInstance   int           // §5.3: which directory instance the query targeted
+	handlerDir       simnet.NodeID // the directory that ran Algorithm 3 for us
+	handlerIsLocal   bool          // handler covers the client's locality
+	admitted         bool          // optimistic index entry created; client joins on serve
+	dirSeed          []gossip.Entry
+	triedDirs        map[chord.ID]bool
+	failedHolders    map[simnet.NodeID]bool
+	remoteDir        simnet.NodeID // set while a neighbour directory handles the query
+	atRemote         bool
+	viaDirectory     bool // content-peer path escalated to the directory (ablation policy)
+	needDirBootstrap bool // client should try to become d(ws,loc) after service (§5.2 edge)
+}
+
+// settle cancels any outstanding timeout for the query.
+func (q *Query) settle() { q.token++ }
+
+// --- D-ring routed envelope ----------------------------------------------
+
+// routedMsg is a message travelling through D-ring key-based routing
+// (Algorithm 2). Inner is one of innerQuery or innerDirJoin.
+type routedMsg struct {
+	Key   chord.ID
+	TTL   int
+	Inner any
+}
+
+type innerQuery struct{ Q *Query }
+
+// innerDirJoin is the §5.2 replacement join: Candidate attempts to take
+// over the directory position Key.
+type innerDirJoin struct {
+	Candidate simnet.NodeID
+}
+
+// --- Query-path messages --------------------------------------------------
+
+// redirectMsg: directory → holder (content peer or origin server): serve Q.
+type redirectMsg struct {
+	Q       *Query
+	FromDir simnet.NodeID
+}
+
+// redirectAckMsg: holder → directory: redirect received (liveness).
+type redirectAckMsg struct {
+	Q    *Query
+	From simnet.NodeID
+}
+
+// redirectFailMsg: holder → directory: I no longer hold the object.
+type redirectFailMsg struct {
+	Q    *Query
+	From simnet.NodeID
+}
+
+// peerQueryMsg: content peer → view contact: do you have Q.Obj?
+type peerQueryMsg struct{ Q *Query }
+
+// nackMsg: contact → content peer: I do not have it.
+type nackMsg struct {
+	Q    *Query
+	From simnet.NodeID
+}
+
+// fetchMsg: requester → origin server.
+type fetchMsg struct{ Q *Query }
+
+// dirQueryMsg: content peer → its directory (PolicyViewThenDirectory).
+type dirQueryMsg struct{ Q *Query }
+
+// forwardedQueryMsg: directory → same-website directory suggested by a
+// directory summary (Algorithm 3's second stage).
+type forwardedQueryMsg struct {
+	Q       *Query
+	FromDir simnet.NodeID
+}
+
+// forwardFailMsg: neighbour directory → handler: my overlay cannot serve.
+type forwardFailMsg struct {
+	Q    *Query
+	From simnet.NodeID
+}
+
+// serveMsg: provider → requester: the object itself, plus (for freshly
+// admitted clients) the initial view seed of §4.2.
+type serveMsg struct {
+	Q               *Query
+	Provider        simnet.NodeID
+	FromContentPeer bool
+	ViewSeed        []gossip.Entry
+}
+
+func (m serveMsg) wireBytes(objectBytes int) int {
+	n := bytesServeHdr + objectBytes
+	for _, e := range m.ViewSeed {
+		n += e.WireBytes()
+	}
+	return n
+}
+
+// --- Overlay maintenance messages ----------------------------------------
+
+// gossipMsg wraps an overlay gossip exchange with the overlay identity so
+// a peer that changed locality (§5.4) can reject strays.
+type gossipMsg struct {
+	Site model.SiteID
+	Loc  int
+	M    overlay.GossipMsg
+}
+
+// gossipRejectMsg: receiver is not (any more) in the sender's overlay.
+type gossipRejectMsg struct{ From simnet.NodeID }
+
+// pushMsg wraps Algorithm 5's ∆list push.
+type pushMsg struct {
+	Site model.SiteID
+	M    overlay.PushMsg
+}
+
+// keepaliveMsg: content peer → directory (§5.1).
+type keepaliveMsg struct{ From simnet.NodeID }
+
+// keepaliveAckMsg: directory → content peer.
+type keepaliveAckMsg struct{ From simnet.NodeID }
+
+// dirSummaryMsg: directory → same-website directory: refreshed directory
+// summary (§3.3/§4.2.1).
+type dirSummaryMsg struct {
+	FromKey chord.ID
+	Loc     int
+	Filter  *bloom.Filter
+}
+
+// --- Active replication (§8 extension) ------------------------------------
+
+// ReplicaOffer names one popular object and a content peer that holds it.
+type ReplicaOffer struct {
+	Obj    string
+	Holder simnet.NodeID
+}
+
+// replicaOfferMsg: directory → same-website directory: my overlay's most
+// requested objects, with sources.
+type replicaOfferMsg struct {
+	FromKey chord.ID
+	Offers  []ReplicaOffer
+}
+
+// prefetchMsg: directory → one of its members: fetch obj from Holder so
+// our overlay has it before anyone asks.
+type prefetchMsg struct {
+	Obj    string
+	Holder simnet.NodeID
+}
+
+// prefetchFetchMsg: member → remote holder.
+type prefetchFetchMsg struct {
+	Obj  string
+	From simnet.NodeID
+}
+
+// prefetchServeMsg: holder → member: the object.
+type prefetchServeMsg struct {
+	Obj string
+}
+
+// dirJoinTakenMsg: the directory position was already filled; NewDir is
+// the peer that holds it now.
+type dirJoinTakenMsg struct {
+	Key    chord.ID
+	NewDir simnet.NodeID
+}
+
+// dirJoinAcceptMsg: the candidate may take the position; Bootstrap is a
+// live D-ring member to join through.
+type dirJoinAcceptMsg struct {
+	Key       chord.ID
+	Bootstrap simnet.NodeID
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"flowercdn/internal/model"
+	"flowercdn/internal/overlay"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
+)
+
+// newContentPeerFor constructs the overlay state for a joining host.
+func newContentPeerFor(h *host, site model.SiteID, loc int, cfg overlay.Config, now simkernel.Time) *overlay.ContentPeer {
+	return overlay.New(h.addr, site, loc, cfg, now)
+}
+
+// overlayPush builds an additions-only push (full-content re-registration
+// after a directory change, §5.2).
+func overlayPush(from simnet.NodeID, added []string) overlay.PushMsg {
+	return overlay.PushMsg{From: from, Added: added}
+}
+
+// startContentPeerTickers launches the periodic behaviours of a content
+// peer: the active gossip loop (Algorithm 4) and the keepalive loop
+// (§5.1). Phases are randomised so overlays do not synchronise.
+func (s *System) startContentPeerTickers(h *host) {
+	gOffset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TGossip)))
+	h.gossipTicker = s.k.Every(gOffset, s.cfg.TGossip, func() { s.gossipTick(h) })
+	kOffset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TKeepalive)))
+	h.kaTicker = s.k.Every(kOffset, s.cfg.TKeepalive, func() { s.keepaliveTick(h) })
+}
+
+// gossipTick is the active behaviour of Algorithm 4.
+func (s *System) gossipTick(h *host) {
+	if h.cp == nil || !s.net.Alive(h.addr) {
+		return
+	}
+	h.cp.TickAges()
+	h.cp.DropOldContacts(s.cfg.TDead)
+	target, m, ok := h.cp.MakeGossip(s.rng)
+	if !ok {
+		return
+	}
+	wrapped := gossipMsg{Site: h.cp.Site(), Loc: h.cp.Locality(), M: m}
+	s.net.Send(h.addr, target, simnet.CatGossip, bytesGossipHdr+m.WireBytes(), wrapped)
+	// Failure detection: no answer within the deadline ⇒ drop the contact.
+	h.gossipToken++
+	tok := h.gossipToken
+	s.k.After(s.timeout(h.addr, target), func() {
+		if h.gossipToken == tok && h.cp != nil {
+			h.cp.RemoveContact(target)
+		}
+	})
+}
+
+// handleGossip covers both directions of an exchange.
+func (s *System) handleGossip(h *host, wrapped gossipMsg) {
+	m := wrapped.M
+	if m.IsReply {
+		// Completion of our active round.
+		h.gossipToken++
+		if h.cp != nil && h.cp.Site() == wrapped.Site && h.cp.Locality() == wrapped.Loc {
+			h.cp.ApplyGossipReply(m)
+		}
+		return
+	}
+	// Passive behaviour.
+	if h.cp == nil || h.cp.Site() != wrapped.Site || h.cp.Locality() != wrapped.Loc {
+		// We are not (any longer) in the sender's overlay (§5.4).
+		s.stats.GossipRejects++
+		s.net.Send(h.addr, m.From, simnet.CatGossip, bytesKeepalive, gossipRejectMsg{From: h.addr})
+		return
+	}
+	reply := h.cp.AcceptGossip(m, s.rng)
+	rw := gossipMsg{Site: wrapped.Site, Loc: wrapped.Loc, M: reply}
+	s.net.Send(h.addr, m.From, simnet.CatGossip, bytesGossipHdr+reply.WireBytes(), rw)
+}
+
+func (s *System) handleGossipReject(h *host, m gossipRejectMsg) {
+	h.gossipToken++
+	if h.cp != nil {
+		h.cp.RemoveContact(m.From)
+	}
+}
+
+// maybePush runs Algorithm 5's threshold check after a content change.
+func (s *System) maybePush(h *host) {
+	if h.cp == nil || !h.cp.NeedPush() {
+		return
+	}
+	d := h.cp.Dir()
+	if !d.Known {
+		return
+	}
+	if d.Addr == h.addr {
+		// This peer IS the directory (§5.2 replacement): index locally.
+		if h.dir != nil {
+			if m, ok := h.cp.TakePush(); ok {
+				h.dir.ApplyPush(h.addr, m.Added, m.Removed)
+			}
+		}
+		return
+	}
+	m, ok := h.cp.TakePush()
+	if !ok {
+		return
+	}
+	s.net.Send(h.addr, d.Addr, simnet.CatPush, m.WireBytes(), pushMsg{Site: h.cp.Site(), M: m})
+	h.cp.RefreshDir() // Algorithm 5: reset_age(d)
+}
+
+// handlePush is Algorithm 6's passive behaviour at the directory.
+func (s *System) handlePush(h *host, m pushMsg) {
+	if h.dir == nil || h.dir.Site() != m.Site {
+		return
+	}
+	h.dir.ApplyPush(m.M.From, m.M.Added, m.M.Removed)
+}
+
+// keepaliveTick sends the §5.1 liveness probe to the directory and arms
+// failure detection (§5.2: failures are noticed "while sending keepalive
+// or push messages").
+func (s *System) keepaliveTick(h *host) {
+	if h.cp == nil || !s.net.Alive(h.addr) {
+		return
+	}
+	d := h.cp.Dir()
+	if !d.Known || d.Addr == h.addr {
+		return
+	}
+	s.net.Send(h.addr, d.Addr, simnet.CatKeepalive, bytesKeepalive, keepaliveMsg{From: h.addr})
+	h.kaToken++
+	tok := h.kaToken
+	s.k.After(s.timeout(h.addr, d.Addr), func() {
+		if h.kaToken == tok && h.cp != nil {
+			s.onDirectoryUnreachable(h)
+		}
+	})
+}
+
+func (s *System) handleKeepalive(h *host, m keepaliveMsg) {
+	if h.dir == nil {
+		return // not a directory (any more): silence triggers replacement
+	}
+	h.dir.Keepalive(m.From)
+	s.net.Send(h.addr, m.From, simnet.CatKeepalive, bytesKeepalive, keepaliveAckMsg{From: h.addr})
+}
+
+func (s *System) handleKeepaliveAck(h *host, m keepaliveAckMsg) {
+	h.kaToken++
+	if h.cp != nil {
+		h.cp.RefreshDir()
+	}
+}
+
+// dirTick is the directory's periodic behaviour: age the index (Algorithm
+// 6), evict the dead (§5.1), and propagate a refreshed directory summary
+// when enough new content accumulated (§4.2.1).
+func (s *System) dirTick(h *host) {
+	if h.dir == nil || !s.net.Alive(h.addr) {
+		return
+	}
+	h.dir.TickAges()
+	h.dir.EvictOlderThan(s.cfg.TDead)
+	if !h.dir.ShouldPublishSummary() {
+		return
+	}
+	f := h.dir.BuildSummary()
+	sent := false
+	if h.dirNode != nil && h.dirNode.Up() {
+		for _, p := range h.dirNode.KnownPeers() {
+			if !s.ks.SameWebsite(p.ID(), h.dir.Key()) || p.ID() == h.dir.Key() {
+				continue
+			}
+			s.net.Send(h.addr, p.Addr(), simnet.CatDirSummary, 20+f.SizeBytes(),
+				dirSummaryMsg{FromKey: h.dir.Key(), Loc: h.dir.Locality(), Filter: f})
+			sent = true
+		}
+	}
+	if sent {
+		h.dir.MarkSummaryPublished()
+	}
+}
+
+func (s *System) handleDirSummary(h *host, m dirSummaryMsg) {
+	if h.dir == nil {
+		return
+	}
+	h.dir.UpdateNeighborSummary(m.FromKey, m.Loc, m.Filter)
+}

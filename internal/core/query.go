@@ -1,0 +1,497 @@
+package core
+
+import (
+	"fmt"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/dring"
+	"flowercdn/internal/gossip"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/trace"
+)
+
+// --- Entry points ---------------------------------------------------------
+
+// startNewClientQuery implements the §3.4 first-access path: the client
+// submits its query to D-ring through any directory peer it knows of, and
+// key-based routing (Algorithm 2) delivers it to d(ws,loc).
+func (s *System) startNewClientQuery(h *host, q *Query) {
+	entry, ok := s.randomAliveDir()
+	if !ok {
+		// No D-ring at all (catastrophic churn): go straight to the server.
+		s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+		return
+	}
+	// Under the §5.3 scale-up extension, each (website, locality) slot has
+	// several directory instances; new clients spread across them.
+	inst := 0
+	if n := s.ks.Instances(); n > 1 {
+		inst = s.rng.Intn(n)
+	}
+	q.targetInstance = inst
+	key := s.ks.KeyForWebsiteID(s.widBySite[q.Site], q.OriginLoc, inst)
+	s.net.Send(q.Origin, entry, simnet.CatQuery, bytesQueryCtl,
+		routedMsg{Key: key, TTL: dring.RouteTTL(s.ks.Space), Inner: innerQuery{Q: q}})
+	// If the entry node (or the path) is dead the query would hang; retry
+	// through a different entry, then fall back to the server.
+	s.await(q, 10*simkernel.Second, func() { s.retryNewClientQuery(h, q, 1) })
+}
+
+func (s *System) retryNewClientQuery(h *host, q *Query, attempt int) {
+	if q.recorded {
+		return
+	}
+	s.stats.QueriesRetried++
+	if attempt >= 3 {
+		s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+		return
+	}
+	entry, ok := s.randomAliveDir()
+	if !ok {
+		s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+		return
+	}
+	key := s.ks.KeyForWebsiteID(s.widBySite[q.Site], q.OriginLoc, q.targetInstance)
+	s.net.Send(q.Origin, entry, simnet.CatQuery, bytesQueryCtl,
+		routedMsg{Key: key, TTL: dring.RouteTTL(s.ks.Space), Inner: innerQuery{Q: q}})
+	s.await(q, 10*simkernel.Second, func() { s.retryNewClientQuery(h, q, attempt+1) })
+}
+
+func (s *System) randomAliveDir() (simnet.NodeID, bool) {
+	for try := 0; try < 8; try++ {
+		addr := s.dirAddrs[s.rng.Intn(len(s.dirAddrs))]
+		if s.net.Alive(addr) {
+			return addr, true
+		}
+	}
+	// Deterministic sweep as a last resort.
+	for _, addr := range s.dirAddrs {
+		if s.net.Alive(addr) {
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// startContentPeerQuery implements the §4.1 member path: local store, then
+// the content summaries of the peer's partial view, then (per policy) the
+// directory, finally the origin server.
+func (s *System) startContentPeerQuery(h *host, q *Query) {
+	if h.cp.Has(q.Obj) {
+		s.mets.RecordQuery(s.k.Now(), metrics.SourceLocal, 0, 0)
+		q.recorded, q.finished = true, true
+		return
+	}
+	cands := h.cp.CandidatesFor(q.Obj, s.rng)
+	if len(cands) > s.cfg.RetryLimit {
+		cands = cands[:s.cfg.RetryLimit]
+	}
+	q.candidates = cands
+	q.candIdx = 0
+	s.tryNextCandidate(h, q)
+}
+
+func (s *System) tryNextCandidate(h *host, q *Query) {
+	for q.candIdx < len(q.candidates) {
+		cand := q.candidates[q.candIdx]
+		q.candIdx++
+		if cand == q.Origin {
+			continue
+		}
+		s.trace(trace.PeerQuery, q.ID, q.Origin, cand, "")
+		s.net.Send(q.Origin, cand, simnet.CatQuery, bytesQueryCtl, peerQueryMsg{Q: q})
+		s.await(q, s.timeout(q.Origin, cand), func() {
+			// Dead contact (§5.1 style failure detection): forget it.
+			if h.cp != nil {
+				h.cp.RemoveContact(cand)
+			}
+			s.tryNextCandidate(h, q)
+		})
+		return
+	}
+	// View exhausted.
+	if s.cfg.QueryPolicy == PolicyViewThenDirectory && h.cp != nil && h.cp.Dir().Known {
+		dir := h.cp.Dir().Addr
+		q.viaDirectory = true
+		s.net.Send(q.Origin, dir, simnet.CatQuery, bytesQueryCtl, dirQueryMsg{Q: q})
+		s.await(q, 8*simkernel.Second, func() {
+			s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+		})
+		return
+	}
+	s.trace(trace.ServerFetch, q.ID, q.Origin, s.servers[q.Site], "view exhausted")
+	s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+}
+
+// --- D-ring routing -------------------------------------------------------
+
+func (s *System) handleRouted(h *host, m routedMsg) {
+	if h.dirNode == nil || !h.dirNode.Up() {
+		return // stale route to a demoted node; sender-side timeouts recover
+	}
+	next, deliver := dring.NextHop(h.dirNode, m.Key, s.ks)
+	if !deliver {
+		if m.TTL <= 0 {
+			s.mets.RecordRouteTTLExpiry()
+			deliver = true
+		} else {
+			if iq, ok := m.Inner.(innerQuery); ok {
+				iq.Q.dringHops++
+				s.trace(trace.RouteHop, iq.Q.ID, h.addr, next.Addr(), "")
+			}
+			s.net.Send(h.addr, next.Addr(), simnet.CatQuery, bytesQueryCtl,
+				routedMsg{Key: m.Key, TTL: m.TTL - 1, Inner: m.Inner})
+			return
+		}
+	}
+	switch inner := m.Inner.(type) {
+	case innerQuery:
+		s.dirProcess(h, inner.Q, false)
+	case innerDirJoin:
+		s.handleDirJoinRequest(h, m.Key, inner)
+	}
+}
+
+// --- Algorithm 3: process(query) at a directory peer ----------------------
+
+// dirProcess runs (and re-runs, after failures) the directory's query
+// processing. Stages: directory index → own content/view (replacement
+// directories, §5.2) → directory summaries → origin server. A query
+// forwarded by a summary (§3.3) only runs the first stages and reports
+// failure back instead of chaining further.
+func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
+	if !s.net.Alive(h.addr) {
+		return // the directory died mid-processing; requester timeouts recover
+	}
+	if h.dir == nil {
+		// Routing delivered to a non-directory (severe churn): server.
+		s.net.Send(h.addr, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, redirectMsg{Q: q, FromDir: h.addr})
+		return
+	}
+	if !forwarded && q.handlerDir == 0 {
+		q.handlerDir = h.addr
+		q.handlerIsLocal = h.dir.Site() == q.Site && h.dir.Locality() == q.OriginLoc
+		if q.NewClient && q.handlerIsLocal {
+			q.admitted = h.dir.AddOptimistic(q.Origin, q.Obj)
+			if q.admitted {
+				q.dirSeed = s.dirViewSeed(h, q.Origin)
+			}
+		}
+		if q.NewClient && !q.handlerIsLocal && h.dir.Site() == q.Site {
+			// The client's own locality directory is missing; after being
+			// served, the client volunteers to restore it (§5.2 spirit).
+			exact := s.ks.KeyForWebsiteID(s.widBySite[q.Site], q.OriginLoc, q.targetInstance)
+			if n := s.ring.Lookup(exact); n == nil || !n.Up() {
+				q.needDirBootstrap = true
+			}
+		}
+	}
+	if q.triedDirs == nil {
+		q.triedDirs = make(map[chord.ID]bool)
+	}
+	if h.dir.Site() == q.Site {
+		// Popularity bookkeeping for the §8 active-replication extension.
+		h.dir.NoteRequest(q.Obj)
+	}
+	if !forwarded {
+		s.trace(trace.DirProcess, q.ID, h.addr, -1, fmt.Sprintf("d(%s,%d)", h.dir.Site(), h.dir.Locality()))
+	}
+
+	// Stage A: directory index (complete view of the content overlay).
+	for _, holder := range h.dir.Holders(q.Obj) {
+		if holder == q.Origin || q.triedHolder(holder) {
+			continue
+		}
+		s.dirRedirect(h, q, holder, forwarded)
+		return
+	}
+	// Stage B: a replacement directory answers from its own store and its
+	// content-peer view while its index rebuilds from pushes (§5.2).
+	if h.cp != nil {
+		if h.cp.Has(q.Obj) {
+			s.serveQuery(h, q, forwarded, true)
+			return
+		}
+		for _, cand := range h.cp.CandidatesFor(q.Obj, s.rng) {
+			if cand == q.Origin || q.triedHolder(cand) {
+				continue
+			}
+			s.dirRedirect(h, q, cand, forwarded)
+			return
+		}
+	}
+	if forwarded {
+		// This overlay cannot help; report back to the handler directory.
+		s.net.Send(h.addr, q.handlerDir, simnet.CatQuery, bytesQueryCtl, forwardFailMsg{Q: q, From: h.addr})
+		return
+	}
+	// Stage C: directory summaries of same-website neighbours.
+	for _, dirID := range h.dir.NeighborsWithObject(q.Obj) {
+		if q.triedDirs[dirID] {
+			continue
+		}
+		q.triedDirs[dirID] = true
+		target := s.ring.Lookup(dirID)
+		if target == nil || !target.Up() {
+			h.dir.RemoveNeighborSummary(dirID)
+			continue
+		}
+		q.atRemote = true
+		q.remoteDir = target.Addr()
+		s.trace(trace.ForwardedToSibling, q.ID, h.addr, target.Addr(), "")
+		s.net.Send(h.addr, target.Addr(), simnet.CatQuery, bytesQueryCtl,
+			forwardedQueryMsg{Q: q, FromDir: h.addr})
+		s.await(q, s.timeout(h.addr, target.Addr())+2*simkernel.Second, func() {
+			q.atRemote = false
+			h.dir.RemoveNeighborSummary(dirID)
+			s.dirProcess(h, q, false)
+		})
+		return
+	}
+	// Stage D: the origin web server.
+	q.atRemote = false
+	s.trace(trace.ServerFetch, q.ID, h.addr, s.servers[q.Site], "directory fallback")
+	s.net.Send(h.addr, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, redirectMsg{Q: q, FromDir: h.addr})
+}
+
+func (q *Query) triedHolder(n simnet.NodeID) bool {
+	if q.failedHolders == nil {
+		return false
+	}
+	return q.failedHolders[n]
+}
+
+func (q *Query) markFailedHolder(n simnet.NodeID) {
+	if q.failedHolders == nil {
+		q.failedHolders = make(map[simnet.NodeID]bool)
+	}
+	q.failedHolders[n] = true
+}
+
+// dirRedirect sends the query to a believed holder and arms the §5.1
+// redirection-failure timeout.
+func (s *System) dirRedirect(h *host, q *Query, holder simnet.NodeID, forwarded bool) {
+	s.trace(trace.Redirect, q.ID, h.addr, holder, "")
+	s.net.Send(h.addr, holder, simnet.CatQuery, bytesQueryCtl, redirectMsg{Q: q, FromDir: h.addr})
+	s.await(q, s.timeout(h.addr, holder), func() {
+		s.trace(trace.RedirectFailed, q.ID, h.addr, holder, "timeout")
+		s.mets.RecordRedirectFailure()
+		h.dir.RemovePeer(holder)
+		if h.cp != nil {
+			h.cp.RemoveContact(holder)
+		}
+		q.markFailedHolder(holder)
+		s.dirProcess(h, q, forwarded)
+	})
+}
+
+// handleRedirect runs at the believed holder (content peer or server).
+func (s *System) handleRedirect(h *host, m redirectMsg) {
+	q := m.Q
+	if h.isServer {
+		s.serveQuery(h, q, q.atRemote, false)
+		return
+	}
+	// Acknowledge liveness to the redirecting directory.
+	s.net.Send(h.addr, m.FromDir, simnet.CatQuery, bytesQueryCtl, redirectAckMsg{Q: q, From: h.addr})
+	if h.cp != nil && h.cp.Has(q.Obj) {
+		s.serveQuery(h, q, q.atRemote, true)
+		return
+	}
+	s.net.Send(h.addr, m.FromDir, simnet.CatQuery, bytesQueryCtl, redirectFailMsg{Q: q, From: h.addr})
+}
+
+// handleRedirectFail runs at the directory when a holder no longer has the
+// object: drop the stale listing and try the next destination (§5.1).
+func (s *System) handleRedirectFail(h *host, m redirectFailMsg) {
+	q := m.Q
+	q.settle()
+	if h.dir != nil {
+		h.dir.ApplyPush(m.From, nil, []string{q.Obj})
+	}
+	q.markFailedHolder(m.From)
+	s.dirProcess(h, q, q.atRemote && h.addr == q.remoteDir)
+}
+
+// handleForwardedQuery runs Algorithm 3's restricted form at a
+// summary-suggested neighbour directory.
+func (s *System) handleForwardedQuery(h *host, m forwardedQueryMsg) {
+	s.dirProcess(h, m.Q, true)
+}
+
+// handleForwardFail resumes processing at the handler directory after a
+// neighbour overlay missed.
+func (s *System) handleForwardFail(h *host, m forwardFailMsg) {
+	q := m.Q
+	q.settle()
+	q.atRemote = false
+	s.dirProcess(h, q, false)
+}
+
+// handleDirQuery serves the PolicyViewThenDirectory ablation: a member
+// escalates a view miss to its directory.
+func (s *System) handleDirQuery(h *host, m dirQueryMsg) {
+	q := m.Q
+	if q.handlerDir == 0 {
+		q.handlerDir = h.addr
+		q.handlerIsLocal = h.dir != nil && h.dir.Site() == q.Site
+	}
+	s.dirProcess(h, q, false)
+}
+
+// handlePeerQuery runs at a view contact of the requesting content peer.
+func (s *System) handlePeerQuery(h *host, m peerQueryMsg) {
+	q := m.Q
+	if h.cp != nil && h.cp.Has(q.Obj) {
+		s.serveQuery(h, q, false, true)
+		return
+	}
+	s.net.Send(h.addr, q.Origin, simnet.CatQuery, bytesQueryCtl, nackMsg{Q: q, From: h.addr})
+}
+
+// handleNack advances the requesting peer to its next candidate.
+func (s *System) handleNack(h *host, m nackMsg) {
+	q := m.Q
+	q.settle()
+	s.trace(trace.PeerNack, q.ID, h.addr, m.From, "stale summary or false positive")
+	s.tryNextCandidate(h, q)
+}
+
+// handleFetch runs at an origin server for direct fetches.
+func (s *System) handleFetch(h *host, m fetchMsg) {
+	s.serveQuery(h, m.Q, false, false)
+}
+
+// serveQuery records the lookup metrics at the providing node and ships
+// the object to the requester.
+func (s *System) serveQuery(h *host, q *Query, remote bool, fromContentPeer bool) {
+	q.settle()
+	now := s.k.Now()
+	if !q.recorded {
+		src := metrics.SourceServer
+		if fromContentPeer {
+			if remote {
+				src = metrics.SourceRemoteOverlay
+			} else {
+				src = metrics.SourcePeer
+			}
+		}
+		lookup := float64(now - q.Start)
+		dist := s.topo.LatencyMs(h.addr, q.Origin)
+		s.mets.RecordQuery(now, src, lookup, dist)
+		q.recorded = true
+		s.trace(trace.Served, q.ID, h.addr, q.Origin,
+			fmt.Sprintf("%s lookup=%.0fms dist=%.0fms", src, lookup, dist))
+	}
+	msg := serveMsg{Q: q, Provider: h.addr, FromContentPeer: fromContentPeer}
+	if q.NewClient && q.admitted && fromContentPeer && h.cp != nil &&
+		h.cp.Site() == q.Site && h.cp.Locality() == q.OriginLoc {
+		// §4.2: a client served by a content peer of its own overlay seeds
+		// its view from that peer's view.
+		msg.ViewSeed = h.cp.ViewSeedFor(s.rng)
+	}
+	s.net.Send(h.addr, q.Origin, simnet.CatTransfer, msg.wireBytes(s.cfg.ObjectBytes), msg)
+}
+
+// handleServe completes the query at the requester: store the object, join
+// the overlay if admitted, push the content delta.
+func (s *System) handleServe(h *host, m serveMsg) {
+	q := m.Q
+	q.settle()
+	if q.finished {
+		return // duplicate delivery after a retry race
+	}
+	q.finished = true
+	if h.cp == nil && q.NewClient && q.admitted && q.handlerIsLocal {
+		s.joinOverlay(h, q, m)
+	}
+	if h.cp == nil && q.needDirBootstrap {
+		// The client's locality has no directory (and therefore no overlay
+		// to admit it). It founds the overlay itself: become its first
+		// content peer, then volunteer for the directory position below
+		// (§4.1: "d(ws,loc) is the starting point of its content overlay").
+		s.joinFounder(h, q)
+	}
+	if h.cp != nil {
+		h.cp.AddObject(q.Obj)
+		s.maybePush(h)
+	}
+	if q.needDirBootstrap {
+		s.stats.DirBootstraps++
+		s.attemptDirJoin(h, q.Site, q.OriginLoc)
+	}
+}
+
+// joinFounder creates the first content peer of an orphaned overlay: no
+// directory is known yet; attemptDirJoin (run by the caller) will install
+// this peer as d(ws,loc) unless someone else won the race.
+func (s *System) joinFounder(h *host, q *Query) {
+	now := s.k.Now()
+	h.cp = newContentPeerFor(h, q.Site, q.OriginLoc, s.cfg.Gossip, now)
+	h.dirInstance = q.targetInstance
+	if len(h.stash) > 0 {
+		for _, obj := range h.stash {
+			h.cp.AddObject(obj)
+		}
+		h.stash = nil
+	}
+	if !h.accounted {
+		s.mets.PeerJoined(now)
+		h.accounted = true
+	}
+	s.stats.Joins++
+	s.trace(trace.Joined, q.ID, h.addr, -1,
+		fmt.Sprintf("founding content-overlay(%s,%d)", q.Site, q.OriginLoc))
+	s.startContentPeerTickers(h)
+}
+
+// joinOverlay turns a served client into a content peer of its locality's
+// overlay (§4.1 construction).
+func (s *System) joinOverlay(h *host, q *Query, m serveMsg) {
+	now := s.k.Now()
+	h.cp = newContentPeerFor(h, q.Site, q.OriginLoc, s.cfg.Gossip, now)
+	h.cp.SetDir(q.handlerDir)
+	h.dirInstance = q.targetInstance
+	if len(m.ViewSeed) > 0 {
+		h.cp.SeedView(m.ViewSeed)
+	} else if len(q.dirSeed) > 0 {
+		// Served from elsewhere: the directory provides a subset of its
+		// index, without summaries (§4.2).
+		h.cp.SeedView(q.dirSeed)
+	}
+	if len(h.stash) > 0 {
+		for _, obj := range h.stash {
+			h.cp.AddObject(obj)
+		}
+		h.stash = nil
+	}
+	if !h.accounted {
+		s.mets.PeerJoined(now)
+		h.accounted = true
+	}
+	s.stats.Joins++
+	s.trace(trace.Joined, q.ID, h.addr, q.handlerDir,
+		fmt.Sprintf("content-overlay(%s,%d)", q.Site, q.OriginLoc))
+	s.startContentPeerTickers(h)
+}
+
+// dirViewSeed builds the view seed a directory hands to a client it admits
+// but cannot have served locally: random index members, ages included,
+// summaries absent (§4.2).
+func (s *System) dirViewSeed(h *host, exclude simnet.NodeID) []gossip.Entry {
+	members := h.dir.Members()
+	s.rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+	var seed []gossip.Entry
+	for _, m := range members {
+		if m == exclude {
+			continue
+		}
+		seed = append(seed, gossip.Entry{Node: m, Age: 0})
+		if len(seed) >= s.cfg.Gossip.GossipLen {
+			break
+		}
+	}
+	return seed
+}

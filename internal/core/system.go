@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/dring"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/model"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/topology"
+	"flowercdn/internal/trace"
+	"flowercdn/internal/workload"
+)
+
+// Stats are system-level protocol counters (not paper metrics; used by
+// tests, examples and the CLI's diagnostics section).
+type Stats struct {
+	Joins           int // clients that became content peers
+	DirReplacements int // successful §5.2 replacements
+	DirBootstraps   int // directories re-created for orphaned localities
+	GossipRejects   int // gossip to peers that left the overlay (§5.4)
+	QueriesRetried  int // new-client queries re-submitted after entry loss
+	Prefetches      int // objects replicated proactively (§8 extension)
+}
+
+// System is one running Flower-CDN instance over a simulated network.
+type System struct {
+	cfg  Config
+	k    *simkernel.Kernel
+	net  *simnet.Network
+	topo *topology.Topology
+	mets *metrics.Collector
+
+	ks   dring.KeySpec
+	ring *chord.Ring
+
+	hosts     []*host // indexed by simnet.NodeID; nil = not part of the system
+	dirAddrs  []simnet.NodeID
+	dirByKey  map[chord.ID]simnet.NodeID
+	widBySite map[model.SiteID]uint64
+
+	servers map[model.SiteID]simnet.NodeID
+	pools   [][][]simnet.NodeID // [activeSiteIdx][loc][member]
+
+	rng *rand.Rand
+	qid uint64
+
+	tracer trace.Tracer
+	stats  Stats
+}
+
+// trace emits a protocol event when tracing is enabled.
+func (s *System) trace(kind trace.Kind, qid uint64, node, peer simnet.NodeID, detail string) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Record(trace.Event{
+		At: s.k.Now(), Kind: kind, QueryID: qid, Node: node, Peer: peer, Detail: detail,
+	})
+}
+
+// New builds and wires a Flower-CDN system. The D-ring starts converged
+// with one directory peer per (website, locality), as in §6.1
+// ("experiments start with a stable D-ring ... with an empty directory").
+func New(cfg Config, deps Deps) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if deps.Kernel == nil || deps.Topo == nil || deps.Metrics == nil {
+		return nil, fmt.Errorf("core: missing dependencies")
+	}
+	if deps.Topo.Localities() != cfg.Localities {
+		return nil, fmt.Errorf("core: topology has %d localities, config %d", deps.Topo.Localities(), cfg.Localities)
+	}
+	ks, err := dring.NewKeySpec(cfg.DRingBits, cfg.Localities, cfg.InstanceBits)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:       cfg,
+		k:         deps.Kernel,
+		net:       simnet.New(deps.Kernel, deps.Topo),
+		topo:      deps.Topo,
+		mets:      deps.Metrics,
+		ks:        ks,
+		ring:      chord.NewRing(chord.Config{Bits: cfg.DRingBits, SuccessorList: 8}),
+		hosts:     make([]*host, deps.Topo.NumNodes()),
+		dirByKey:  make(map[chord.ID]simnet.NodeID),
+		widBySite: make(map[model.SiteID]uint64),
+		servers:   make(map[model.SiteID]simnet.NodeID),
+		rng:       deps.Kernel.DeriveRNG("flower-core"),
+		tracer:    deps.Tracer,
+	}
+	s.net.SetSink(deps.Metrics)
+
+	if err := s.assignWebsiteIDs(); err != nil {
+		return nil, err
+	}
+	if err := s.placeServers(); err != nil {
+		return nil, err
+	}
+	if err := s.placeDirectoriesAndPools(); err != nil {
+		return nil, err
+	}
+	s.ring.BuildConverged()
+	s.startDirectoryTickers()
+	if cfg.MaintenancePeriod > 0 {
+		s.startMaintenance(cfg.MaintenancePeriod)
+	}
+	return s, nil
+}
+
+// assignWebsiteIDs hashes every site into the website-ID subspace,
+// linearly probing past the rare collisions so each website owns a
+// distinct consecutive block of directory keys.
+func (s *System) assignWebsiteIDs() error {
+	used := map[uint64]bool{}
+	max := uint64(1)<<s.ks.WebsiteBits() - 1
+	if uint64(s.cfg.Websites) > max {
+		return fmt.Errorf("core: %d websites exceed website-ID space", s.cfg.Websites)
+	}
+	for _, site := range s.cfg.Sites {
+		wid := s.ks.WebsiteID(site)
+		for used[wid] {
+			wid = (wid + 1) & max
+		}
+		used[wid] = true
+		s.widBySite[site] = wid
+	}
+	return nil
+}
+
+func (s *System) placeServers() error {
+	uniform := s.topo.UniformNodes()
+	if len(uniform) < s.cfg.Websites {
+		return fmt.Errorf("core: %d uniform nodes cannot host %d origin servers", len(uniform), s.cfg.Websites)
+	}
+	for i, site := range s.cfg.Sites {
+		addr := uniform[i]
+		s.servers[site] = addr
+		h := &host{sys: s, addr: addr, loc: s.topo.LocalityOf(addr), serverSite: site, isServer: true}
+		s.hosts[addr] = h
+		s.net.Register(addr, h)
+	}
+	return nil
+}
+
+func (s *System) placeDirectoriesAndPools() error {
+	// Per-locality node cursors, skipping nodes already used as servers.
+	cursors := make([][]simnet.NodeID, s.cfg.Localities)
+	for loc := 0; loc < s.cfg.Localities; loc++ {
+		for _, n := range s.topo.NodesInLocality(loc) {
+			if s.hosts[n] == nil {
+				cursors[loc] = append(cursors[loc], n)
+			}
+		}
+	}
+	next := func(loc int) (simnet.NodeID, error) {
+		if len(cursors[loc]) == 0 {
+			return 0, fmt.Errorf("core: locality %d exhausted; enlarge topology MinCount", loc)
+		}
+		n := cursors[loc][0]
+		cursors[loc] = cursors[loc][1:]
+		return n, nil
+	}
+
+	// One directory peer per (website, locality), in every locality.
+	active := map[model.SiteID]bool{}
+	for _, site := range s.cfg.ActiveSiteIDs() {
+		active[site] = true
+	}
+	// With InstanceBits > 0 (§5.3 scale-up), several directory peers per
+	// (website, locality) join D-ring consecutively, each managing its own
+	// content overlay.
+	for _, site := range s.cfg.Sites {
+		wid := s.widBySite[site]
+		for loc := 0; loc < s.cfg.Localities; loc++ {
+			for inst := 0; inst < s.ks.Instances(); inst++ {
+				addr, err := next(loc)
+				if err != nil {
+					return err
+				}
+				key := s.ks.KeyForWebsiteID(wid, loc, inst)
+				node, err := s.ring.AddNode(key, addr)
+				if err != nil {
+					return fmt.Errorf("core: directory key collision for %s/%d: %w", site, loc, err)
+				}
+				h := &host{sys: s, addr: addr, loc: loc, dirNode: node}
+				h.dir = dring.NewDirectory(site, wid, loc, key,
+					s.cfg.MaxOverlaySize, s.cfg.ObjectsPerSite, s.cfg.DirSummaryThreshold)
+				if active[site] {
+					// Active-site directories are accounted participants from t=0.
+					h.accounted = true
+					s.mets.PeerJoined(s.k.Now())
+				}
+				s.hosts[addr] = h
+				s.net.Register(addr, h)
+				s.dirAddrs = append(s.dirAddrs, addr)
+				s.dirByKey[key] = addr
+			}
+		}
+	}
+	// Per-(active site, locality) client pools.
+	actives := s.cfg.ActiveSiteIDs()
+	s.pools = make([][][]simnet.NodeID, len(actives))
+	for si := range actives {
+		s.pools[si] = make([][]simnet.NodeID, s.cfg.Localities)
+		for loc := 0; loc < s.cfg.Localities; loc++ {
+			for m := 0; m < s.cfg.PoolSizes[si][loc]; m++ {
+				addr, err := next(loc)
+				if err != nil {
+					return err
+				}
+				h := &host{sys: s, addr: addr, loc: loc}
+				s.hosts[addr] = h
+				s.net.Register(addr, h)
+				s.pools[si][loc] = append(s.pools[si][loc], addr)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) startDirectoryTickers() {
+	for _, addr := range s.dirAddrs {
+		h := s.hosts[addr]
+		offset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TGossip)))
+		h.dirTicker = s.k.Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
+		s.startReplicationTicker(h)
+	}
+}
+
+// startMaintenance launches Chord stabilization across D-ring members
+// (needed only under churn; a static ring stays converged).
+func (s *System) startMaintenance(period simkernel.Time) {
+	for _, addr := range s.dirAddrs {
+		h := s.hosts[addr]
+		offset := simkernel.Time(s.rng.Int63n(int64(period)))
+		h.stabTicker = s.k.Every(offset, period, func() { s.maintainNode(h) })
+	}
+}
+
+func (s *System) maintainNode(h *host) {
+	if h.dirNode == nil || !h.dirNode.Up() || !s.net.Alive(h.addr) {
+		return
+	}
+	h.dirNode.CheckPredecessor()
+	h.dirNode.Stabilize()
+	for i := 0; i < 3; i++ {
+		h.dirNode.FixNextFinger()
+	}
+	// Nominal control traffic for the round (stabilize + notify + finger
+	// lookups); not part of the paper's background metric.
+	if succ := h.dirNode.Successor(); succ != nil && succ != h.dirNode {
+		s.mets.RecordMessage(s.k.Now(), h.addr, succ.Addr(), simnet.CatMaintenance, 120)
+	}
+}
+
+// --- Accessors ------------------------------------------------------------
+
+// Kernel returns the driving event kernel.
+func (s *System) Kernel() *simkernel.Kernel { return s.k }
+
+// Network returns the simulated network.
+func (s *System) Network() *simnet.Network { return s.net }
+
+// Ring returns the D-ring Chord instance.
+func (s *System) Ring() *chord.Ring { return s.ring }
+
+// KeySpec returns the D-ring key layout.
+func (s *System) KeySpec() dring.KeySpec { return s.ks }
+
+// Config returns the system configuration (value copy).
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns protocol counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// ServerOf returns the origin server node of a site.
+func (s *System) ServerOf(site model.SiteID) simnet.NodeID { return s.servers[site] }
+
+// PoolNode maps a workload (siteIdx, locality, member) triple to its node.
+func (s *System) PoolNode(siteIdx, loc, member int) simnet.NodeID {
+	return s.pools[siteIdx][loc][member]
+}
+
+// PoolSize returns the number of potential clients for (siteIdx, loc).
+func (s *System) PoolSize(siteIdx, loc int) int { return len(s.pools[siteIdx][loc]) }
+
+// DirectoryAddr returns the current address of d(site,loc), or false if the
+// position is empty/dead.
+func (s *System) DirectoryAddr(site model.SiteID, loc int) (simnet.NodeID, bool) {
+	key := s.ks.KeyForWebsiteID(s.widBySite[site], loc, 0)
+	n := s.ring.Lookup(key)
+	if n == nil || !n.Up() {
+		return 0, false
+	}
+	return n.Addr(), true
+}
+
+// DirectoryIndexSize returns the number of content peers indexed by
+// d(site,loc); 0 if the directory is missing.
+func (s *System) DirectoryIndexSize(site model.SiteID, loc int) int {
+	addr, ok := s.DirectoryAddr(site, loc)
+	if !ok {
+		return 0
+	}
+	if h := s.hosts[addr]; h != nil && h.dir != nil {
+		return h.dir.Size()
+	}
+	return 0
+}
+
+// OverlaySize counts live joined content peers of (siteIdx, loc).
+func (s *System) OverlaySize(siteIdx, loc int) int {
+	n := 0
+	for _, addr := range s.pools[siteIdx][loc] {
+		h := s.hosts[addr]
+		if h != nil && h.cp != nil && s.net.Alive(addr) {
+			n++
+		}
+	}
+	return n
+}
+
+// Joined reports whether the node has become a content peer.
+func (s *System) Joined(addr simnet.NodeID) bool {
+	h := s.hosts[addr]
+	return h != nil && h.cp != nil
+}
+
+// JoinedCount counts content peers across all overlays.
+func (s *System) JoinedCount() int {
+	n := 0
+	for si := range s.pools {
+		for loc := range s.pools[si] {
+			n += s.OverlaySize(si, loc)
+		}
+	}
+	return n
+}
+
+// host exposes internals to white-box tests within the package.
+func (s *System) host(addr simnet.NodeID) *host { return s.hosts[addr] }
+
+// Submit injects one workload query into the system at the current
+// simulated time. Queries from dead clients are silently skipped.
+func (s *System) Submit(wq workload.Query) {
+	origin := s.PoolNode(wq.SiteIdx, wq.Locality, wq.Member)
+	h := s.hosts[origin]
+	if h == nil || !s.net.Alive(origin) {
+		return
+	}
+	s.qid++
+	q := &Query{
+		ID:        s.qid,
+		Origin:    origin,
+		OriginLoc: h.overlayLocality(),
+		SiteIdx:   wq.SiteIdx,
+		Site:      wq.Site,
+		Object:    wq.Object,
+		Obj:       wq.Object.Key(),
+		Start:     s.k.Now(),
+		NewClient: h.cp == nil,
+		triedDirs: make(map[chord.ID]bool),
+	}
+	if h.cp != nil {
+		s.trace(trace.QuerySubmitted, q.ID, origin, -1, "member "+q.Obj)
+		s.startContentPeerQuery(h, q)
+	} else {
+		s.trace(trace.QuerySubmitted, q.ID, origin, -1, "new-client "+q.Obj)
+		s.startNewClientQuery(h, q)
+	}
+}

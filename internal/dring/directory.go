@@ -1,0 +1,424 @@
+package dring
+
+import (
+	"sort"
+
+	"flowercdn/internal/bloom"
+	"flowercdn/internal/chord"
+	"flowercdn/internal/model"
+	"flowercdn/internal/simnet"
+)
+
+// IndexEntry is one row of the directory index (§3.3): a content peer, the
+// age of the information, and the identifiers of the objects it holds.
+type IndexEntry struct {
+	Node    simnet.NodeID
+	Age     int
+	Objects map[string]struct{}
+}
+
+// objectKeys returns the entry's objects sorted (deterministic iteration).
+func (e *IndexEntry) objectKeys() []string {
+	out := make([]string, 0, len(e.Objects))
+	for k := range e.Objects {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NeighborSummary is a directory summary received from another directory
+// peer of the same website (§3.3), identified by its D-ring ID.
+type NeighborSummary struct {
+	DirID    chord.ID
+	Locality int
+	Filter   *bloom.Filter
+}
+
+// Directory is the state of one directory peer d(ws,loc): the complete
+// view of its content overlay plus the summaries of its D-ring neighbours.
+// It contains no networking; the core system drives it with events and
+// messages.
+type Directory struct {
+	site      model.SiteID
+	websiteID uint64
+	loc       int
+	key       chord.ID
+
+	maxOverlay int // S_co: directory refuses new members beyond this
+
+	index   map[simnet.NodeID]*IndexEntry
+	holders map[string]map[simnet.NodeID]struct{} // object → holders (inverse index)
+
+	neighbors []NeighborSummary // sorted by DirID
+
+	// Directory-summary publication bookkeeping (§4.2.1: delayed
+	// propagation on a threshold of new object identifiers).
+	summaryThreshold float64
+	objectsAtPublish int
+	knownObjects     map[string]struct{} // every object id ever indexed (grow-only per epoch)
+	newSincePublish  int
+	published        bool
+
+	summaryCapacity int // Bloom sizing: nb-ob
+
+	// Popularity counters for the active-replication extension (§8
+	// future work: "pushing popular contents from some content overlay
+	// towards other overlays of the same website").
+	popularity map[string]int64
+}
+
+// NewDirectory creates an empty directory peer state.
+func NewDirectory(site model.SiteID, websiteID uint64, loc int, key chord.ID,
+	maxOverlay int, summaryCapacity int, summaryThreshold float64) *Directory {
+	return &Directory{
+		site:             site,
+		websiteID:        websiteID,
+		loc:              loc,
+		key:              key,
+		maxOverlay:       maxOverlay,
+		index:            make(map[simnet.NodeID]*IndexEntry),
+		holders:          make(map[string]map[simnet.NodeID]struct{}),
+		knownObjects:     make(map[string]struct{}),
+		summaryThreshold: summaryThreshold,
+		summaryCapacity:  summaryCapacity,
+		popularity:       make(map[string]int64),
+	}
+}
+
+// Site returns the website this directory serves.
+func (d *Directory) Site() model.SiteID { return d.site }
+
+// WebsiteID returns the hashed website identifier.
+func (d *Directory) WebsiteID() uint64 { return d.websiteID }
+
+// Locality returns the covered locality.
+func (d *Directory) Locality() int { return d.loc }
+
+// Key returns the D-ring identifier.
+func (d *Directory) Key() chord.ID { return d.key }
+
+// Size returns the number of indexed content peers.
+func (d *Directory) Size() int { return len(d.index) }
+
+// Full reports whether the content overlay reached S_co (§6.1: "when a
+// content overlay reaches its maximum size, no new clients may join").
+func (d *Directory) Full() bool { return d.maxOverlay > 0 && len(d.index) >= d.maxOverlay }
+
+// HasPeer reports whether node is indexed.
+func (d *Directory) HasPeer(node simnet.NodeID) bool {
+	_, ok := d.index[node]
+	return ok
+}
+
+// Members returns the indexed content peers in ascending node order.
+func (d *Directory) Members() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(d.index))
+	for n := range d.index {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (d *Directory) entry(node simnet.NodeID) *IndexEntry {
+	e, ok := d.index[node]
+	if !ok {
+		e = &IndexEntry{Node: node, Objects: make(map[string]struct{})}
+		d.index[node] = e
+	}
+	return e
+}
+
+func (d *Directory) addObject(node simnet.NodeID, obj string) {
+	e := d.entry(node)
+	if _, dup := e.Objects[obj]; dup {
+		return
+	}
+	e.Objects[obj] = struct{}{}
+	hs, ok := d.holders[obj]
+	if !ok {
+		hs = make(map[simnet.NodeID]struct{})
+		d.holders[obj] = hs
+	}
+	hs[node] = struct{}{}
+	if _, known := d.knownObjects[obj]; !known {
+		d.knownObjects[obj] = struct{}{}
+		d.newSincePublish++
+	}
+}
+
+func (d *Directory) dropObject(node simnet.NodeID, obj string) {
+	e, ok := d.index[node]
+	if !ok {
+		return
+	}
+	if _, has := e.Objects[obj]; !has {
+		return
+	}
+	delete(e.Objects, obj)
+	if hs, ok := d.holders[obj]; ok {
+		delete(hs, node)
+		if len(hs) == 0 {
+			delete(d.holders, obj)
+		}
+	}
+}
+
+// AddOptimistic records a freshly served client with its requested object
+// at age zero (§3.4: "dws,loc optimistically adds a new entry in its
+// directory index"). It reports whether the peer is (now) a member; false
+// means the overlay is full and the client was not admitted.
+func (d *Directory) AddOptimistic(node simnet.NodeID, obj string) bool {
+	if _, member := d.index[node]; !member && d.Full() {
+		return false
+	}
+	d.addObject(node, obj)
+	d.index[node].Age = 0
+	return true
+}
+
+// ApplyPush ingests a ∆list push (Algorithm 6): added/removed object
+// identifiers from a content peer, resetting the entry age. Unknown peers
+// are admitted if capacity allows (this is how a replacement directory
+// rebuilds its index from pushes, §5.2); the return value reports whether
+// the push was accepted.
+func (d *Directory) ApplyPush(node simnet.NodeID, added, removed []string) bool {
+	if _, member := d.index[node]; !member && d.Full() {
+		return false
+	}
+	for _, obj := range added {
+		d.addObject(node, obj)
+	}
+	for _, obj := range removed {
+		d.dropObject(node, obj)
+	}
+	d.entry(node).Age = 0
+	return true
+}
+
+// Keepalive resets a member's age (§5.1); unknown nodes are ignored.
+func (d *Directory) Keepalive(node simnet.NodeID) {
+	if e, ok := d.index[node]; ok {
+		e.Age = 0
+	}
+}
+
+// RemovePeer drops a member and its holdings (dead peer or redirection
+// failure, §5.1).
+func (d *Directory) RemovePeer(node simnet.NodeID) {
+	e, ok := d.index[node]
+	if !ok {
+		return
+	}
+	for obj := range e.Objects {
+		if hs, ok := d.holders[obj]; ok {
+			delete(hs, node)
+			if len(hs) == 0 {
+				delete(d.holders, obj)
+			}
+		}
+	}
+	delete(d.index, node)
+}
+
+// TickAges ages every index entry by one period (Algorithm 6's active
+// behaviour).
+func (d *Directory) TickAges() {
+	for _, e := range d.index {
+		e.Age++
+	}
+}
+
+// EvictOlderThan removes entries whose age reached ageLimit (T_dead) and
+// returns them.
+func (d *Directory) EvictOlderThan(ageLimit int) []simnet.NodeID {
+	var evicted []simnet.NodeID
+	for node, e := range d.index {
+		if e.Age >= ageLimit {
+			evicted = append(evicted, node)
+		}
+	}
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
+	for _, node := range evicted {
+		d.RemovePeer(node)
+	}
+	return evicted
+}
+
+// Holders returns the indexed peers holding obj, ascending (the caller
+// picks one, typically at random, to spread load — §4.1).
+func (d *Directory) Holders(obj string) []simnet.NodeID {
+	hs, ok := d.holders[obj]
+	if !ok {
+		return nil
+	}
+	out := make([]simnet.NodeID, 0, len(hs))
+	for n := range hs {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ObjectCount returns the number of distinct objects currently indexed.
+func (d *Directory) ObjectCount() int { return len(d.holders) }
+
+// --- Popularity tracking (active replication, §8) ------------------------
+
+// NoteRequest counts one query for obj processed by this directory; the
+// counters rank objects for active replication toward sibling overlays.
+func (d *Directory) NoteRequest(obj string) { d.popularity[obj]++ }
+
+// Popularity returns the request count recorded for obj.
+func (d *Directory) Popularity(obj string) int64 { return d.popularity[obj] }
+
+// TopObjects returns up to k locally-held objects by descending request
+// count (ties broken lexicographically). Objects with no live holder are
+// skipped — replication offers must name a source.
+func (d *Directory) TopObjects(k int) []string {
+	type po struct {
+		obj   string
+		count int64
+	}
+	var list []po
+	for obj, count := range d.popularity {
+		if len(d.holders[obj]) == 0 {
+			continue
+		}
+		list = append(list, po{obj, count})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].count != list[j].count {
+			return list[i].count > list[j].count
+		}
+		return list[i].obj < list[j].obj
+	})
+	if len(list) > k {
+		list = list[:k]
+	}
+	out := make([]string, len(list))
+	for i, e := range list {
+		out[i] = e.obj
+	}
+	return out
+}
+
+// --- Directory summaries (§3.3, §4.2.1) ---------------------------------
+
+// UpdateNeighborSummary stores (or refreshes) the summary received from a
+// directory peer of the same website.
+func (d *Directory) UpdateNeighborSummary(dirID chord.ID, locality int, filter *bloom.Filter) {
+	for i := range d.neighbors {
+		if d.neighbors[i].DirID == dirID {
+			d.neighbors[i].Locality = locality
+			d.neighbors[i].Filter = filter
+			return
+		}
+	}
+	d.neighbors = append(d.neighbors, NeighborSummary{DirID: dirID, Locality: locality, Filter: filter})
+	sort.Slice(d.neighbors, func(i, j int) bool { return d.neighbors[i].DirID < d.neighbors[j].DirID })
+}
+
+// RemoveNeighborSummary forgets a neighbour (departed directory).
+func (d *Directory) RemoveNeighborSummary(dirID chord.ID) {
+	out := d.neighbors[:0]
+	for _, ns := range d.neighbors {
+		if ns.DirID != dirID {
+			out = append(out, ns)
+		}
+	}
+	d.neighbors = out
+}
+
+// NeighborSummaries returns the stored summaries (sorted by directory ID).
+func (d *Directory) NeighborSummaries() []NeighborSummary {
+	out := make([]NeighborSummary, len(d.neighbors))
+	copy(out, d.neighbors)
+	return out
+}
+
+// NeighborsWithObject returns the directory IDs whose summary tests
+// positive for obj (Algorithm 3's directory-summaries lookup), in
+// ascending ID order.
+func (d *Directory) NeighborsWithObject(obj string) []chord.ID {
+	var out []chord.ID
+	for _, ns := range d.neighbors {
+		if ns.Filter != nil && ns.Filter.Test(obj) {
+			out = append(out, ns.DirID)
+		}
+	}
+	return out
+}
+
+// BuildSummary produces the Bloom summary of the directory index (the
+// summary sent to neighbouring directory peers).
+func (d *Directory) BuildSummary() *bloom.Filter {
+	f := bloom.NewForCapacity(d.summaryCapacity)
+	objs := make([]string, 0, len(d.holders))
+	for obj := range d.holders {
+		objs = append(objs, obj)
+	}
+	sort.Strings(objs)
+	for _, obj := range objs {
+		f.Add(obj)
+	}
+	return f
+}
+
+// ShouldPublishSummary implements the delayed propagation rule of §4.2.1:
+// publish when the fraction of object identifiers not yet reflected in the
+// last published summary reaches the threshold (or on the first objects).
+func (d *Directory) ShouldPublishSummary() bool {
+	if len(d.knownObjects) == 0 {
+		return false
+	}
+	if !d.published {
+		return true
+	}
+	base := d.objectsAtPublish
+	if base < 1 {
+		base = 1
+	}
+	return float64(d.newSincePublish)/float64(base) >= d.summaryThreshold
+}
+
+// MarkSummaryPublished resets the publication counters.
+func (d *Directory) MarkSummaryPublished() {
+	d.published = true
+	d.objectsAtPublish = len(d.knownObjects)
+	d.newSincePublish = 0
+}
+
+// --- Directory transfer (§5.2 voluntary leave) --------------------------
+
+// ExportEntries snapshots the index for transfer to a replacement
+// directory peer.
+func (d *Directory) ExportEntries() []IndexEntry {
+	out := make([]IndexEntry, 0, len(d.index))
+	for _, node := range d.Members() {
+		e := d.index[node]
+		cp := IndexEntry{Node: e.Node, Age: e.Age, Objects: make(map[string]struct{}, len(e.Objects))}
+		for o := range e.Objects {
+			cp.Objects[o] = struct{}{}
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// ImportEntries loads a transferred index (replacing any current content).
+func (d *Directory) ImportEntries(entries []IndexEntry) {
+	d.index = make(map[simnet.NodeID]*IndexEntry, len(entries))
+	d.holders = make(map[string]map[simnet.NodeID]struct{})
+	for _, e := range entries {
+		for _, obj := range e.objectKeys() {
+			d.addObject(e.Node, obj)
+		}
+		d.entry(e.Node).Age = e.Age
+	}
+}
+
+// DropMember is RemovePeer plus neighbour bookkeeping hook; kept separate
+// for symmetry with the paper's redirection-failure handling.
+func (d *Directory) DropMember(node simnet.NodeID) { d.RemovePeer(node) }

@@ -1,0 +1,344 @@
+package dring
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"flowercdn/internal/bloom"
+	"flowercdn/internal/model"
+	"flowercdn/internal/simnet"
+)
+
+func newDir() *Directory {
+	ks, _ := NewKeySpec(30, 6, 0)
+	site := model.SiteID("ws-001")
+	return NewDirectory(site, ks.WebsiteID(site), 1, ks.Key(site, 1), 100, 500, 0.1)
+}
+
+func TestAddOptimisticAndHolders(t *testing.T) {
+	d := newDir()
+	if !d.AddOptimistic(10, "ws-001/obj-00001") {
+		t.Fatal("admission failed")
+	}
+	if !d.AddOptimistic(11, "ws-001/obj-00001") {
+		t.Fatal("admission failed")
+	}
+	hs := d.Holders("ws-001/obj-00001")
+	if len(hs) != 2 || hs[0] != 10 || hs[1] != 11 {
+		t.Fatalf("holders = %v", hs)
+	}
+	if d.Size() != 2 || d.ObjectCount() != 1 {
+		t.Fatalf("size=%d objects=%d", d.Size(), d.ObjectCount())
+	}
+	if !d.HasPeer(10) || d.HasPeer(99) {
+		t.Fatal("HasPeer wrong")
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	ks, _ := NewKeySpec(30, 6, 0)
+	d := NewDirectory("ws-002", ks.WebsiteID("ws-002"), 0, ks.Key("ws-002", 0), 3, 100, 0.1)
+	for i := 0; i < 3; i++ {
+		if !d.AddOptimistic(simnet.NodeID(i), "o1") {
+			t.Fatal("admission failed below capacity")
+		}
+	}
+	if !d.Full() {
+		t.Fatal("directory should be full")
+	}
+	if d.AddOptimistic(99, "o1") {
+		t.Fatal("admitted beyond S_co")
+	}
+	// Existing members may still update.
+	if !d.AddOptimistic(1, "o2") {
+		t.Fatal("existing member update refused")
+	}
+	if d.ApplyPush(98, []string{"o3"}, nil) {
+		t.Fatal("push from stranger admitted beyond S_co")
+	}
+}
+
+func TestApplyPushDelta(t *testing.T) {
+	d := newDir()
+	if !d.ApplyPush(5, []string{"a", "b"}, nil) {
+		t.Fatal("push refused")
+	}
+	d.TickAges()
+	if !d.ApplyPush(5, []string{"c"}, []string{"a"}) {
+		t.Fatal("push refused")
+	}
+	if got := d.Holders("a"); len(got) != 0 {
+		t.Fatalf("removed object still held: %v", got)
+	}
+	if got := d.Holders("c"); len(got) != 1 {
+		t.Fatalf("added object missing: %v", got)
+	}
+	// Push resets age to 0; a subsequent eviction pass at limit 1 keeps it.
+	if evicted := d.EvictOlderThan(1); len(evicted) != 0 {
+		t.Fatalf("fresh entry evicted: %v", evicted)
+	}
+}
+
+func TestAgingAndEviction(t *testing.T) {
+	d := newDir()
+	d.AddOptimistic(1, "x")
+	d.AddOptimistic(2, "x")
+	d.TickAges()
+	d.TickAges()
+	d.Keepalive(2) // age back to 0
+	d.TickAges()
+	evicted := d.EvictOlderThan(3)
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted = %v, want [1]", evicted)
+	}
+	if d.HasPeer(1) || !d.HasPeer(2) {
+		t.Fatal("wrong peer evicted")
+	}
+	if hs := d.Holders("x"); len(hs) != 1 || hs[0] != 2 {
+		t.Fatalf("holders after eviction = %v", hs)
+	}
+}
+
+func TestKeepaliveUnknownIgnored(t *testing.T) {
+	d := newDir()
+	d.Keepalive(42) // must not create an entry
+	if d.Size() != 0 {
+		t.Fatal("keepalive created a member")
+	}
+}
+
+func TestRemovePeerCleansHolders(t *testing.T) {
+	d := newDir()
+	d.AddOptimistic(1, "x")
+	d.AddOptimistic(1, "y")
+	d.AddOptimistic(2, "y")
+	d.RemovePeer(1)
+	if len(d.Holders("x")) != 0 {
+		t.Fatal("x still held after removal")
+	}
+	if len(d.Holders("y")) != 1 {
+		t.Fatal("y holders wrong after removal")
+	}
+	if d.ObjectCount() != 1 {
+		t.Fatalf("object count = %d, want 1", d.ObjectCount())
+	}
+}
+
+func TestNeighborSummaries(t *testing.T) {
+	d := newDir()
+	f1 := bloomWith("p", "q")
+	f2 := bloomWith("r")
+	d.UpdateNeighborSummary(100, 0, f1)
+	d.UpdateNeighborSummary(50, 2, f2)
+	ns := d.NeighborSummaries()
+	if len(ns) != 2 || ns[0].DirID != 50 || ns[1].DirID != 100 {
+		t.Fatalf("summaries not sorted: %+v", ns)
+	}
+	if got := d.NeighborsWithObject("q"); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("NeighborsWithObject = %v", got)
+	}
+	if got := d.NeighborsWithObject("zz-absent"); len(got) != 0 {
+		t.Logf("bloom false positive (tolerable): %v", got)
+	}
+	// Refresh replaces in place.
+	d.UpdateNeighborSummary(100, 0, bloomWith("z"))
+	if got := d.NeighborsWithObject("q"); len(got) != 0 {
+		t.Fatal("stale summary survived refresh")
+	}
+	d.RemoveNeighborSummary(50)
+	if len(d.NeighborSummaries()) != 1 {
+		t.Fatal("RemoveNeighborSummary failed")
+	}
+}
+
+func bloomWith(keys ...string) *bloom.Filter {
+	f := bloom.NewForCapacity(50)
+	for _, k := range keys {
+		f.Add(k)
+	}
+	return f
+}
+
+func TestSummaryPublicationThreshold(t *testing.T) {
+	d := newDir()
+	if d.ShouldPublishSummary() {
+		t.Fatal("empty directory should not publish")
+	}
+	d.AddOptimistic(1, "o1")
+	if !d.ShouldPublishSummary() {
+		t.Fatal("first object should trigger publication")
+	}
+	d.MarkSummaryPublished()
+	if d.ShouldPublishSummary() {
+		t.Fatal("nothing new since publication")
+	}
+	// Threshold is 0.1: with 1 object at publish, a single new object is
+	// 100% new ⇒ publish.
+	d.AddOptimistic(1, "o2")
+	if !d.ShouldPublishSummary() {
+		t.Fatal("100% new objects should trigger")
+	}
+	d.MarkSummaryPublished()
+	// Now 2 at publish; 10% of 2 = 0.2 ⇒ one new object (ratio 0.5) triggers.
+	d.AddOptimistic(2, "o1") // duplicate object: no new identifier
+	if d.ShouldPublishSummary() {
+		t.Fatal("duplicate object must not count as new")
+	}
+}
+
+func TestBuildSummaryCoversIndex(t *testing.T) {
+	d := newDir()
+	for i := 0; i < 50; i++ {
+		d.AddOptimistic(simnet.NodeID(i%5), objKey(i))
+	}
+	f := d.BuildSummary()
+	for i := 0; i < 50; i++ {
+		if !f.Test(objKey(i)) {
+			t.Fatalf("summary missing %s", objKey(i))
+		}
+	}
+}
+
+func objKey(i int) string { return fmt.Sprintf("ws-001/obj-%05d", i) }
+
+func TestExportImportEntries(t *testing.T) {
+	d := newDir()
+	d.AddOptimistic(1, "a")
+	d.AddOptimistic(2, "b")
+	d.TickAges()
+	d.AddOptimistic(3, "a")
+	entries := d.ExportEntries()
+	if len(entries) != 3 {
+		t.Fatalf("exported %d entries", len(entries))
+	}
+	d2 := newDir()
+	d2.ImportEntries(entries)
+	if d2.Size() != 3 || d2.ObjectCount() != 2 {
+		t.Fatalf("import size=%d objects=%d", d2.Size(), d2.ObjectCount())
+	}
+	if hs := d2.Holders("a"); len(hs) != 2 {
+		t.Fatalf("imported holders = %v", hs)
+	}
+	// Ages preserved.
+	found := false
+	for _, e := range d2.ExportEntries() {
+		if e.Node == 1 && e.Age == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ages not preserved through export/import")
+	}
+}
+
+// Property: holders inverse index is always consistent with the entries.
+func TestQuickHoldersConsistency(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		d := newDir()
+		for _, op := range ops {
+			node := simnet.NodeID(op % 7)
+			obj := objKey(int(op/7) % 9)
+			switch op % 3 {
+			case 0:
+				d.AddOptimistic(node, obj)
+			case 1:
+				d.ApplyPush(node, []string{obj}, nil)
+			case 2:
+				d.RemovePeer(node)
+			}
+		}
+		// Verify: every entry object appears in holders and vice versa.
+		for _, e := range d.ExportEntries() {
+			for obj := range e.Objects {
+				ok := false
+				for _, h := range d.Holders(obj) {
+					if h == e.Node {
+						ok = true
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		for i := 0; i < 9; i++ {
+			for _, h := range d.Holders(objKey(i)) {
+				if !d.HasPeer(h) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	d := newDir()
+	for _, n := range []simnet.NodeID{9, 3, 7, 1} {
+		d.AddOptimistic(n, "o")
+	}
+	m := d.Members()
+	for i := 1; i < len(m); i++ {
+		if m[i] <= m[i-1] {
+			t.Fatalf("members not sorted: %v", m)
+		}
+	}
+}
+
+func TestPopularityTracking(t *testing.T) {
+	d := newDir()
+	d.AddOptimistic(1, "a")
+	d.AddOptimistic(2, "b")
+	for i := 0; i < 5; i++ {
+		d.NoteRequest("a")
+	}
+	d.NoteRequest("b")
+	d.NoteRequest("c") // requested but never held
+	if d.Popularity("a") != 5 || d.Popularity("b") != 1 {
+		t.Fatalf("popularity wrong: a=%d b=%d", d.Popularity("a"), d.Popularity("b"))
+	}
+	top := d.TopObjects(10)
+	if len(top) != 2 || top[0] != "a" || top[1] != "b" {
+		t.Fatalf("TopObjects = %v (holder-less objects must be skipped)", top)
+	}
+	if got := d.TopObjects(1); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("TopObjects(1) = %v", got)
+	}
+}
+
+func TestTopObjectsTieBreak(t *testing.T) {
+	d := newDir()
+	d.AddOptimistic(1, "x")
+	d.AddOptimistic(1, "y")
+	d.NoteRequest("x")
+	d.NoteRequest("y") // equal counts → lexicographic order
+	top := d.TopObjects(2)
+	if len(top) != 2 || top[0] != "x" || top[1] != "y" {
+		t.Fatalf("tie break wrong: %v", top)
+	}
+}
+
+func TestTopObjectsDropsEvictedHolders(t *testing.T) {
+	d := newDir()
+	d.AddOptimistic(1, "a")
+	d.NoteRequest("a")
+	d.RemovePeer(1)
+	if got := d.TopObjects(5); len(got) != 0 {
+		t.Fatalf("object without holders offered for replication: %v", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := newDir()
+	if d.Site() != "ws-001" || d.Locality() != 1 {
+		t.Fatal("accessors wrong")
+	}
+	ks, _ := NewKeySpec(30, 6, 0)
+	if d.Key() != ks.Key("ws-001", 1) || d.WebsiteID() != ks.WebsiteID("ws-001") {
+		t.Fatal("key accessors wrong")
+	}
+}

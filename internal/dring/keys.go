@@ -1,0 +1,124 @@
+// Package dring implements the paper's primary contribution on the
+// structured side: the D-ring directory overlay (§3).
+//
+//   - keys.go: the locality- and interest-aware peer-ID layout of §3.1
+//     (Figure 2): an m-bit identifier whose high bits identify the website
+//     and whose low bits identify the locality, so the *search key* for
+//     (website, locality) is exactly the directory peer's ID. An optional
+//     low-order instance field implements the §5.3 scale-up extension
+//     (several directory peers per (website, locality)).
+//   - routing.go: the modified key-based routing of Algorithm 2, which adds
+//     a conditional local lookup to the standard DHT step so queries stay
+//     with directory peers of the right website.
+//   - directory.go: the directory peer state of §3.3 — the directory index
+//     (complete view of the content overlay) and the Bloom directory
+//     summaries of neighbouring directory peers — plus the passive push
+//     handling of Algorithm 6 and the query-processing decisions of
+//     Algorithm 3.
+package dring
+
+import (
+	"fmt"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/model"
+)
+
+// KeySpec describes the D-ring peer-ID structure (Figure 2). Total width is
+// Space.Bits = websiteBits + LocalityBits + InstanceBits, laid out as
+//
+//	[ website ID | locality ID | instance ]
+//
+// with the website in the highest bits so that directory peers of the same
+// website occupy consecutive identifiers (they are "neighbors on D-ring").
+type KeySpec struct {
+	Space        chord.Space
+	LocalityBits uint // m1: 2^m1 ≥ k localities
+	InstanceBits uint // b: extra bits for the §5.3 scale-up (0 = basic scheme)
+}
+
+// NewKeySpec validates the layout. localities is the number k the system
+// must address.
+func NewKeySpec(totalBits uint, localities int, instanceBits uint) (KeySpec, error) {
+	if localities <= 0 {
+		return KeySpec{}, fmt.Errorf("dring: need at least one locality")
+	}
+	locBits := uint(0)
+	for 1<<locBits < localities {
+		locBits++
+	}
+	if totalBits <= locBits+instanceBits {
+		return KeySpec{}, fmt.Errorf("dring: %d bits cannot hold %d locality bits + %d instance bits + a website id",
+			totalBits, locBits, instanceBits)
+	}
+	return KeySpec{
+		Space:        chord.NewSpace(totalBits),
+		LocalityBits: locBits,
+		InstanceBits: instanceBits,
+	}, nil
+}
+
+// WebsiteBits returns m2 = m - m1 - b.
+func (ks KeySpec) WebsiteBits() uint {
+	return ks.Space.Bits - ks.LocalityBits - ks.InstanceBits
+}
+
+// LocalitySlots returns 2^m1.
+func (ks KeySpec) LocalitySlots() int { return 1 << ks.LocalityBits }
+
+// Instances returns 2^b, the directory peers allowed per (website,
+// locality).
+func (ks KeySpec) Instances() int { return 1 << ks.InstanceBits }
+
+// WebsiteID hashes a website into the m2-bit website-ID subspace
+// (hash(url) in §3.1).
+func (ks KeySpec) WebsiteID(site model.SiteID) uint64 {
+	sub := chord.NewSpace(ks.WebsiteBits())
+	return uint64(sub.HashString(string(site)))
+}
+
+// Key returns the D-ring identifier (and search key) for the directory
+// peer of site in locality loc, basic scheme (instance 0).
+func (ks KeySpec) Key(site model.SiteID, loc int) chord.ID {
+	return ks.KeyInstance(site, loc, 0)
+}
+
+// KeyInstance returns the identifier for the instance'th directory peer of
+// (site, loc) under the scale-up extension.
+func (ks KeySpec) KeyInstance(site model.SiteID, loc, instance int) chord.ID {
+	return ks.KeyForWebsiteID(ks.WebsiteID(site), loc, instance)
+}
+
+// KeyForWebsiteID composes an identifier from an already-hashed website ID.
+func (ks KeySpec) KeyForWebsiteID(websiteID uint64, loc, instance int) chord.ID {
+	if loc < 0 || loc >= ks.LocalitySlots() {
+		panic(fmt.Sprintf("dring: locality %d outside %d slots", loc, ks.LocalitySlots()))
+	}
+	if instance < 0 || instance >= ks.Instances() {
+		panic(fmt.Sprintf("dring: instance %d outside %d slots", instance, ks.Instances()))
+	}
+	v := websiteID<<(ks.LocalityBits+ks.InstanceBits) |
+		uint64(loc)<<ks.InstanceBits |
+		uint64(instance)
+	return ks.Space.Wrap(v)
+}
+
+// WebsiteIDOf extracts the website field from an identifier.
+func (ks KeySpec) WebsiteIDOf(id chord.ID) uint64 {
+	return uint64(id) >> (ks.LocalityBits + ks.InstanceBits)
+}
+
+// LocalityOf extracts the locality field from an identifier.
+func (ks KeySpec) LocalityOf(id chord.ID) int {
+	return int((uint64(id) >> ks.InstanceBits) & uint64(ks.LocalitySlots()-1))
+}
+
+// InstanceOf extracts the instance field from an identifier.
+func (ks KeySpec) InstanceOf(id chord.ID) int {
+	return int(uint64(id) & uint64(ks.Instances()-1))
+}
+
+// SameWebsite reports whether two identifiers share a website field.
+func (ks KeySpec) SameWebsite(a, b chord.ID) bool {
+	return ks.WebsiteIDOf(a) == ks.WebsiteIDOf(b)
+}

@@ -1,0 +1,147 @@
+package dring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flowercdn/internal/model"
+)
+
+func TestKeySpecLayout(t *testing.T) {
+	ks, err := NewKeySpec(30, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.LocalityBits != 3 { // 2^3 = 8 ≥ 6, as in §3.1
+		t.Fatalf("locality bits = %d, want 3", ks.LocalityBits)
+	}
+	if ks.WebsiteBits() != 27 {
+		t.Fatalf("website bits = %d, want 27", ks.WebsiteBits())
+	}
+	if ks.LocalitySlots() != 8 || ks.Instances() != 1 {
+		t.Fatalf("slots wrong: %d %d", ks.LocalitySlots(), ks.Instances())
+	}
+}
+
+func TestKeySpecErrors(t *testing.T) {
+	if _, err := NewKeySpec(3, 8, 0); err == nil {
+		t.Fatal("3 bits cannot hold 8 localities + website")
+	}
+	if _, err := NewKeySpec(10, 0, 0); err == nil {
+		t.Fatal("zero localities accepted")
+	}
+	if _, err := NewKeySpec(5, 4, 4); err == nil {
+		t.Fatal("instance bits overflow accepted")
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// Figure 3: k=8 ⇒ 3 locality bits; website ID w ⇒ directory keys
+	// w*8+loc, i.e. same-website directories are consecutive IDs.
+	ks, err := NewKeySpec(7, 8, 0) // 4 website bits + 3 locality bits
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for loc := 0; loc < 8; loc++ {
+		key := ks.KeyForWebsiteID(15, loc, 0) // hash(β)=15 in the example
+		if uint64(key) != 15*8+uint64(loc) {
+			t.Fatalf("key(β,%d) = %d, want %d", loc, key, 15*8+loc)
+		}
+		if loc > 0 && uint64(key) != prev+1 {
+			t.Fatal("same-website keys must be consecutive")
+		}
+		prev = uint64(key)
+	}
+}
+
+func TestKeyFieldRoundTrip(t *testing.T) {
+	ks, _ := NewKeySpec(30, 6, 0)
+	site := model.SiteID("ws-042")
+	for loc := 0; loc < 6; loc++ {
+		key := ks.Key(site, loc)
+		if ks.LocalityOf(key) != loc {
+			t.Fatalf("locality round trip failed: %d", loc)
+		}
+		if ks.WebsiteIDOf(key) != ks.WebsiteID(site) {
+			t.Fatal("website round trip failed")
+		}
+		if ks.InstanceOf(key) != 0 {
+			t.Fatal("instance should be 0")
+		}
+	}
+}
+
+// Property: pack/unpack is the identity for every (website, locality,
+// instance) tuple, with and without instance bits.
+func TestQuickKeyRoundTrip(t *testing.T) {
+	ks0, _ := NewKeySpec(30, 6, 0)
+	ks2, _ := NewKeySpec(30, 6, 2)
+	prop := func(widRaw uint32, locRaw, instRaw uint8) bool {
+		for _, ks := range []KeySpec{ks0, ks2} {
+			wid := uint64(widRaw) & ((1 << ks.WebsiteBits()) - 1)
+			loc := int(locRaw) % ks.LocalitySlots()
+			inst := int(instRaw) % ks.Instances()
+			key := ks.KeyForWebsiteID(wid, loc, inst)
+			if ks.WebsiteIDOf(key) != wid || ks.LocalityOf(key) != loc || ks.InstanceOf(key) != inst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameWebsiteConsecutive(t *testing.T) {
+	ks, _ := NewKeySpec(30, 6, 0)
+	a := ks.Key("ws-001", 2)
+	b := ks.Key("ws-001", 3)
+	c := ks.Key("ws-002", 2)
+	if !ks.SameWebsite(a, b) {
+		t.Fatal("same website not detected")
+	}
+	if ks.SameWebsite(a, c) {
+		t.Fatal("different websites conflated")
+	}
+	if uint64(b) != uint64(a)+1 {
+		t.Fatal("adjacent localities must have consecutive keys")
+	}
+}
+
+func TestScaleUpInstances(t *testing.T) {
+	// §5.3: b extra bits ⇒ several directory peers per (website, locality),
+	// still grouped under the same website/locality prefix.
+	ks, _ := NewKeySpec(30, 6, 2)
+	if ks.Instances() != 4 {
+		t.Fatalf("instances = %d, want 4", ks.Instances())
+	}
+	base := ks.KeyInstance("ws-005", 1, 0)
+	for inst := 1; inst < 4; inst++ {
+		key := ks.KeyInstance("ws-005", 1, inst)
+		if uint64(key) != uint64(base)+uint64(inst) {
+			t.Fatal("instances must be consecutive")
+		}
+		if ks.LocalityOf(key) != 1 {
+			t.Fatal("instance bits corrupted locality")
+		}
+	}
+}
+
+func TestKeyPanicsOnBadInput(t *testing.T) {
+	ks, _ := NewKeySpec(30, 6, 0)
+	for _, fn := range []func(){
+		func() { ks.KeyForWebsiteID(1, 99, 0) },
+		func() { ks.KeyForWebsiteID(1, 0, 7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,139 @@
+package dring
+
+import (
+	"flowercdn/internal/chord"
+	"flowercdn/internal/pastry"
+)
+
+// OverlayNode is the minimal view of a structured-overlay node that
+// D-ring's modified routing needs. The paper claims D-ring "can be
+// integrated into any existing structured overlay based on a standard DHT
+// (e.g., Chord, Pastry)" (§3.1); this interface is that integration point,
+// with adapters for both of this repository's DHT substrates below.
+type OverlayNode interface {
+	// OverlayID is the node's position in the identifier space.
+	OverlayID() chord.ID
+	// Alive reports whether the node participates.
+	Alive() bool
+	// StandardStep is the underlying DHT's routing decision (Algorithm 1's
+	// local lookup): the next node toward key, or deliver=true here.
+	StandardStep(key chord.ID) (next OverlayNode, deliver bool)
+	// Known enumerates the live peers in the node's routing state
+	// (routing table, successor/leaf sets, predecessor).
+	Known() []OverlayNode
+}
+
+// NextHopAny implements Algorithm 2 over any OverlayNode (the generic form
+// of NextHop): standard local lookup first, then — if the candidate serves
+// a different website than the key — the conditional local lookup among
+// known peers with the key's website ID.
+func NextHopAny(n OverlayNode, key chord.ID, ks KeySpec) (next OverlayNode, deliver bool) {
+	cand, deliverStd := n.StandardStep(key)
+	if deliverStd {
+		cand = n
+	}
+	if !ks.SameWebsite(cand.OverlayID(), key) {
+		if alt := conditionalLookupAny(n, key, ks); alt != nil {
+			cand = alt
+		}
+	}
+	if cand.OverlayID() == n.OverlayID() {
+		return nil, true
+	}
+	return cand, false
+}
+
+func conditionalLookupAny(n OverlayNode, key chord.ID, ks KeySpec) OverlayNode {
+	want := ks.WebsiteIDOf(key)
+	var best OverlayNode
+	var bestDist uint64
+	consider := func(p OverlayNode) {
+		if p == nil || !p.Alive() || ks.WebsiteIDOf(p.OverlayID()) != want {
+			return
+		}
+		d := ks.Space.CircularDistance(p.OverlayID(), key)
+		if best == nil || d < bestDist || (d == bestDist && p.OverlayID() < best.OverlayID()) {
+			best, bestDist = p, d
+		}
+	}
+	consider(n)
+	for _, p := range n.Known() {
+		consider(p)
+	}
+	return best
+}
+
+// RouteAny walks NextHopAny until delivery (synchronous control-plane
+// form, used by tests and the substrate-comparison experiment).
+func RouteAny(start OverlayNode, key chord.ID, ks KeySpec) (OverlayNode, int) {
+	cur, hops := start, 0
+	for hops < RouteTTL(ks.Space) {
+		next, deliver := NextHopAny(cur, key, ks)
+		if deliver {
+			return cur, hops
+		}
+		cur = next
+		hops++
+	}
+	return cur, hops
+}
+
+// --- Chord adapter ---------------------------------------------------------
+
+// ChordNode adapts a chord.Node to the OverlayNode interface.
+type ChordNode struct{ N *chord.Node }
+
+// OverlayID implements OverlayNode.
+func (c ChordNode) OverlayID() chord.ID { return c.N.ID() }
+
+// Alive implements OverlayNode.
+func (c ChordNode) Alive() bool { return c.N.Up() }
+
+// StandardStep implements OverlayNode via Chord's Algorithm-1 step.
+func (c ChordNode) StandardStep(key chord.ID) (OverlayNode, bool) {
+	next, deliver := c.N.RouteStep(key)
+	if deliver {
+		return nil, true
+	}
+	return ChordNode{N: next}, false
+}
+
+// Known implements OverlayNode.
+func (c ChordNode) Known() []OverlayNode {
+	peers := c.N.KnownPeers()
+	out := make([]OverlayNode, len(peers))
+	for i, p := range peers {
+		out[i] = ChordNode{N: p}
+	}
+	return out
+}
+
+// --- Pastry adapter ---------------------------------------------------------
+
+// PastryNode adapts a pastry.Node to the OverlayNode interface.
+type PastryNode struct{ N *pastry.Node }
+
+// OverlayID implements OverlayNode.
+func (p PastryNode) OverlayID() chord.ID { return p.N.ID() }
+
+// Alive implements OverlayNode.
+func (p PastryNode) Alive() bool { return p.N.Up() }
+
+// StandardStep implements OverlayNode via Pastry's prefix routing.
+func (p PastryNode) StandardStep(key chord.ID) (OverlayNode, bool) {
+	next, deliver := p.N.RouteStep(key)
+	if deliver {
+		return nil, true
+	}
+	return PastryNode{N: next}, false
+}
+
+// Known implements OverlayNode.
+func (p PastryNode) Known() []OverlayNode {
+	peers := p.N.KnownPeers()
+	out := make([]OverlayNode, len(peers))
+	for i, q := range peers {
+		out[i] = PastryNode{N: q}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package dring
+
+import (
+	"testing"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/model"
+	"flowercdn/internal/pastry"
+	"flowercdn/internal/simnet"
+)
+
+// buildPastryDRing mirrors buildDRing but over the Pastry substrate.
+func buildPastryDRing(t *testing.T, sites []model.SiteID, k int) (*pastry.Ring, KeySpec, map[chord.ID]*pastry.Node) {
+	t.Helper()
+	ks, err := NewKeySpec(30, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := pastry.NewRing(pastry.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[chord.ID]*pastry.Node{}
+	addr := simnet.NodeID(0)
+	for _, s := range sites {
+		for loc := 0; loc < k; loc++ {
+			key := ks.Key(s, loc)
+			n, err := ring.AddNode(key, addr)
+			if err != nil {
+				t.Fatalf("collision for %s/%d: %v", s, loc, err)
+			}
+			nodes[key] = n
+			addr++
+		}
+	}
+	ring.BuildConverged()
+	return ring, ks, nodes
+}
+
+func TestDRingOverPastryExactDelivery(t *testing.T) {
+	sites := model.MakeSites(40)
+	ring, ks, _ := buildPastryDRing(t, sites, 6)
+	all := ring.Nodes()
+	for _, site := range sites[:10] {
+		for loc := 0; loc < 6; loc++ {
+			key := ks.Key(site, loc)
+			for _, start := range []*pastry.Node{all[0], all[len(all)/2], all[len(all)-1]} {
+				dst, hops := RouteAny(PastryNode{N: start}, key, ks)
+				if dst.OverlayID() != key {
+					t.Fatalf("query for (%s,%d) delivered to %d, want %d", site, loc, dst.OverlayID(), key)
+				}
+				if hops >= RouteTTL(ks.Space) {
+					t.Fatal("hit TTL")
+				}
+			}
+		}
+	}
+}
+
+func TestDRingOverPastrySameWebsiteFallback(t *testing.T) {
+	sites := model.MakeSites(40)
+	ring, ks, nodes := buildPastryDRing(t, sites, 6)
+	site := sites[9]
+	key := ks.Key(site, 2)
+	ring.Fail(nodes[key])
+	// Per-node repair rounds (the protocol, not a global rebuild).
+	for round := 0; round < 3; round++ {
+		for _, n := range ring.AliveNodes() {
+			n.Repair()
+		}
+	}
+	for i, start := range ring.AliveNodes() {
+		if i%17 != 0 {
+			continue
+		}
+		dst, _ := RouteAny(PastryNode{N: start}, key, ks)
+		if !ks.SameWebsite(dst.OverlayID(), key) {
+			t.Fatalf("fallback delivered to wrong website: %d", dst.OverlayID())
+		}
+		if dst.OverlayID() == key {
+			t.Fatal("delivered to failed directory")
+		}
+	}
+}
+
+func TestDRingOverChordViaGenericPath(t *testing.T) {
+	// The generic NextHopAny must agree with the concrete NextHop used by
+	// the core system, hop for hop.
+	sites := model.MakeSites(30)
+	ring, ks, _ := buildDRing(t, sites, 6)
+	all := ring.Nodes()
+	for i, start := range all {
+		if i%11 != 0 {
+			continue
+		}
+		key := ks.Key(sites[(i*7)%len(sites)], i%6)
+		concreteDst, concreteHops := routeDRing(t, start, key, ks)
+		genericDst, genericHops := RouteAny(ChordNode{N: start}, key, ks)
+		if genericDst.OverlayID() != concreteDst.ID() {
+			t.Fatalf("generic and concrete routing disagree: %d vs %d",
+				genericDst.OverlayID(), concreteDst.ID())
+		}
+		if genericHops != concreteHops {
+			t.Fatalf("hop counts disagree: %d vs %d", genericHops, concreteHops)
+		}
+	}
+}
+
+func TestPastryDRingHopCount(t *testing.T) {
+	sites := model.MakeSites(100)
+	ring, ks, _ := buildPastryDRing(t, sites, 6)
+	all := ring.Nodes()
+	total, n := 0, 0
+	for i, start := range all {
+		if i%7 != 0 {
+			continue
+		}
+		key := ks.Key(sites[(i*13)%len(sites)], i%6)
+		_, hops := RouteAny(PastryNode{N: start}, key, ks)
+		total += hops
+		n++
+	}
+	avg := float64(total) / float64(n)
+	// 600 nodes, 3-bit digits ⇒ ~log8(600) ≈ 3.1 hops expected.
+	if avg > 6 {
+		t.Fatalf("average Pastry D-ring hops %.1f too high", avg)
+	}
+}

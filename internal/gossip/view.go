@@ -1,0 +1,239 @@
+// Package gossip implements the membership-view machinery behind the
+// content-overlay gossip protocol (Algorithm 4 in the paper), in the style
+// of Cyclon and the peer-sampling service (references [21] and [10]): a
+// bounded partial view of (peer, age, content-summary) entries, with the
+// select-oldest / select-subset / merge / select-recent operations the
+// algorithm composes each round.
+//
+// The package is pure data structure — protocol timing and message
+// exchange live in internal/overlay — which keeps these invariants easy to
+// property-test: a view never contains its owner, never holds duplicate
+// peers, never exceeds its capacity, and merging always keeps the
+// freshest instance of every entry.
+package gossip
+
+import (
+	"math/rand"
+	"sort"
+
+	"flowercdn/internal/bloom"
+	"flowercdn/internal/simnet"
+)
+
+// Entry is one view slot: a contact plus the age of the information and
+// the contact's last known content summary (§4.2: address, age, summary).
+// Summaries are treated as immutable snapshots; owners publish a fresh
+// filter rather than mutating a shared one.
+type Entry struct {
+	Node    simnet.NodeID
+	Age     int
+	Summary *bloom.Filter
+}
+
+// WireBytes models the serialized entry size for traffic accounting:
+// 6 B address + 2 B age + the summary bit-array.
+func (e Entry) WireBytes() int {
+	n := 6 + 2
+	if e.Summary != nil {
+		n += e.Summary.SizeBytes()
+	}
+	return n
+}
+
+// View is a bounded set of entries about distinct peers, owned by one peer
+// (the owner never appears in its own view).
+type View struct {
+	owner    simnet.NodeID
+	capacity int
+	entries  []Entry // kept sorted by (Age, Node) — "most recent" first
+}
+
+// NewView creates an empty view with the given capacity (V_gossip).
+func NewView(owner simnet.NodeID, capacity int) *View {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &View{owner: owner, capacity: capacity}
+}
+
+// Owner returns the peer owning this view.
+func (v *View) Owner() simnet.NodeID { return v.owner }
+
+// Capacity returns V_gossip.
+func (v *View) Capacity() int { return v.capacity }
+
+// Len returns the number of entries.
+func (v *View) Len() int { return len(v.entries) }
+
+// Entries returns a copy of the entries (most recent first).
+func (v *View) Entries() []Entry {
+	out := make([]Entry, len(v.entries))
+	copy(out, v.entries)
+	return out
+}
+
+// Get returns the entry for node, if present.
+func (v *View) Get(node simnet.NodeID) (Entry, bool) {
+	for _, e := range v.entries {
+		if e.Node == node {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Contains reports whether node is in the view.
+func (v *View) Contains(node simnet.NodeID) bool {
+	_, ok := v.Get(node)
+	return ok
+}
+
+func (v *View) sortEntries() {
+	sort.Slice(v.entries, func(i, j int) bool {
+		if v.entries[i].Age != v.entries[j].Age {
+			return v.entries[i].Age < v.entries[j].Age
+		}
+		return v.entries[i].Node < v.entries[j].Node
+	})
+}
+
+// IncrementAges ages every entry by one gossip period (§4.2: "periodically,
+// cws,loc increments by 1 the age of all its view entries").
+func (v *View) IncrementAges() {
+	for i := range v.entries {
+		v.entries[i].Age++
+	}
+}
+
+// SelectOldest returns the entry with the highest age (ties broken by the
+// lowest node ID for determinism), as gossip target selection requires.
+func (v *View) SelectOldest() (Entry, bool) {
+	if len(v.entries) == 0 {
+		return Entry{}, false
+	}
+	best := v.entries[0]
+	for _, e := range v.entries[1:] {
+		if e.Age > best.Age || (e.Age == best.Age && e.Node < best.Node) {
+			best = e
+		}
+	}
+	return best, true
+}
+
+// SelectSubset returns up to l random distinct entries (the view subset of
+// length L_gossip exchanged each round).
+func (v *View) SelectSubset(rng *rand.Rand, l int) []Entry {
+	if l <= 0 || len(v.entries) == 0 {
+		return nil
+	}
+	if l >= len(v.entries) {
+		return v.Entries()
+	}
+	idx := rng.Perm(len(v.entries))[:l]
+	sort.Ints(idx) // deterministic output order
+	out := make([]Entry, 0, l)
+	for _, i := range idx {
+		out = append(out, v.entries[i])
+	}
+	return out
+}
+
+// Insert adds or refreshes a single entry, keeping the freshest instance,
+// then truncates to capacity (a one-entry Merge).
+func (v *View) Insert(e Entry) {
+	v.Merge([]Entry{e})
+}
+
+// Merge implements merge() + select_recent() from Algorithm 4: combine the
+// current entries with the received ones, discard duplicates keeping the
+// smallest age (refreshing the summary from the fresher instance), drop the
+// owner, and keep the capacity most-recent entries.
+func (v *View) Merge(received []Entry) {
+	byNode := make(map[simnet.NodeID]Entry, len(v.entries)+len(received))
+	keep := func(e Entry) {
+		if e.Node == v.owner {
+			return
+		}
+		cur, ok := byNode[e.Node]
+		if !ok || e.Age < cur.Age {
+			// Never lose a known summary to a fresher entry that lacks one.
+			if e.Summary == nil && ok && cur.Summary != nil {
+				e.Summary = cur.Summary
+			}
+			byNode[e.Node] = e
+		} else if ok && cur.Summary == nil && e.Summary != nil {
+			cur.Summary = e.Summary
+			byNode[e.Node] = cur
+		}
+	}
+	for _, e := range v.entries {
+		keep(e)
+	}
+	for _, e := range received {
+		keep(e)
+	}
+	v.entries = v.entries[:0]
+	for _, e := range byNode {
+		v.entries = append(v.entries, e)
+	}
+	v.sortEntries()
+	if len(v.entries) > v.capacity {
+		v.entries = v.entries[:v.capacity]
+	}
+}
+
+// Remove deletes the entry for node (dead peer, per §5.1/§5.4).
+func (v *View) Remove(node simnet.NodeID) {
+	out := v.entries[:0]
+	for _, e := range v.entries {
+		if e.Node != node {
+			out = append(out, e)
+		}
+	}
+	v.entries = out
+}
+
+// DropOlderThan evicts entries whose age reached the limit (T_dead); it
+// returns the evicted nodes.
+func (v *View) DropOlderThan(ageLimit int) []simnet.NodeID {
+	var evicted []simnet.NodeID
+	out := v.entries[:0]
+	for _, e := range v.entries {
+		if e.Age >= ageLimit {
+			evicted = append(evicted, e.Node)
+			continue
+		}
+		out = append(out, e)
+	}
+	v.entries = out
+	return evicted
+}
+
+// Refresh sets node's age to zero and updates its summary, inserting the
+// entry if absent.
+func (v *View) Refresh(node simnet.NodeID, summary *bloom.Filter) {
+	for i := range v.entries {
+		if v.entries[i].Node == node {
+			v.entries[i].Age = 0
+			if summary != nil {
+				v.entries[i].Summary = summary
+			}
+			v.sortEntries()
+			return
+		}
+	}
+	v.Insert(Entry{Node: node, Age: 0, Summary: summary})
+}
+
+// MatchingSummaries returns the nodes whose summary tests positive for
+// key, freshest entries first — the candidate set for a content-overlay
+// lookup (§4.1).
+func (v *View) MatchingSummaries(key string) []simnet.NodeID {
+	var out []simnet.NodeID
+	for _, e := range v.entries {
+		if e.Summary != nil && e.Summary.Test(key) {
+			out = append(out, e.Node)
+		}
+	}
+	return out
+}

@@ -1,0 +1,467 @@
+package harness
+
+import (
+	"math/rand"
+	"strconv"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/core"
+	"flowercdn/internal/dring"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/model"
+	"flowercdn/internal/pastry"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
+)
+
+// This file defines one entry point per table and figure of the paper's
+// evaluation (§6), plus the ablations listed in DESIGN.md. Each preset
+// runs full simulations with the supplied Params, so callers choose the
+// scale (DefaultParams reproduces the paper; ScaledParams is laptop-quick).
+
+// SweepRow is one row of a Table-2-style sweep.
+type SweepRow struct {
+	Label         string
+	HitRatio      float64
+	BackgroundBps float64
+	Result        Result
+}
+
+// Table2a varies the gossip length L_gossip (paper values 5, 10, 20) with
+// T_gossip and V_gossip fixed.
+func Table2a(p Params, values []int) ([]SweepRow, error) {
+	if len(values) == 0 {
+		values = []int{5, 10, 20}
+	}
+	var rows []SweepRow
+	for _, v := range values {
+		pv := p
+		pv.GossipLen = v
+		res, err := RunFlower(pv)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Label:         itoa(v),
+			HitRatio:      res.Report.HitRatio,
+			BackgroundBps: res.Report.BackgroundBps,
+			Result:        res,
+		})
+	}
+	return rows, nil
+}
+
+// Table2b varies the gossip period T_gossip (paper values 1 min, 30 min,
+// 1 hour).
+func Table2b(p Params, values []simkernel.Time) ([]SweepRow, error) {
+	if len(values) == 0 {
+		values = []simkernel.Time{simkernel.Minute, 30 * simkernel.Minute, simkernel.Hour}
+	}
+	var rows []SweepRow
+	for _, v := range values {
+		pv := p
+		pv.TGossip = v
+		pv.TKeepalive = v
+		res, err := RunFlower(pv)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Label:         v.String(),
+			HitRatio:      res.Report.HitRatio,
+			BackgroundBps: res.Report.BackgroundBps,
+			Result:        res,
+		})
+	}
+	return rows, nil
+}
+
+// Table2c varies the view size V_gossip (paper values 20, 50, 70).
+func Table2c(p Params, values []int) ([]SweepRow, error) {
+	if len(values) == 0 {
+		values = []int{20, 50, 70}
+	}
+	var rows []SweepRow
+	for _, v := range values {
+		pv := p
+		pv.ViewSize = v
+		res, err := RunFlower(pv)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Label:         itoa(v),
+			HitRatio:      res.Report.HitRatio,
+			BackgroundBps: res.Report.BackgroundBps,
+			Result:        res,
+		})
+	}
+	return rows, nil
+}
+
+// Fig5 runs Flower-CDN at the chosen operating point and returns the run;
+// the report's Series carries hit ratio and background bps over time.
+func Fig5(p Params) (Result, error) { return RunFlower(p) }
+
+// Comparison runs both systems on the same seed, topology and workload —
+// the shared basis of Figures 6, 7 and 8.
+func Comparison(p Params) (flower, baseline Result, err error) {
+	flower, err = RunFlower(p)
+	if err != nil {
+		return
+	}
+	baseline, err = RunSquirrel(p)
+	return
+}
+
+// Headline condenses the paper's §1/§6 claims from a comparison pair.
+type Headline struct {
+	FlowerHit, SquirrelHit               float64
+	FlowerLookupMs, SquirrelLookupMs     float64
+	LookupFactor                         float64 // Squirrel / Flower (paper: ≈9)
+	FlowerTransferMs, SquirrelTransferMs float64
+	TransferFactor                       float64 // Squirrel / Flower (paper: ≈2)
+	FlowerWithin150ms                    float64 // paper: 0.87
+	SquirrelBeyond1050ms                 float64 // paper: 0.61
+	FlowerDistWithin100ms                float64 // paper: 0.59
+	SquirrelDistWithin100ms              float64 // paper: 0.17
+}
+
+// ComputeHeadline derives the headline ratios from a comparison pair.
+func ComputeHeadline(flower, baseline Result) Headline {
+	h := Headline{
+		FlowerHit:               flower.Report.HitRatio,
+		SquirrelHit:             baseline.Report.HitRatio,
+		FlowerLookupMs:          flower.Report.AvgLookupMs,
+		SquirrelLookupMs:        baseline.Report.AvgLookupMs,
+		FlowerTransferMs:        flower.Report.AvgTransferMs,
+		SquirrelTransferMs:      baseline.Report.AvgTransferMs,
+		FlowerWithin150ms:       metrics.FracWithin(flower.Report.LatencyHist, 150),
+		SquirrelBeyond1050ms:    metrics.FracBeyond(baseline.Report.LatencyHist, 1050),
+		FlowerDistWithin100ms:   metrics.FracWithin(flower.Report.DistanceHist, 100),
+		SquirrelDistWithin100ms: metrics.FracWithin(baseline.Report.DistanceHist, 100),
+	}
+	if h.FlowerLookupMs > 0 {
+		h.LookupFactor = h.SquirrelLookupMs / h.FlowerLookupMs
+	}
+	if h.FlowerTransferMs > 0 {
+		h.TransferFactor = h.SquirrelTransferMs / h.FlowerTransferMs
+	}
+	return h
+}
+
+// --- Ablations (DESIGN.md A1–A5) ------------------------------------------
+
+// AblationPushThreshold sweeps the push threshold (§6.2 reports 0.1, 0.5,
+// 0.7 behave almost identically).
+func AblationPushThreshold(p Params, values []float64) ([]SweepRow, error) {
+	if len(values) == 0 {
+		values = []float64{0.1, 0.5, 0.7}
+	}
+	var rows []SweepRow
+	for _, v := range values {
+		pv := p
+		pv.PushThreshold = v
+		res, err := RunFlower(pv)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Label:         ftoa(v),
+			HitRatio:      res.Report.HitRatio,
+			BackgroundBps: res.Report.BackgroundBps,
+			Result:        res,
+		})
+	}
+	return rows, nil
+}
+
+// AblationQueryPolicy compares the paper's view-only member lookup with
+// the view-then-directory variant.
+func AblationQueryPolicy(p Params) (viewOnly, viaDir Result, err error) {
+	pv := p
+	pv.QueryPolicy = core.PolicyViewOnly
+	viewOnly, err = RunFlower(pv)
+	if err != nil {
+		return
+	}
+	pv.QueryPolicy = core.PolicyViewThenDirectory
+	viaDir, err = RunFlower(pv)
+	return
+}
+
+// AblationChurn sweeps failure rates (the paper lists churn analysis as
+// ongoing work; §5 defines the mechanisms we exercise here).
+func AblationChurn(p Params, perHour []float64) ([]SweepRow, error) {
+	if len(perHour) == 0 {
+		perHour = []float64{0, 30, 120}
+	}
+	var rows []SweepRow
+	for _, v := range perHour {
+		pv := p
+		pv.ChurnPerHour = v
+		pv.ChurnIncludesDirs = true
+		res, err := RunFlower(pv)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Label:         ftoa(v) + "/h",
+			HitRatio:      res.Report.HitRatio,
+			BackgroundBps: res.Report.BackgroundBps,
+			Result:        res,
+		})
+	}
+	return rows, nil
+}
+
+// AblationHomeStore compares Squirrel's two strategies (§7).
+func AblationHomeStore(p Params) (directory, homeStore Result, err error) {
+	pv := p
+	pv.SquirrelHomeStore = false
+	directory, err = RunSquirrel(pv)
+	if err != nil {
+		return
+	}
+	pv.SquirrelHomeStore = true
+	homeStore, err = RunSquirrel(pv)
+	return
+}
+
+// AblationActiveReplication compares the base system with the §8
+// extension: directories proactively push their most-requested objects to
+// sibling overlays, trading replication traffic for earlier hits.
+func AblationActiveReplication(p Params, topK []int) ([]SweepRow, error) {
+	if len(topK) == 0 {
+		topK = []int{0, 5, 20}
+	}
+	var rows []SweepRow
+	for _, k := range topK {
+		pv := p
+		pv.ReplicationTopK = k
+		res, err := RunFlower(pv)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Label:         "top-" + itoa(k),
+			HitRatio:      res.Report.HitRatio,
+			BackgroundBps: res.Report.BackgroundBps,
+			Result:        res,
+		})
+	}
+	return rows, nil
+}
+
+// AblationScaleUp compares the basic scheme (one directory peer per
+// (website, locality)) with the §5.3 extension (2^b instances), using a
+// client population that overflows the basic scheme's S_co capacity.
+func AblationScaleUp(p Params, instanceBits []uint) ([]SweepRow, error) {
+	if len(instanceBits) == 0 {
+		instanceBits = []uint{0, 1}
+	}
+	var rows []SweepRow
+	for _, b := range instanceBits {
+		pv := p
+		pv.InstanceBits = b
+		res, err := RunFlower(pv)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Label:         "b=" + itoa(int(b)),
+			HitRatio:      res.Report.HitRatio,
+			BackgroundBps: res.Report.BackgroundBps,
+			Result:        res,
+		})
+	}
+	return rows, nil
+}
+
+// SubstrateResult compares D-ring routing cost over the two DHT
+// substrates the paper names (§3.1): Chord and Pastry.
+type SubstrateResult struct {
+	Nodes         int
+	Lookups       int
+	ChordAvgHops  float64
+	PastryAvgHops float64
+	ChordExact    float64 // fraction delivered to the exact directory
+	PastryExact   float64
+}
+
+// CompareSubstrates builds the same D-ring population over Chord and over
+// Pastry and routes identical lookups through both, demonstrating the
+// paper's claim that D-ring integrates with any standard DHT.
+func CompareSubstrates(seed int64, websites, localities, lookups int) (SubstrateResult, error) {
+	ks, err := dring.NewKeySpec(30, localities, 0)
+	if err != nil {
+		return SubstrateResult{}, err
+	}
+	cRing := chord.NewRing(chord.Config{Bits: 30, SuccessorList: 8})
+	pRing, err := pastry.NewRing(pastry.DefaultConfig())
+	if err != nil {
+		return SubstrateResult{}, err
+	}
+	sites := model.MakeSites(websites)
+	var keys []chord.ID
+	addr := simnet.NodeID(0)
+	for _, site := range sites {
+		for loc := 0; loc < localities; loc++ {
+			key := ks.Key(site, loc)
+			cn, err := cRing.AddNode(key, addr)
+			if err != nil {
+				continue // website hash collision: skip in both rings
+			}
+			if _, err := pRing.AddNode(key, addr); err != nil {
+				cRing.RemoveNode(cn.ID())
+				continue
+			}
+			keys = append(keys, key)
+			addr++
+		}
+	}
+	cRing.BuildConverged()
+	pRing.BuildConverged()
+
+	rng := rand.New(rand.NewSource(seed))
+	res := SubstrateResult{Nodes: len(keys), Lookups: lookups}
+	cNodes := cRing.Nodes()
+	pNodes := pRing.Nodes()
+	var cHops, pHops, cExact, pExact int
+	for i := 0; i < lookups; i++ {
+		key := keys[rng.Intn(len(keys))]
+		start := rng.Intn(len(cNodes))
+		cDst, ch := dring.RouteAny(dring.ChordNode{N: cNodes[start]}, key, ks)
+		pDst, ph := dring.RouteAny(dring.PastryNode{N: pNodes[start]}, key, ks)
+		cHops += ch
+		pHops += ph
+		if cDst.OverlayID() == key {
+			cExact++
+		}
+		if pDst.OverlayID() == key {
+			pExact++
+		}
+	}
+	if lookups > 0 {
+		res.ChordAvgHops = float64(cHops) / float64(lookups)
+		res.PastryAvgHops = float64(pHops) / float64(lookups)
+		res.ChordExact = float64(cExact) / float64(lookups)
+		res.PastryExact = float64(pExact) / float64(lookups)
+	}
+	return res, nil
+}
+
+// ConditionalRoutingResult quantifies Algorithm 2 against Algorithm 1.
+type ConditionalRoutingResult struct {
+	FailedDirectories int
+	Lookups           int
+	// Fraction of lookups for dead positions that still reached a
+	// directory of the right website.
+	SameWebsiteAlg1 float64
+	SameWebsiteAlg2 float64
+}
+
+// AblationConditionalRouting builds a D-ring, fails a fraction of the
+// directory peers, repairs the ring, and routes lookups for the dead
+// positions under the standard DHT rule (Algorithm 1) and the D-ring rule
+// (Algorithm 2). This isolates why the conditional local lookup exists
+// (§3.2: "to guarantee the appropriate redirection").
+func AblationConditionalRouting(seed int64, websites, localities int, failFraction float64, lookups int) (ConditionalRoutingResult, error) {
+	ks, err := dring.NewKeySpec(30, localities, 0)
+	if err != nil {
+		return ConditionalRoutingResult{}, err
+	}
+	ring := chord.NewRing(chord.Config{Bits: 30, SuccessorList: 8})
+	rng := rand.New(rand.NewSource(seed))
+	sites := model.MakeSites(websites)
+	keys := map[chord.ID]bool{}
+	addr := simnet.NodeID(0)
+	for _, site := range sites {
+		for loc := 0; loc < localities; loc++ {
+			key := ks.Key(site, loc)
+			if keys[key] {
+				continue // rare website-hash collision; skip the duplicate
+			}
+			keys[key] = true
+			if _, err := ring.AddNode(key, addr); err != nil {
+				return ConditionalRoutingResult{}, err
+			}
+			addr++
+		}
+	}
+	ring.BuildConverged()
+	// Fail a random fraction (avoid failing a website completely so a
+	// same-website destination always exists).
+	nodes := ring.Nodes()
+	rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	var dead []chord.ID
+	failed := 0
+	for _, n := range nodes {
+		if failed >= int(failFraction*float64(len(nodes))) {
+			break
+		}
+		wid := ks.WebsiteIDOf(n.ID())
+		aliveSame := 0
+		for _, m := range ring.AliveNodes() {
+			if m != n && ks.WebsiteIDOf(m.ID()) == wid {
+				aliveSame++
+			}
+		}
+		if aliveSame == 0 {
+			continue
+		}
+		ring.Fail(n)
+		dead = append(dead, n.ID())
+		failed++
+	}
+	for round := 0; round < 8; round++ {
+		for _, n := range ring.AliveNodes() {
+			n.CheckPredecessor()
+			n.Stabilize()
+		}
+	}
+	for _, n := range ring.AliveNodes() {
+		n.FixAllFingers()
+	}
+
+	res := ConditionalRoutingResult{FailedDirectories: len(dead)}
+	alive := ring.AliveNodes()
+	route := func(start *chord.Node, key chord.ID, useAlg2 bool) *chord.Node {
+		cur := start
+		for hop := 0; hop < dring.RouteTTL(ks.Space); hop++ {
+			var next *chord.Node
+			var deliver bool
+			if useAlg2 {
+				next, deliver = dring.NextHop(cur, key, ks)
+			} else {
+				next, deliver = cur.RouteStep(key)
+			}
+			if deliver {
+				return cur
+			}
+			cur = next
+		}
+		return cur
+	}
+	same1, same2 := 0, 0
+	for i := 0; i < lookups; i++ {
+		key := dead[rng.Intn(len(dead))]
+		start := alive[rng.Intn(len(alive))]
+		if ks.SameWebsite(route(start, key, false).ID(), key) {
+			same1++
+		}
+		if ks.SameWebsite(route(start, key, true).ID(), key) {
+			same2++
+		}
+		res.Lookups++
+	}
+	if res.Lookups > 0 {
+		res.SameWebsiteAlg1 = float64(same1) / float64(res.Lookups)
+		res.SameWebsiteAlg2 = float64(same2) / float64(res.Lookups)
+	}
+	return res, nil
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 3, 64) }

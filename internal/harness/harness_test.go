@@ -1,0 +1,333 @@
+package harness
+
+import (
+	"testing"
+
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/model"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/workload"
+)
+
+// fastParams is even smaller than ScaledParams, for unit-test speed.
+func fastParams(seed int64) Params {
+	p := ScaledParams(seed)
+	p.Duration = 30 * simkernel.Minute
+	p.QueryRate = 2
+	p.Websites = 8
+	p.ActiveSites = 2
+	p.ObjectsPerSite = 30
+	p.ClientsPerSite = 24
+	p.MaxOverlaySize = 10
+	p.TopoNodes = 500
+	p.TGossip = 3 * simkernel.Minute
+	p.TKeepalive = 3 * simkernel.Minute
+	return p
+}
+
+func TestBuildPools(t *testing.T) {
+	p := fastParams(1)
+	pools := p.BuildPools()
+	if len(pools) != p.ActiveSites {
+		t.Fatalf("pool rows = %d", len(pools))
+	}
+	for _, row := range pools {
+		if len(row) != p.Localities {
+			t.Fatalf("pool cols = %d", len(row))
+		}
+		total := 0
+		for _, n := range row {
+			if n < 1 || n > p.MaxOverlaySize {
+				t.Fatalf("pool size %d outside [1,%d]", n, p.MaxOverlaySize)
+			}
+			total += n
+		}
+		if total == 0 {
+			t.Fatal("empty site pools")
+		}
+	}
+	// Non-uniform: locality 0 (largest weight) ≥ last locality.
+	if pools[0][0] < pools[0][p.Localities-1] {
+		t.Fatalf("pools not weight-ordered: %v", pools[0])
+	}
+}
+
+func TestRunFlowerSmoke(t *testing.T) {
+	res, err := RunFlower(fastParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if r.TotalQueries < 1000 {
+		t.Fatalf("too few queries: %d", r.TotalQueries)
+	}
+	if r.HitRatio <= 0 || r.HitRatio > 1 {
+		t.Fatalf("hit ratio = %v", r.HitRatio)
+	}
+	if r.BackgroundBps <= 0 {
+		t.Fatal("no background traffic")
+	}
+	if r.RouteTTLExpiry != 0 {
+		t.Fatalf("route TTL expiries on a stable ring: %d", r.RouteTTLExpiry)
+	}
+	if res.Stats.Joins == 0 {
+		t.Fatal("nobody joined")
+	}
+	if res.Kind != KindFlower {
+		t.Fatal("wrong kind")
+	}
+}
+
+func TestRunSquirrelSmoke(t *testing.T) {
+	res, err := RunSquirrel(fastParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if r.TotalQueries < 1000 {
+		t.Fatalf("too few queries: %d", r.TotalQueries)
+	}
+	if r.HitRatio <= 0 {
+		t.Fatal("no hits")
+	}
+	// Squirrel routes everything through the DHT: lookups must be slower
+	// than the intra-locality scale.
+	if r.AvgLookupMs < 100 {
+		t.Fatalf("squirrel lookup too fast: %v", r.AvgLookupMs)
+	}
+}
+
+func TestComparisonShape(t *testing.T) {
+	// The paper's headline shape at reduced scale: Flower-CDN must beat
+	// Squirrel clearly on lookup latency and transfer distance, while
+	// Squirrel's hit ratio is at least Flower's.
+	p := fastParams(4)
+	p.Duration = simkernel.Hour
+	flower, sq, err := Comparison(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ComputeHeadline(flower, sq)
+	if h.LookupFactor < 2 {
+		t.Fatalf("lookup improvement only %.2fx (flower %.0fms, squirrel %.0fms)",
+			h.LookupFactor, h.FlowerLookupMs, h.SquirrelLookupMs)
+	}
+	if h.TransferFactor < 1.2 {
+		t.Fatalf("transfer improvement only %.2fx", h.TransferFactor)
+	}
+	if h.SquirrelHit+1e-9 < h.FlowerHit-0.05 {
+		t.Fatalf("hit ratios off: flower %.3f squirrel %.3f", h.FlowerHit, h.SquirrelHit)
+	}
+}
+
+func TestChurnRun(t *testing.T) {
+	p := fastParams(5)
+	p.ChurnPerHour = 60
+	p.ChurnIncludesDirs = true
+	res, err := RunFlower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.TotalQueries == 0 {
+		t.Fatal("no queries under churn")
+	}
+	// Churn must not destroy the system: most queries still resolve.
+	resolved := res.Report.TotalQueries
+	if resolved < 1000 {
+		t.Fatalf("resolved only %d queries under churn", resolved)
+	}
+}
+
+func TestChurnWithRejoin(t *testing.T) {
+	p := fastParams(13)
+	p.Duration = simkernel.Hour
+	p.ChurnPerHour = 120
+	p.ChurnMeanDowntime = 5 * simkernel.Minute
+	res, err := RunFlower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With rejoin, the same client can join multiple times: total joins
+	// should exceed the no-churn population's single joins eventually, or
+	// at least the run must stay healthy.
+	if res.Report.TotalQueries < 1000 {
+		t.Fatalf("too few queries under churn+rejoin: %d", res.Report.TotalQueries)
+	}
+	if res.Report.HitRatio <= 0 {
+		t.Fatal("no hits under churn+rejoin")
+	}
+	// Compare against permanent churn: rejoin should retain at least as
+	// good a hit ratio.
+	pPerm := p
+	pPerm.ChurnMeanDowntime = 0
+	perm, err := RunFlower(pPerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.HitRatio+0.05 < perm.Report.HitRatio {
+		t.Fatalf("rejoin churn markedly worse than permanent churn: %.3f vs %.3f",
+			res.Report.HitRatio, perm.Report.HitRatio)
+	}
+}
+
+func TestTable2Sweeps(t *testing.T) {
+	p := fastParams(6)
+	p.Duration = 20 * simkernel.Minute
+	rows, err := Table2a(p, []int{2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More gossip per round ⇒ more background bandwidth.
+	if rows[1].BackgroundBps <= rows[0].BackgroundBps {
+		t.Fatalf("L_gossip sweep: bps %v then %v, want increasing",
+			rows[0].BackgroundBps, rows[1].BackgroundBps)
+	}
+	rowsB, err := Table2b(p, []simkernel.Time{2 * simkernel.Minute, 10 * simkernel.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer period ⇒ less background bandwidth.
+	if rowsB[1].BackgroundBps >= rowsB[0].BackgroundBps {
+		t.Fatalf("T_gossip sweep: bps %v then %v, want decreasing",
+			rowsB[0].BackgroundBps, rowsB[1].BackgroundBps)
+	}
+	rowsC, err := Table2c(p, []int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// View size barely affects bandwidth (paper: unchanged).
+	lo, hi := rowsC[0].BackgroundBps, rowsC[1].BackgroundBps
+	if lo == 0 || hi/lo > 1.5 || lo/hi > 1.5 {
+		t.Fatalf("V_gossip should not change bandwidth much: %v vs %v", lo, hi)
+	}
+}
+
+func TestConditionalRoutingAblation(t *testing.T) {
+	res, err := AblationConditionalRouting(7, 30, 6, 0.2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedDirectories == 0 || res.Lookups != 400 {
+		t.Fatalf("bad experiment setup: %+v", res)
+	}
+	// Algorithm 2 must dominate Algorithm 1 on same-website delivery and
+	// be (near-)perfect.
+	if res.SameWebsiteAlg2 < res.SameWebsiteAlg1 {
+		t.Fatalf("conditional routing worse than standard: %+v", res)
+	}
+	if res.SameWebsiteAlg2 < 0.99 {
+		t.Fatalf("Algorithm 2 delivery rate %.3f, want ≥0.99", res.SameWebsiteAlg2)
+	}
+}
+
+func TestTrafficBytesHelper(t *testing.T) {
+	res, err := RunFlower(fastParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TrafficBytes(res.Report, 0) <= 0 { // CatGossip
+		t.Fatal("gossip bytes missing")
+	}
+	if res.Describe() == "" {
+		t.Fatal("empty description")
+	}
+	_ = metrics.Report{}
+}
+
+func TestRunFlowerReplay(t *testing.T) {
+	p := fastParams(10)
+	p.Duration = 10 * simkernel.Minute
+	sites := model.MakeSites(p.Websites)[:p.ActiveSites]
+	qs := []workload.Query{
+		{At: simkernel.Second, SiteIdx: 0, Site: sites[0], Locality: 0, Member: 0,
+			Object: model.ObjectID{Site: sites[0], Num: 1}},
+		{At: 2 * simkernel.Minute, SiteIdx: 0, Site: sites[0], Locality: 0, Member: 1,
+			Object: model.ObjectID{Site: sites[0], Num: 1}},
+	}
+	res, err := RunFlowerReplay(p, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.TotalQueries != 2 {
+		t.Fatalf("replayed %d queries", res.Report.TotalQueries)
+	}
+	if res.Report.BySource["peer"] != 1 {
+		t.Fatalf("second request should hit the first downloader: %v", res.Report.BySource)
+	}
+	// Coordinate validation.
+	bad := []workload.Query{{SiteIdx: 99}}
+	if _, err := RunFlowerReplay(p, bad); err == nil {
+		t.Fatal("bad site accepted")
+	}
+	bad = []workload.Query{{Locality: 99}}
+	if _, err := RunFlowerReplay(p, bad); err == nil {
+		t.Fatal("bad locality accepted")
+	}
+	bad = []workload.Query{{Member: 9999}}
+	if _, err := RunFlowerReplay(p, bad); err == nil {
+		t.Fatal("bad member accepted")
+	}
+}
+
+func TestCompareSubstrates(t *testing.T) {
+	res, err := CompareSubstrates(3, 25, 6, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes == 0 || res.Lookups != 400 {
+		t.Fatalf("setup wrong: %+v", res)
+	}
+	if res.ChordExact < 0.999 || res.PastryExact < 0.999 {
+		t.Fatalf("delivery must be exact on stable rings: %+v", res)
+	}
+	// Both must route in logarithmic hops.
+	if res.ChordAvgHops > 8 || res.PastryAvgHops > 8 {
+		t.Fatalf("hop counts too high: %+v", res)
+	}
+}
+
+func TestAblationScaleUpAdmitsOverflow(t *testing.T) {
+	p := fastParams(11)
+	p.Duration = 20 * simkernel.Minute
+	p.MaxOverlaySize = 4
+	p.ClientsPerSite = 24
+	rows, err := AblationScaleUp(p, []uint{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].Result.Stats.Joins <= rows[0].Result.Stats.Joins {
+		t.Fatalf("scale-up should admit more clients: %d vs %d",
+			rows[1].Result.Stats.Joins, rows[0].Result.Stats.Joins)
+	}
+}
+
+func TestActiveReplicationHarness(t *testing.T) {
+	p := fastParams(12)
+	p.Duration = 20 * simkernel.Minute
+	rows, err := AblationActiveReplication(p, []int{0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Result.Stats.Prefetches != 0 {
+		t.Fatal("off-row prefetched")
+	}
+	if rows[1].Result.Stats.Prefetches == 0 {
+		t.Fatal("on-row did not prefetch")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	p := fastParams(9)
+	p.Duration = 0
+	if _, err := RunFlower(p); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	p = fastParams(9)
+	p.QueryRate = 0
+	if _, err := RunSquirrel(p); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}

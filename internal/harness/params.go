@@ -1,0 +1,241 @@
+// Package harness assembles full experiments: it builds the topology and
+// client pools, wires a Flower-CDN or Squirrel system to the workload
+// generator, injects churn when asked, runs the event kernel for the
+// configured duration, and packages the metrics into the rows the paper's
+// tables and figures report.
+package harness
+
+import (
+	"fmt"
+
+	"flowercdn/internal/core"
+	"flowercdn/internal/model"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/squirrel"
+	"flowercdn/internal/topology"
+)
+
+// Params is the experiment-level configuration: Table 1 of the paper plus
+// harness knobs (duration, seeds, churn, scaling).
+type Params struct {
+	Seed     int64
+	Duration simkernel.Time
+
+	// Workload (§6.1).
+	QueryRate float64 // aggregate queries/second
+	ZipfAlpha float64
+	Poisson   bool
+
+	// Population.
+	Localities      int
+	Websites        int
+	ActiveSites     int
+	ObjectsPerSite  int
+	MaxOverlaySize  int
+	ClientsPerSite  int       // potential clients per active website (spread over localities)
+	LocalityWeights []float64 // nil = topology default skew
+
+	// Topology.
+	TopoNodes    int
+	UniformNodes int
+
+	// Gossip (Table 2 sweeps).
+	TGossip       simkernel.Time
+	TKeepalive    simkernel.Time
+	ViewSize      int
+	GossipLen     int
+	PushThreshold float64
+	TDead         int
+
+	// Protocol variants.
+	QueryPolicy  core.QueryPolicy
+	InstanceBits uint // §5.3 scale-up
+	// Active replication (§8 extension): top-K popular objects offered to
+	// sibling overlays each gossip period. 0 = off (the paper's tables).
+	ReplicationTopK int
+
+	// Squirrel baseline.
+	SquirrelDirEntries int
+	SquirrelHomeStore  bool
+
+	// Churn: expected peer failures per hour (0 = stable network). When
+	// positive, Chord maintenance runs at MaintenancePeriod.
+	ChurnPerHour      float64
+	ChurnIncludesDirs bool
+	MaintenancePeriod simkernel.Time
+	// ChurnRejoin revives each crashed client after an exponentially
+	// distributed downtime with this mean (0 = failures are permanent).
+	// Revived clients return stateless, as new clients.
+	ChurnMeanDowntime simkernel.Time
+
+	// Metrics resolution.
+	BucketWidth simkernel.Time
+}
+
+// DefaultParams returns the paper's full-scale setup (Table 1, §6.1/§6.2):
+// 5000-node topology, k=6, |W|=100 with 6 active, S_co=100, 6 queries/s,
+// 24 hours, T_gossip=30 min, L_gossip=10, V_gossip=50.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:               seed,
+		Duration:           24 * simkernel.Hour,
+		QueryRate:          6,
+		ZipfAlpha:          0.8,
+		Localities:         6,
+		Websites:           100,
+		ActiveSites:        6,
+		ObjectsPerSite:     500,
+		MaxOverlaySize:     100,
+		ClientsPerSite:     600,
+		TopoNodes:          5000,
+		UniformNodes:       200,
+		TGossip:            30 * simkernel.Minute,
+		TKeepalive:         30 * simkernel.Minute,
+		ViewSize:           50,
+		GossipLen:          10,
+		PushThreshold:      0.1,
+		TDead:              4,
+		QueryPolicy:        core.PolicyViewOnly,
+		SquirrelDirEntries: 4,
+		MaintenancePeriod:  time30,
+		BucketWidth:        30 * simkernel.Minute,
+	}
+}
+
+const time30 = 30 * simkernel.Second
+
+// ScaledParams returns a laptop-scale configuration with the same shape
+// (used by unit tests, quick benchmark runs and examples): 3 localities,
+// 12 websites (3 active), smaller overlays, 2 simulated hours.
+func ScaledParams(seed int64) Params {
+	p := DefaultParams(seed)
+	p.Duration = 2 * simkernel.Hour
+	p.QueryRate = 4
+	p.Localities = 3
+	p.Websites = 12
+	p.ActiveSites = 3
+	p.ObjectsPerSite = 60
+	p.MaxOverlaySize = 20
+	p.ClientsPerSite = 45
+	p.TopoNodes = 800
+	p.UniformNodes = 60
+	p.TGossip = 5 * simkernel.Minute
+	p.TKeepalive = 5 * simkernel.Minute
+	p.ViewSize = 12
+	p.GossipLen = 4
+	p.BucketWidth = 15 * simkernel.Minute
+	return p
+}
+
+// BuildPools apportions each active website's potential clients over the
+// localities by weight, capping each pool at S_co. This reproduces §6.1:
+// "content overlays of a given website evolve at different rhythms and
+// sizes", with the non-uniform locality population.
+func (p Params) BuildPools() [][]int {
+	weights := p.LocalityWeights
+	if weights == nil {
+		weights = topology.DefaultWeights(p.Localities)
+	}
+	// Under the §5.3 scale-up, each (website, locality) slot has 2^b
+	// directory instances and can absorb that many overlays' worth of
+	// clients.
+	capacity := p.MaxOverlaySize << p.InstanceBits
+	pools := make([][]int, p.ActiveSites)
+	for si := range pools {
+		pools[si] = make([]int, p.Localities)
+		total := 0.0
+		for _, w := range weights {
+			total += w
+		}
+		for loc := 0; loc < p.Localities; loc++ {
+			n := int(float64(p.ClientsPerSite)*weights[loc]/total + 0.5)
+			if n > capacity {
+				n = capacity
+			}
+			if n < 1 {
+				n = 1
+			}
+			pools[si][loc] = n
+		}
+	}
+	return pools
+}
+
+// TopologyConfig derives the underlay configuration, guaranteeing each
+// locality holds enough nodes for its directories and pools.
+func (p Params) TopologyConfig(pools [][]int) topology.Config {
+	cfg := topology.DefaultConfig(p.Seed)
+	cfg.Localities = p.Localities
+	cfg.TotalNodes = p.TopoNodes
+	cfg.UniformNodes = p.UniformNodes
+	cfg.Weights = p.LocalityWeights
+	minCount := make([]int, p.Localities)
+	for loc := 0; loc < p.Localities; loc++ {
+		need := p.Websites << p.InstanceBits // directories per website (×2^b under §5.3)
+		for si := range pools {
+			need += pools[si][loc]
+		}
+		// Slack for landmark-measurement spill between clusters.
+		minCount[loc] = need + need/10 + 8
+	}
+	cfg.MinCount = minCount
+	return cfg
+}
+
+// CoreConfig derives the Flower-CDN configuration.
+func (p Params) CoreConfig(pools [][]int) core.Config {
+	cfg := core.DefaultConfig(p.Seed)
+	cfg.Localities = p.Localities
+	cfg.Websites = p.Websites
+	cfg.ActiveSites = p.ActiveSites
+	cfg.ObjectsPerSite = p.ObjectsPerSite
+	cfg.MaxOverlaySize = p.MaxOverlaySize
+	cfg.PoolSizes = pools
+	cfg.InstanceBits = p.InstanceBits
+	cfg.Gossip.ViewSize = p.ViewSize
+	cfg.Gossip.GossipLen = p.GossipLen
+	cfg.Gossip.PushThreshold = p.PushThreshold
+	cfg.Gossip.SummaryCapacity = p.ObjectsPerSite
+	cfg.TGossip = p.TGossip
+	cfg.TKeepalive = p.TKeepalive
+	cfg.TDead = p.TDead
+	cfg.QueryPolicy = p.QueryPolicy
+	cfg.ReplicationTopK = p.ReplicationTopK
+	if p.ChurnPerHour > 0 {
+		cfg.MaintenancePeriod = p.MaintenancePeriod
+	}
+	return cfg
+}
+
+// SquirrelConfig derives the baseline configuration. The baseline gets the
+// same client pools plus the same per-locality "infrastructure" budget
+// Flower-CDN spends on directory peers, so both systems have comparable
+// populations.
+func (p Params) SquirrelConfig(pools [][]int) squirrel.Config {
+	cfg := squirrel.DefaultConfig(p.Seed)
+	cfg.Sites = model.MakeSites(p.Websites)[:p.ActiveSites]
+	cfg.PoolSizes = pools
+	cfg.ExtraPerLocality = p.Websites
+	cfg.MaxDirEntries = p.SquirrelDirEntries
+	if p.SquirrelHomeStore {
+		cfg.Strategy = squirrel.StrategyHomeStore
+	}
+	return cfg
+}
+
+// Validate sanity-checks the harness parameters.
+func (p Params) Validate() error {
+	if p.Duration <= 0 {
+		return fmt.Errorf("harness: duration must be positive")
+	}
+	if p.QueryRate <= 0 {
+		return fmt.Errorf("harness: query rate must be positive")
+	}
+	if p.ActiveSites > p.Websites {
+		return fmt.Errorf("harness: active sites exceed websites")
+	}
+	if p.ClientsPerSite <= 0 {
+		return fmt.Errorf("harness: clients per site must be positive")
+	}
+	return nil
+}

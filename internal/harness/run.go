@@ -1,0 +1,277 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowercdn/internal/core"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/model"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/squirrel"
+	"flowercdn/internal/topology"
+	"flowercdn/internal/trace"
+	"flowercdn/internal/workload"
+)
+
+// SystemKind names which system a result came from.
+type SystemKind string
+
+// System kinds.
+const (
+	KindFlower   SystemKind = "flower-cdn"
+	KindSquirrel SystemKind = "squirrel"
+)
+
+// Result is one finished run.
+type Result struct {
+	Kind   SystemKind
+	Report metrics.Report
+	Stats  core.Stats // zero for Squirrel
+	Params Params
+}
+
+// RunFlower executes a full Flower-CDN experiment.
+func RunFlower(p Params) (Result, error) {
+	res, _, err := RunFlowerTraced(p, 0)
+	return res, err
+}
+
+// RunFlowerTraced is RunFlower with protocol tracing: up to traceCapacity
+// events are retained in the returned buffer (0 disables tracing).
+func RunFlowerTraced(p Params, traceCapacity int) (Result, *trace.Buffer, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, nil, err
+	}
+	pools := p.BuildPools()
+	kernel := simkernel.New(p.Seed)
+	topo, err := topology.Generate(p.TopologyConfig(pools))
+	if err != nil {
+		return Result{}, nil, err
+	}
+	mets := metrics.New(metrics.Config{BucketWidth: p.BucketWidth})
+	deps := core.Deps{Kernel: kernel, Topo: topo, Metrics: mets}
+	var buf *trace.Buffer
+	if traceCapacity > 0 {
+		buf = trace.NewBuffer(traceCapacity)
+		deps.Tracer = buf
+	}
+	sys, err := core.New(p.CoreConfig(pools), deps)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	gen, err := newGenerator(p, pools)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	pumpQueries(kernel, p.Duration, gen.AsSource(), sys.Submit)
+	if p.ChurnPerHour > 0 {
+		injectChurn(kernel, p, func(rng *rand.Rand) {
+			failed := failRandomFlowerPeer(sys, p, rng)
+			if failed >= 0 && p.ChurnMeanDowntime > 0 {
+				down := simkernel.Time(rng.ExpFloat64() * float64(p.ChurnMeanDowntime))
+				kernel.After(down, func() { sys.RevivePeer(failed) })
+			}
+		})
+	}
+	kernel.Run(p.Duration)
+	return Result{
+		Kind:   KindFlower,
+		Report: mets.Snapshot(p.Duration),
+		Stats:  sys.Stats(),
+		Params: p,
+	}, buf, nil
+}
+
+// RunSquirrel executes the baseline with the identical topology seed,
+// pools and workload stream.
+func RunSquirrel(p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	pools := p.BuildPools()
+	kernel := simkernel.New(p.Seed)
+	topo, err := topology.Generate(p.TopologyConfig(pools))
+	if err != nil {
+		return Result{}, err
+	}
+	mets := metrics.New(metrics.Config{BucketWidth: p.BucketWidth})
+	sys, err := squirrel.New(p.SquirrelConfig(pools), kernel, topo, mets)
+	if err != nil {
+		return Result{}, err
+	}
+	gen, err := newGenerator(p, pools)
+	if err != nil {
+		return Result{}, err
+	}
+	pumpQueries(kernel, p.Duration, gen.AsSource(), sys.Submit)
+	if p.ChurnPerHour > 0 {
+		injectChurn(kernel, p, func(rng *rand.Rand) {
+			failRandomSquirrelPeer(sys, p, pools, rng)
+		})
+	}
+	kernel.Run(p.Duration)
+	return Result{
+		Kind:   KindSquirrel,
+		Report: mets.Snapshot(p.Duration),
+		Params: p,
+	}, nil
+}
+
+func newGenerator(p Params, pools [][]int) (*workload.Generator, error) {
+	return workload.New(workload.Config{
+		Seed:           p.Seed + 1,
+		Sites:          model.MakeSites(p.Websites)[:p.ActiveSites],
+		ObjectsPerSite: p.ObjectsPerSite,
+		ZipfAlpha:      p.ZipfAlpha,
+		QueryRate:      p.QueryRate,
+		Poisson:        p.Poisson,
+		PoolSizes:      pools,
+	})
+}
+
+// pumpQueries lazily schedules the query stream: each fired query
+// schedules the next, so the event queue never holds the whole day.
+func pumpQueries(k *simkernel.Kernel, until simkernel.Time, src workload.Source, submit func(workload.Query)) {
+	var schedule func()
+	schedule = func() {
+		q, ok := src.Next()
+		if !ok || q.At > until {
+			return
+		}
+		k.At(q.At, func() {
+			submit(q)
+			schedule()
+		})
+	}
+	schedule()
+}
+
+// RunFlowerReplay runs Flower-CDN against a recorded query trace instead
+// of the synthetic generator (see workload.ParseTrace for the format). The
+// trace's (site, locality, member) coordinates must fit the pools implied
+// by the parameters.
+func RunFlowerReplay(p Params, queries []workload.Query) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	pools := p.BuildPools()
+	for i, q := range queries {
+		if q.SiteIdx < 0 || q.SiteIdx >= len(pools) {
+			return Result{}, fmt.Errorf("harness: replay record %d: site %d out of range", i, q.SiteIdx)
+		}
+		if q.Locality < 0 || q.Locality >= p.Localities {
+			return Result{}, fmt.Errorf("harness: replay record %d: locality %d out of range", i, q.Locality)
+		}
+		if q.Member < 0 || q.Member >= pools[q.SiteIdx][q.Locality] {
+			return Result{}, fmt.Errorf("harness: replay record %d: member %d outside pool %d",
+				i, q.Member, pools[q.SiteIdx][q.Locality])
+		}
+	}
+	replayer, err := workload.NewReplayer(queries)
+	if err != nil {
+		return Result{}, err
+	}
+	kernel := simkernel.New(p.Seed)
+	topo, err := topology.Generate(p.TopologyConfig(pools))
+	if err != nil {
+		return Result{}, err
+	}
+	mets := metrics.New(metrics.Config{BucketWidth: p.BucketWidth})
+	sys, err := core.New(p.CoreConfig(pools), core.Deps{Kernel: kernel, Topo: topo, Metrics: mets})
+	if err != nil {
+		return Result{}, err
+	}
+	pumpQueries(kernel, p.Duration, replayer, sys.Submit)
+	kernel.Run(p.Duration)
+	return Result{
+		Kind:   KindFlower,
+		Report: mets.Snapshot(p.Duration),
+		Stats:  sys.Stats(),
+		Params: p,
+	}, nil
+}
+
+// injectChurn schedules peer failures as a Poisson process with rate
+// ChurnPerHour.
+func injectChurn(k *simkernel.Kernel, p Params, failOne func(*rand.Rand)) {
+	rng := k.DeriveRNG("churn")
+	meanGapMs := float64(simkernel.Hour) / p.ChurnPerHour
+	var schedule func()
+	schedule = func() {
+		gap := simkernel.Time(rng.ExpFloat64() * meanGapMs)
+		if gap < simkernel.Second {
+			gap = simkernel.Second
+		}
+		k.After(gap, func() {
+			failOne(rng)
+			schedule()
+		})
+	}
+	schedule()
+}
+
+// failRandomFlowerPeer crashes one peer and returns its address, or -1
+// when a directory (not revivable) or nothing was failed.
+func failRandomFlowerPeer(sys *core.System, p Params, rng *rand.Rand) simnet.NodeID {
+	cfg := sys.Config()
+	// Directory peers are a small fraction of the population; when churn
+	// includes them, hit one occasionally (~10% of failures) so §5.2's
+	// replacement path is actually exercised.
+	if p.ChurnIncludesDirs && rng.Float64() < 0.10 {
+		sites := model.MakeSites(p.Websites)[:p.ActiveSites]
+		site := sites[rng.Intn(len(sites))]
+		loc := rng.Intn(p.Localities)
+		if sys.FailDirectory(site, loc) {
+			return -1
+		}
+	}
+	// Otherwise pick a joined content peer at random (bounded draws).
+	for try := 0; try < 32; try++ {
+		si := rng.Intn(cfg.ActiveSites)
+		loc := rng.Intn(cfg.Localities)
+		size := sys.PoolSize(si, loc)
+		if size == 0 {
+			continue
+		}
+		addr := sys.PoolNode(si, loc, rng.Intn(size))
+		if !sys.Joined(addr) || !sys.Network().Alive(addr) {
+			continue
+		}
+		sys.FailPeer(addr)
+		return addr
+	}
+	return -1
+}
+
+func failRandomSquirrelPeer(sys *squirrel.System, p Params, pools [][]int, rng *rand.Rand) {
+	for try := 0; try < 32; try++ {
+		si := rng.Intn(len(pools))
+		loc := rng.Intn(p.Localities)
+		if pools[si][loc] == 0 {
+			continue
+		}
+		addr := sys.PoolNode(si, loc, rng.Intn(pools[si][loc]))
+		if !sys.Network().Alive(addr) {
+			continue
+		}
+		sys.FailPeer(addr)
+		return
+	}
+}
+
+// TrafficBytes extracts one category's byte count from a report.
+func TrafficBytes(r metrics.Report, cat simnet.Category) int64 {
+	for _, ts := range r.Traffic {
+		if ts.Category == cat {
+			return ts.Bytes
+		}
+	}
+	return 0
+}
+
+// Describe renders a one-line result summary.
+func (r Result) Describe() string {
+	return fmt.Sprintf("%s: %s", r.Kind, r.Report.String())
+}

@@ -1,0 +1,33 @@
+// Package model defines the small shared vocabulary of the system:
+// websites and the objects they serve. Keeping these in one leaf package
+// lets the overlay, directory and workload layers agree on identifiers
+// without depending on each other.
+package model
+
+import "fmt"
+
+// SiteID names a website (the paper's ws ∈ W), e.g. the site's URL.
+type SiteID string
+
+// ObjectID identifies one object of a website's content (a web page or
+// document).
+type ObjectID struct {
+	Site SiteID
+	Num  int
+}
+
+// Key returns the canonical string form used for hashing, Bloom filters
+// and DHT keys — the stand-in for the object's URL.
+func (o ObjectID) Key() string { return fmt.Sprintf("%s/obj-%05d", o.Site, o.Num) }
+
+// String implements fmt.Stringer.
+func (o ObjectID) String() string { return o.Key() }
+
+// MakeSites generates n website identifiers ("ws-00".."ws-(n-1)").
+func MakeSites(n int) []SiteID {
+	out := make([]SiteID, n)
+	for i := range out {
+		out[i] = SiteID(fmt.Sprintf("ws-%03d", i))
+	}
+	return out
+}

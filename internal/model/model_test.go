@@ -1,0 +1,30 @@
+package model
+
+import "testing"
+
+func TestObjectKeyUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range MakeSites(10) {
+		for i := 0; i < 100; i++ {
+			k := ObjectID{Site: s, Num: i}.Key()
+			if seen[k] {
+				t.Fatalf("duplicate key %q", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestMakeSites(t *testing.T) {
+	sites := MakeSites(3)
+	if len(sites) != 3 || sites[0] != "ws-000" || sites[2] != "ws-002" {
+		t.Fatalf("MakeSites = %v", sites)
+	}
+}
+
+func TestStringEqualsKey(t *testing.T) {
+	o := ObjectID{Site: "ws-001", Num: 7}
+	if o.String() != o.Key() {
+		t.Fatal("String and Key must agree")
+	}
+}

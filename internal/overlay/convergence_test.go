@@ -1,0 +1,167 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flowercdn/internal/gossip"
+	"flowercdn/internal/simnet"
+)
+
+// These tests drive Algorithm 4 as a protocol — many peers, many rounds —
+// and check the epidemic properties the paper relies on: views converge
+// to a connected overlay, content summaries disseminate, and ages track
+// staleness. The exchanges run synchronously here (no simulator), which
+// pins the algorithm itself rather than the wiring.
+
+// gossipRound performs one full round: every peer runs its active
+// behaviour once against the in-memory population.
+func gossipRound(t *testing.T, peers []*ContentPeer, byAddr map[simnet.NodeID]*ContentPeer, rng *rand.Rand) {
+	t.Helper()
+	for _, p := range peers {
+		p.TickAges()
+		target, msg, ok := p.MakeGossip(rng)
+		if !ok {
+			continue
+		}
+		partner, alive := byAddr[target]
+		if !alive {
+			p.RemoveContact(target) // timeout-equivalent
+			continue
+		}
+		reply := partner.AcceptGossip(msg, rng)
+		p.ApplyGossipReply(reply)
+	}
+}
+
+func buildPopulation(n int) ([]*ContentPeer, map[simnet.NodeID]*ContentPeer) {
+	cfg := Config{ViewSize: 8, GossipLen: 3, PushThreshold: 0.1, SummaryCapacity: 50}
+	peers := make([]*ContentPeer, n)
+	byAddr := map[simnet.NodeID]*ContentPeer{}
+	for i := range peers {
+		peers[i] = New(simnet.NodeID(i+1), "ws-000", 0, cfg, 0)
+		peers[i].AddObject(fmt.Sprintf("obj-of-%d", i+1))
+		byAddr[peers[i].Addr()] = peers[i]
+	}
+	// Seed views as a ring: each knows only its predecessor — the weakest
+	// connected bootstrap.
+	for i := range peers {
+		prev := peers[(i+n-1)%n]
+		peers[i].SeedView([]gossip.Entry{{Node: prev.Addr(), Age: 0, Summary: prev.Summary()}})
+	}
+	return peers, byAddr
+}
+
+func TestEpidemicViewConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 40
+	peers, byAddr := buildPopulation(n)
+	// After O(log n) rounds every view should be full and hold summaries.
+	for round := 0; round < 12; round++ {
+		gossipRound(t, peers, byAddr, rng)
+	}
+	for _, p := range peers {
+		if p.View().Len() < p.View().Capacity() {
+			t.Fatalf("peer %d view only %d/%d after 12 rounds",
+				p.Addr(), p.View().Len(), p.View().Capacity())
+		}
+		withSummary := 0
+		for _, e := range p.View().Entries() {
+			if e.Summary != nil {
+				withSummary++
+			}
+		}
+		if withSummary < p.View().Len()/2 {
+			t.Fatalf("peer %d has only %d/%d summaries", p.Addr(), withSummary, p.View().Len())
+		}
+	}
+}
+
+func TestEpidemicSummaryDissemination(t *testing.T) {
+	// A single peer's object should become findable (via summaries in
+	// views) by a growing fraction of the population round over round.
+	rng := rand.New(rand.NewSource(2))
+	const n = 40
+	peers, byAddr := buildPopulation(n)
+	special := "hot-object"
+	peers[0].AddObject(special)
+	canFind := func() int {
+		found := 0
+		for _, p := range peers {
+			if p.Has(special) {
+				continue
+			}
+			if len(p.CandidatesFor(special, rng)) > 0 {
+				found++
+			}
+		}
+		return found
+	}
+	before := canFind()
+	for round := 0; round < 14; round++ {
+		gossipRound(t, peers, byAddr, rng)
+	}
+	after := canFind()
+	if after <= before {
+		t.Fatalf("dissemination did not spread: %d → %d", before, after)
+	}
+	// With view size 8 of 40 peers, roughly viewsize/n of peers should see
+	// the holder; require a sane floor.
+	if after < n/8 {
+		t.Fatalf("only %d/%d peers can find the hot object", after, n)
+	}
+}
+
+func TestDeadPeerEventuallyForgotten(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 20
+	peers, byAddr := buildPopulation(n)
+	for round := 0; round < 10; round++ {
+		gossipRound(t, peers, byAddr, rng)
+	}
+	// Kill peer 1: stop answering, and stop being refreshed.
+	dead := peers[0].Addr()
+	delete(byAddr, dead)
+	alive := peers[1:]
+	// Entries for the dead peer age; T_dead eviction plus gossip-timeout
+	// removal must purge it everywhere. The age limit here is 6 periods.
+	for round := 0; round < 40; round++ {
+		for _, p := range alive {
+			p.DropOldContacts(6)
+		}
+		gossipRound(t, alive, byAddr, rng)
+	}
+	for _, p := range alive {
+		if p.View().Contains(dead) {
+			e, _ := p.View().Get(dead)
+			t.Fatalf("peer %d still lists dead contact (age %d)", p.Addr(), e.Age)
+		}
+	}
+}
+
+func TestDirectoryEntryPropagation(t *testing.T) {
+	// §4.2.1/§5.2: the special directory entry spreads through gossip, so
+	// a replacement directory becomes known overlay-wide without any
+	// broadcast.
+	rng := rand.New(rand.NewSource(4))
+	const n = 30
+	peers, byAddr := buildPopulation(n)
+	for round := 0; round < 8; round++ {
+		gossipRound(t, peers, byAddr, rng)
+	}
+	// Only peer 5 learns about the new directory (it replaced the old one).
+	peers[5].SetDir(999)
+	for round := 0; round < 10; round++ {
+		gossipRound(t, peers, byAddr, rng)
+	}
+	knows := 0
+	for _, p := range peers {
+		if d := p.Dir(); d.Known && d.Addr == 999 {
+			knows++
+		}
+	}
+	if knows < n/2 {
+		t.Fatalf("directory info reached only %d/%d peers", knows, n)
+	}
+}

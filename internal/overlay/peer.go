@@ -1,0 +1,362 @@
+// Package overlay implements the content-overlay side of the paper's
+// contribution (§4): the state machine of a content peer c(ws,loc) — its
+// stored content, the Bloom content summary, the bounded gossip view with
+// the special directory entry, the active/passive gossip behaviours of
+// Algorithm 4 and the push behaviour of Algorithm 5.
+//
+// Like internal/dring, this package contains no networking: it builds and
+// consumes protocol messages as values, and the core system moves them
+// across the simulated network. That separation keeps every protocol rule
+// unit-testable without a simulator.
+package overlay
+
+import (
+	"math/rand"
+	"sort"
+
+	"flowercdn/internal/bloom"
+	"flowercdn/internal/gossip"
+	"flowercdn/internal/model"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
+)
+
+// Config holds the gossip parameters of Table 1.
+type Config struct {
+	ViewSize        int     // V_gossip: max contacts in the view
+	GossipLen       int     // L_gossip: view subset exchanged per round
+	PushThreshold   float64 // fraction of changed content triggering a push
+	SummaryCapacity int     // nb-ob: sizing of Bloom summaries (8·nb-ob bits)
+}
+
+// DefaultConfig returns the paper's chosen operating point (§6.2):
+// V_gossip=50, L_gossip=10, push threshold 0.1.
+func DefaultConfig() Config {
+	return Config{ViewSize: 50, GossipLen: 10, PushThreshold: 0.1, SummaryCapacity: 500}
+}
+
+// DirInfo is the special view entry for the directory peer (§4.2.1): only
+// address and age, gossiped alongside regular entries so the overlay
+// agrees on who the directory is, especially across replacements (§5.2).
+type DirInfo struct {
+	Addr  simnet.NodeID
+	Age   int
+	Known bool
+}
+
+// WireBytes models the serialized size of the directory entry.
+func (d DirInfo) WireBytes() int { return 8 }
+
+// GossipMsg is one gossip exchange message (either direction of Algorithm
+// 4): the sender's current content summary, a subset of its view, and its
+// directory entry.
+type GossipMsg struct {
+	From       simnet.NodeID
+	Summary    *bloom.Filter
+	ViewSubset []gossip.Entry
+	Dir        DirInfo
+	IsReply    bool
+}
+
+// WireBytes models the message size for traffic accounting: a 20-byte
+// header, the sender summary, the subset entries and the directory entry.
+func (m GossipMsg) WireBytes() int {
+	n := 20 + m.Dir.WireBytes()
+	if m.Summary != nil {
+		n += m.Summary.SizeBytes()
+	}
+	for _, e := range m.ViewSubset {
+		n += e.WireBytes()
+	}
+	return n
+}
+
+// PushMsg is the ∆list push of Algorithm 5.
+type PushMsg struct {
+	From    simnet.NodeID
+	Added   []string
+	Removed []string
+}
+
+// WireBytes: 20-byte header + 8 bytes per object identifier.
+func (m PushMsg) WireBytes() int { return 20 + 8*(len(m.Added)+len(m.Removed)) }
+
+// ContentPeer is the protocol state of one c(ws,loc).
+type ContentPeer struct {
+	addr simnet.NodeID
+	site model.SiteID
+	loc  int
+	cfg  Config
+
+	content      map[string]struct{}
+	summary      *bloom.Filter // immutable snapshot; rebuilt when dirty
+	summaryDirty bool
+
+	// Net un-pushed changes: +1 added, -1 removed. Tracking the *net*
+	// effect (not an append log) keeps ∆lists replayable in any order.
+	pending map[string]int8
+
+	view *gossip.View
+	dir  DirInfo
+
+	joinedAt simkernel.Time
+}
+
+// New creates a content peer that joined at the given time.
+func New(addr simnet.NodeID, site model.SiteID, loc int, cfg Config, joinedAt simkernel.Time) *ContentPeer {
+	if cfg.ViewSize <= 0 {
+		cfg.ViewSize = 1
+	}
+	if cfg.SummaryCapacity <= 0 {
+		cfg.SummaryCapacity = 1
+	}
+	return &ContentPeer{
+		addr:     addr,
+		site:     site,
+		loc:      loc,
+		cfg:      cfg,
+		content:  make(map[string]struct{}),
+		pending:  make(map[string]int8),
+		view:     gossip.NewView(addr, cfg.ViewSize),
+		joinedAt: joinedAt,
+	}
+}
+
+// Addr returns the peer's network address.
+func (c *ContentPeer) Addr() simnet.NodeID { return c.addr }
+
+// Site returns the website the peer supports.
+func (c *ContentPeer) Site() model.SiteID { return c.site }
+
+// Locality returns the peer's measured locality.
+func (c *ContentPeer) Locality() int { return c.loc }
+
+// JoinedAt returns the join time (used for replacement-candidate ranking,
+// §5.2: "peer stability").
+func (c *ContentPeer) JoinedAt() simkernel.Time { return c.joinedAt }
+
+// View exposes the gossip view (read-mostly; mutations go through the
+// protocol methods).
+func (c *ContentPeer) View() *gossip.View { return c.view }
+
+// --- Content management (§4.1) ------------------------------------------
+
+// Has reports whether the peer stores obj.
+func (c *ContentPeer) Has(obj string) bool {
+	_, ok := c.content[obj]
+	return ok
+}
+
+// ContentSize returns the number of stored objects.
+func (c *ContentPeer) ContentSize() int { return len(c.content) }
+
+// Objects returns the stored object identifiers, sorted.
+func (c *ContentPeer) Objects() []string {
+	out := make([]string, 0, len(c.content))
+	for o := range c.content {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddObject stores a retrieved object ("peers keep the web-pages they
+// retrieve") and records the change for the next push.
+func (c *ContentPeer) AddObject(obj string) {
+	if _, dup := c.content[obj]; dup {
+		return
+	}
+	c.content[obj] = struct{}{}
+	if c.pending[obj] == -1 {
+		delete(c.pending, obj) // remove+add within one window cancels out
+	} else {
+		c.pending[obj] = 1
+	}
+	c.summaryDirty = true
+}
+
+// RemoveObject evicts an object (cache replacement is out of the paper's
+// scope but the ∆list protocol supports deletions, §4.2).
+func (c *ContentPeer) RemoveObject(obj string) {
+	if _, ok := c.content[obj]; !ok {
+		return
+	}
+	delete(c.content, obj)
+	if c.pending[obj] == 1 {
+		delete(c.pending, obj)
+	} else {
+		c.pending[obj] = -1
+	}
+	c.summaryDirty = true
+}
+
+// Summary returns the current content summary (Bloom over the content
+// list). The returned filter is an immutable snapshot: a new instance is
+// built after every content change.
+func (c *ContentPeer) Summary() *bloom.Filter {
+	if c.summary == nil || c.summaryDirty {
+		f := bloom.NewForCapacity(c.cfg.SummaryCapacity)
+		for _, o := range c.Objects() {
+			f.Add(o)
+		}
+		c.summary = f
+		c.summaryDirty = false
+	}
+	return c.summary
+}
+
+// --- Push behaviour (Algorithm 5) ----------------------------------------
+
+// NeedPush reports whether the fraction of un-pushed changes reached the
+// push threshold.
+func (c *ContentPeer) NeedPush() bool {
+	changes := len(c.pending)
+	if changes == 0 {
+		return false
+	}
+	base := len(c.content)
+	if base < 1 {
+		base = 1
+	}
+	return float64(changes)/float64(base) >= c.cfg.PushThreshold
+}
+
+// TakePush extracts the ∆list and resets the change counter (Algorithm 5's
+// extract_changes). Returns ok=false when there is nothing to push.
+func (c *ContentPeer) TakePush() (PushMsg, bool) {
+	if len(c.pending) == 0 {
+		return PushMsg{}, false
+	}
+	msg := PushMsg{From: c.addr}
+	for obj, delta := range c.pending {
+		if delta > 0 {
+			msg.Added = append(msg.Added, obj)
+		} else {
+			msg.Removed = append(msg.Removed, obj)
+		}
+	}
+	sort.Strings(msg.Added)
+	sort.Strings(msg.Removed)
+	c.pending = make(map[string]int8)
+	return msg, true
+}
+
+// PendingChanges reports the number of un-pushed content changes.
+func (c *ContentPeer) PendingChanges() int { return len(c.pending) }
+
+// --- Directory entry management (§4.2.1, §5.2) ---------------------------
+
+// Dir returns the current directory entry.
+func (c *ContentPeer) Dir() DirInfo { return c.dir }
+
+// SetDir installs a directory peer at age zero (at join, or when a
+// replacement is discovered).
+func (c *ContentPeer) SetDir(addr simnet.NodeID) {
+	c.dir = DirInfo{Addr: addr, Age: 0, Known: true}
+}
+
+// RefreshDir resets the directory age (after a successful push or
+// keepalive round trip).
+func (c *ContentPeer) RefreshDir() { c.dir.Age = 0 }
+
+// ForgetDir clears the directory entry (observed failure).
+func (c *ContentPeer) ForgetDir() { c.dir = DirInfo{} }
+
+// ConsiderDir adopts gossiped directory information when it is fresher
+// than ours or when we have none (how replacement directories propagate
+// through the overlay, §5.2).
+func (c *ContentPeer) ConsiderDir(d DirInfo) {
+	if !d.Known {
+		return
+	}
+	if !c.dir.Known || d.Age < c.dir.Age {
+		c.dir = d
+	}
+}
+
+// --- Gossip behaviour (Algorithm 4) --------------------------------------
+
+// TickAges ages the view and the directory entry by one gossip period.
+func (c *ContentPeer) TickAges() {
+	c.view.IncrementAges()
+	if c.dir.Known {
+		c.dir.Age++
+	}
+}
+
+// MakeGossip performs the sending half of the active behaviour: select the
+// oldest contact as the gossip target and build the message (own current
+// summary + random view subset + directory entry). ok=false when the view
+// is empty.
+func (c *ContentPeer) MakeGossip(rng *rand.Rand) (target simnet.NodeID, msg GossipMsg, ok bool) {
+	oldest, ok := c.view.SelectOldest()
+	if !ok {
+		return 0, GossipMsg{}, false
+	}
+	return oldest.Node, GossipMsg{
+		From:       c.addr,
+		Summary:    c.Summary(),
+		ViewSubset: c.view.SelectSubset(rng, c.cfg.GossipLen),
+		Dir:        c.dir,
+	}, true
+}
+
+// AcceptGossip performs the passive behaviour: build the answer message,
+// then merge the received information (view subset + a fresh entry for the
+// sender) and consider the gossiped directory entry.
+func (c *ContentPeer) AcceptGossip(msg GossipMsg, rng *rand.Rand) GossipMsg {
+	reply := GossipMsg{
+		From:       c.addr,
+		Summary:    c.Summary(),
+		ViewSubset: c.view.SelectSubset(rng, c.cfg.GossipLen),
+		Dir:        c.dir,
+		IsReply:    true,
+	}
+	c.mergeGossip(msg)
+	return reply
+}
+
+// ApplyGossipReply finishes the active behaviour when the partner's answer
+// arrives.
+func (c *ContentPeer) ApplyGossipReply(msg GossipMsg) { c.mergeGossip(msg) }
+
+func (c *ContentPeer) mergeGossip(msg GossipMsg) {
+	incoming := make([]gossip.Entry, 0, len(msg.ViewSubset)+1)
+	incoming = append(incoming, msg.ViewSubset...)
+	incoming = append(incoming, gossip.Entry{Node: msg.From, Age: 0, Summary: msg.Summary})
+	c.view.Merge(incoming)
+	c.ConsiderDir(msg.Dir)
+}
+
+// SeedView initialises the view of a freshly joined peer from entries
+// provided by the peer that served it (a subset of that peer's view) or by
+// the directory peer (a subset of its index, without summaries) — §4.2.
+func (c *ContentPeer) SeedView(entries []gossip.Entry) {
+	c.view.Merge(entries)
+}
+
+// RemoveContact drops a dead or relocated contact (§5.1, §5.4).
+func (c *ContentPeer) RemoveContact(node simnet.NodeID) { c.view.Remove(node) }
+
+// DropOldContacts evicts view entries at or beyond the age limit and
+// returns them.
+func (c *ContentPeer) DropOldContacts(ageLimit int) []simnet.NodeID {
+	return c.view.DropOlderThan(ageLimit)
+}
+
+// CandidatesFor returns contacts whose summaries test positive for obj, in
+// a load-spreading random order (§4.1: replicas of popular objects spread
+// the load across holders).
+func (c *ContentPeer) CandidatesFor(obj string, rng *rand.Rand) []simnet.NodeID {
+	cands := c.view.MatchingSummaries(obj)
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	return cands
+}
+
+// ViewSeedFor produces the view subset handed to a newly joined peer that
+// this peer just served, including this peer itself as a fresh entry.
+func (c *ContentPeer) ViewSeedFor(rng *rand.Rand) []gossip.Entry {
+	seed := c.view.SelectSubset(rng, c.cfg.GossipLen)
+	seed = append(seed, gossip.Entry{Node: c.addr, Age: 0, Summary: c.Summary()})
+	return seed
+}

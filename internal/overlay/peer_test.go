@@ -1,0 +1,355 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowercdn/internal/gossip"
+	"flowercdn/internal/simnet"
+)
+
+func newPeer(addr simnet.NodeID) *ContentPeer {
+	cfg := DefaultConfig()
+	cfg.SummaryCapacity = 100
+	return New(addr, "ws-000", 2, cfg, 0)
+}
+
+func TestContentManagement(t *testing.T) {
+	p := newPeer(1)
+	p.AddObject("b")
+	p.AddObject("a")
+	p.AddObject("a") // duplicate ignored
+	if p.ContentSize() != 2 || !p.Has("a") || p.Has("z") {
+		t.Fatal("content bookkeeping wrong")
+	}
+	objs := p.Objects()
+	if len(objs) != 2 || objs[0] != "a" || objs[1] != "b" {
+		t.Fatalf("Objects() = %v", objs)
+	}
+	p.RemoveObject("a")
+	p.RemoveObject("zz") // absent: no-op
+	if p.Has("a") || p.ContentSize() != 1 {
+		t.Fatal("removal wrong")
+	}
+}
+
+func TestSummarySnapshotImmutable(t *testing.T) {
+	p := newPeer(1)
+	p.AddObject("x")
+	s1 := p.Summary()
+	if !s1.Test("x") {
+		t.Fatal("summary missing content")
+	}
+	p.AddObject("y")
+	s2 := p.Summary()
+	if s1 == s2 {
+		t.Fatal("summary not rebuilt after change")
+	}
+	if s1.Test("y") {
+		t.Fatal("old snapshot mutated")
+	}
+	if !s2.Test("y") || !s2.Test("x") {
+		t.Fatal("new summary incomplete")
+	}
+	if p.Summary() != s2 {
+		t.Fatal("unchanged content must reuse the snapshot")
+	}
+}
+
+func TestPushThreshold(t *testing.T) {
+	p := newPeer(1)
+	if p.NeedPush() {
+		t.Fatal("no changes should mean no push")
+	}
+	p.AddObject("o1") // 1 change / list size 1 = 100% ≥ 10%
+	if !p.NeedPush() {
+		t.Fatal("first object must trigger a push")
+	}
+	msg, ok := p.TakePush()
+	if !ok || len(msg.Added) != 1 || msg.Added[0] != "o1" || msg.From != 1 {
+		t.Fatalf("TakePush = %+v", msg)
+	}
+	if p.NeedPush() || p.PendingChanges() != 0 {
+		t.Fatal("push did not reset counters")
+	}
+	// Build a 20-object list; threshold 0.1 ⇒ 2 new changes trigger.
+	for i := 0; i < 19; i++ {
+		p.AddObject(fmt.Sprintf("bulk-%d", i))
+	}
+	p.TakePush()
+	p.AddObject("n1")
+	if p.NeedPush() { // 1/20 = 5% < 10%
+		t.Fatal("below threshold should not push")
+	}
+	p.AddObject("n2")
+	if !p.NeedPush() { // 2/22 ≈ 9.1%... list is now 22: recompute
+		// 2 changes / 22 objects = 9.09% < 10% — actually still below.
+		t.Log("2/22 below threshold as computed against current list")
+	}
+	p.AddObject("n3")
+	if !p.NeedPush() { // 3/23 ≈ 13% ≥ 10%
+		t.Fatal("threshold crossing not detected")
+	}
+	msg, _ = p.TakePush()
+	if len(msg.Added) != 3 {
+		t.Fatalf("delta size = %d, want 3", len(msg.Added))
+	}
+}
+
+func TestPushIncludesRemovals(t *testing.T) {
+	p := newPeer(1)
+	p.AddObject("a")
+	p.TakePush()
+	p.RemoveObject("a")
+	msg, ok := p.TakePush()
+	if !ok || len(msg.Removed) != 1 || msg.Removed[0] != "a" {
+		t.Fatalf("removal delta wrong: %+v", msg)
+	}
+	if _, ok := p.TakePush(); ok {
+		t.Fatal("empty TakePush should report not-ok")
+	}
+}
+
+func TestDirEntryLifecycle(t *testing.T) {
+	p := newPeer(1)
+	if p.Dir().Known {
+		t.Fatal("fresh peer should not know a directory")
+	}
+	p.SetDir(50)
+	p.TickAges()
+	p.TickAges()
+	if d := p.Dir(); d.Addr != 50 || d.Age != 2 {
+		t.Fatalf("dir = %+v", d)
+	}
+	p.RefreshDir()
+	if p.Dir().Age != 0 {
+		t.Fatal("RefreshDir failed")
+	}
+	// Fresher gossiped info wins.
+	p.TickAges()
+	p.ConsiderDir(DirInfo{Addr: 60, Age: 0, Known: true})
+	if p.Dir().Addr != 60 {
+		t.Fatal("fresher directory info not adopted")
+	}
+	// Staler info is ignored.
+	p.ConsiderDir(DirInfo{Addr: 70, Age: 9, Known: true})
+	if p.Dir().Addr != 70 && p.Dir().Addr != 60 {
+		t.Fatal("unexpected dir")
+	}
+	if p.Dir().Addr == 70 {
+		t.Fatal("staler directory info adopted")
+	}
+	p.ForgetDir()
+	if p.Dir().Known {
+		t.Fatal("ForgetDir failed")
+	}
+	p.ConsiderDir(DirInfo{}) // unknown: no-op
+	if p.Dir().Known {
+		t.Fatal("unknown dir info adopted")
+	}
+}
+
+func TestGossipRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := newPeer(1), newPeer(2)
+	a.AddObject("on-a")
+	b.AddObject("on-b")
+	a.SetDir(99)
+	a.SeedView([]gossip.Entry{{Node: 2, Age: 3}})
+	target, msg, ok := a.MakeGossip(rng)
+	if !ok || target != 2 {
+		t.Fatalf("MakeGossip target = %d ok=%v", target, ok)
+	}
+	if msg.Summary == nil || !msg.Summary.Test("on-a") {
+		t.Fatal("gossip message missing sender summary")
+	}
+	reply := b.AcceptGossip(msg, rng)
+	if !reply.IsReply || reply.From != 2 {
+		t.Fatalf("reply malformed: %+v", reply)
+	}
+	// b must now know a, fresh, with a's summary; and a's directory.
+	e, found := b.View().Get(1)
+	if !found || e.Age != 0 || e.Summary == nil || !e.Summary.Test("on-a") {
+		t.Fatalf("b's entry for a: %+v found=%v", e, found)
+	}
+	if d := b.Dir(); !d.Known || d.Addr != 99 {
+		t.Fatalf("directory info not gossiped: %+v", d)
+	}
+	a.ApplyGossipReply(reply)
+	e, found = a.View().Get(2)
+	if !found || e.Age != 0 || e.Summary == nil || !e.Summary.Test("on-b") {
+		t.Fatalf("a's entry for b: %+v found=%v", e, found)
+	}
+}
+
+func TestMakeGossipEmptyView(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := newPeer(1)
+	if _, _, ok := p.MakeGossip(rng); ok {
+		t.Fatal("empty view should not gossip")
+	}
+}
+
+func TestCandidatesForUsesSummaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := newPeer(1)
+	holder := newPeer(2)
+	holder.AddObject("wanted")
+	other := newPeer(3)
+	other.AddObject("unrelated")
+	p.SeedView([]gossip.Entry{
+		{Node: 2, Age: 0, Summary: holder.Summary()},
+		{Node: 3, Age: 0, Summary: other.Summary()},
+	})
+	cands := p.CandidatesFor("wanted", rng)
+	if len(cands) != 1 || cands[0] != 2 {
+		t.Fatalf("candidates = %v, want [2]", cands)
+	}
+}
+
+func TestCandidatesShuffled(t *testing.T) {
+	// With many holders, ordering should vary across queries (load
+	// spreading): check that at least two orderings occur.
+	p := newPeer(1)
+	var holders []*ContentPeer
+	var entries []gossip.Entry
+	for i := 2; i < 12; i++ {
+		h := newPeer(simnet.NodeID(i))
+		h.AddObject("popular")
+		holders = append(holders, h)
+		entries = append(entries, gossip.Entry{Node: h.Addr(), Age: 0, Summary: h.Summary()})
+	}
+	p.SeedView(entries)
+	rng := rand.New(rand.NewSource(3))
+	first := fmt.Sprint(p.CandidatesFor("popular", rng))
+	varied := false
+	for i := 0; i < 10; i++ {
+		if fmt.Sprint(p.CandidatesFor("popular", rng)) != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("candidate order never varies")
+	}
+}
+
+func TestViewSeedForIncludesSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := newPeer(7)
+	p.AddObject("x")
+	p.SeedView([]gossip.Entry{{Node: 2, Age: 1}, {Node: 3, Age: 2}})
+	seed := p.ViewSeedFor(rng)
+	foundSelf := false
+	for _, e := range seed {
+		if e.Node == 7 {
+			foundSelf = true
+			if e.Age != 0 || e.Summary == nil || !e.Summary.Test("x") {
+				t.Fatalf("self entry malformed: %+v", e)
+			}
+		}
+	}
+	if !foundSelf {
+		t.Fatal("seed must include the serving peer")
+	}
+}
+
+func TestDropOldContacts(t *testing.T) {
+	p := newPeer(1)
+	p.SeedView([]gossip.Entry{{Node: 2, Age: 0}, {Node: 3, Age: 0}})
+	for i := 0; i < 4; i++ {
+		p.TickAges()
+	}
+	p.View().Refresh(2, nil)
+	evicted := p.DropOldContacts(4)
+	if len(evicted) != 1 || evicted[0] != 3 {
+		t.Fatalf("evicted = %v, want [3]", evicted)
+	}
+	p.RemoveContact(2)
+	if p.View().Len() != 0 {
+		t.Fatal("RemoveContact failed")
+	}
+}
+
+func TestGossipWireBytes(t *testing.T) {
+	p := newPeer(1)
+	p.AddObject("x")
+	p.SetDir(9)
+	p.SeedView([]gossip.Entry{{Node: 2, Age: 0, Summary: p.Summary()}})
+	rng := rand.New(rand.NewSource(5))
+	_, msg, ok := p.MakeGossip(rng)
+	if !ok {
+		t.Fatal("gossip failed")
+	}
+	// header 20 + dir 8 + own summary 100 + 1 entry (8 + 100).
+	want := 20 + 8 + 100 + 108
+	if msg.WireBytes() != want {
+		t.Fatalf("WireBytes = %d, want %d", msg.WireBytes(), want)
+	}
+	push := PushMsg{From: 1, Added: []string{"a", "b"}, Removed: []string{"c"}}
+	if push.WireBytes() != 20+24 {
+		t.Fatalf("push bytes = %d, want 44", push.WireBytes())
+	}
+}
+
+// Property: whatever sequence of adds/removes, (1) the summary never has
+// false negatives on current content, and (2) concatenated pushes replay
+// to exactly the same content set.
+func TestQuickContentPushConsistency(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		p := newPeer(1)
+		replay := map[string]struct{}{}
+		apply := func(msg PushMsg) {
+			for _, o := range msg.Added {
+				replay[o] = struct{}{}
+			}
+			for _, o := range msg.Removed {
+				delete(replay, o)
+			}
+		}
+		for _, op := range ops {
+			obj := fmt.Sprintf("o-%d", op%17)
+			if op%3 == 2 {
+				p.RemoveObject(obj)
+			} else {
+				p.AddObject(obj)
+			}
+			if op%5 == 0 {
+				if msg, ok := p.TakePush(); ok {
+					apply(msg)
+				}
+			}
+		}
+		if msg, ok := p.TakePush(); ok {
+			apply(msg)
+		}
+		if len(replay) != p.ContentSize() {
+			return false
+		}
+		sum := p.Summary()
+		for _, o := range p.Objects() {
+			if _, ok := replay[o]; !ok {
+				return false
+			}
+			if !sum.Test(o) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p := New(5, "ws-009", 3, DefaultConfig(), 1234)
+	if p.Addr() != 5 || p.Site() != "ws-009" || p.Locality() != 3 || p.JoinedAt() != 1234 {
+		t.Fatal("accessors wrong")
+	}
+	if p.View() == nil {
+		t.Fatal("view missing")
+	}
+}

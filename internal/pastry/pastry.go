@@ -1,0 +1,421 @@
+// Package pastry implements the Pastry distributed hash table (Rowstron &
+// Druschel, Middleware 2001 — reference [17] in the paper), the second DHT
+// substrate the paper names for D-ring ("D-Ring can be integrated into any
+// existing structured overlay based on a standard DHT (e.g., Chord,
+// Pastry)", §3.1).
+//
+// Identifiers are digits of b bits in a circular space (shared with the
+// chord package's Space arithmetic). Each node keeps
+//
+//   - a leaf set: the L/2 numerically closest smaller and larger live
+//     nodes, and
+//   - a routing table: for each digit position r and digit value c, a node
+//     sharing r digits of prefix with us whose digit r equals c.
+//
+// Routing delivers a key to the node with the numerically closest
+// identifier — which is exactly the delivery rule the paper's §3.2 assumes
+// ("the DHT key-based routing service redirects the message to the
+// directory peer that has an ID that is numerically closest").
+package pastry
+
+import (
+	"fmt"
+	"sort"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/simnet"
+)
+
+// Config parameterises a Pastry ring.
+type Config struct {
+	Bits      uint // identifier width; must be a multiple of DigitBits
+	DigitBits uint // b: bits per digit (2^b columns per routing row)
+	LeafSet   int  // total leaf-set size L (half on each side)
+}
+
+// DefaultConfig uses a 30-bit space with 3-bit digits and L=8, matching
+// the D-ring identifier width used across this repository.
+func DefaultConfig() Config { return Config{Bits: 30, DigitBits: 3, LeafSet: 8} }
+
+// Ring is one Pastry overlay.
+type Ring struct {
+	space  chord.Space
+	cfg    Config
+	digits int
+	byID   map[chord.ID]*Node
+}
+
+// NewRing validates the configuration and creates an empty ring.
+func NewRing(cfg Config) (*Ring, error) {
+	if cfg.DigitBits == 0 || cfg.Bits%cfg.DigitBits != 0 {
+		return nil, fmt.Errorf("pastry: %d bits not divisible into %d-bit digits", cfg.Bits, cfg.DigitBits)
+	}
+	if cfg.LeafSet < 2 || cfg.LeafSet%2 != 0 {
+		return nil, fmt.Errorf("pastry: leaf set must be even and >= 2, got %d", cfg.LeafSet)
+	}
+	return &Ring{
+		space:  chord.NewSpace(cfg.Bits),
+		cfg:    cfg,
+		digits: int(cfg.Bits / cfg.DigitBits),
+		byID:   make(map[chord.ID]*Node),
+	}, nil
+}
+
+// Space exposes the identifier arithmetic.
+func (r *Ring) Space() chord.Space { return r.space }
+
+// Digits returns the number of digits per identifier.
+func (r *Ring) Digits() int { return r.digits }
+
+// Len reports the number of registered nodes.
+func (r *Ring) Len() int { return len(r.byID) }
+
+// Lookup returns the node registered under id, or nil.
+func (r *Ring) Lookup(id chord.ID) *Node { return r.byID[id] }
+
+// digit extracts digit position i (most significant first) of id.
+func (r *Ring) digit(id chord.ID, i int) int {
+	shift := r.cfg.Bits - r.cfg.DigitBits*uint(i+1)
+	return int((uint64(id) >> shift) & ((1 << r.cfg.DigitBits) - 1))
+}
+
+// sharedPrefix counts the leading digits a and b share.
+func (r *Ring) sharedPrefix(a, b chord.ID) int {
+	for i := 0; i < r.digits; i++ {
+		if r.digit(a, i) != r.digit(b, i) {
+			return i
+		}
+	}
+	return r.digits
+}
+
+// Node is one Pastry participant.
+type Node struct {
+	ring *Ring
+	id   chord.ID
+	addr simnet.NodeID
+	up   bool
+
+	// Leaf set: numerically preceding and following live nodes.
+	leftLeaves  []*Node // closest first
+	rightLeaves []*Node // closest first
+	table       [][]*Node
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() chord.ID { return n.id }
+
+// Addr returns the simulated network address.
+func (n *Node) Addr() simnet.NodeID { return n.addr }
+
+// Up reports liveness.
+func (n *Node) Up() bool { return n.up }
+
+// String implements fmt.Stringer.
+func (n *Node) String() string { return fmt.Sprintf("pastry(%d@%d)", n.id, n.addr) }
+
+// AddNode registers a node with the given identifier.
+func (r *Ring) AddNode(id chord.ID, addr simnet.NodeID) (*Node, error) {
+	id = r.space.Wrap(uint64(id))
+	if _, dup := r.byID[id]; dup {
+		return nil, fmt.Errorf("pastry: id %d already registered", id)
+	}
+	n := &Node{ring: r, id: id, addr: addr, up: true}
+	n.table = make([][]*Node, r.digits)
+	for i := range n.table {
+		n.table[i] = make([]*Node, 1<<r.cfg.DigitBits)
+	}
+	r.byID[id] = n
+	return n, nil
+}
+
+// Fail marks a node crashed.
+func (r *Ring) Fail(n *Node) { n.up = false }
+
+// AliveNodes returns the live nodes sorted by ID.
+func (r *Ring) AliveNodes() []*Node {
+	out := make([]*Node, 0, len(r.byID))
+	for _, n := range r.byID {
+		if n.up {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Nodes returns every registered node sorted by ID.
+func (r *Ring) Nodes() []*Node {
+	out := make([]*Node, 0, len(r.byID))
+	for _, n := range r.byID {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// BuildConverged wires every live node's leaf set and routing table from
+// the global membership (the stable starting state, mirroring
+// chord.Ring.BuildConverged).
+func (r *Ring) BuildConverged() {
+	nodes := r.AliveNodes()
+	n := len(nodes)
+	if n == 0 {
+		return
+	}
+	half := r.cfg.LeafSet / 2
+	for i, node := range nodes {
+		node.leftLeaves = node.leftLeaves[:0]
+		node.rightLeaves = node.rightLeaves[:0]
+		for d := 1; d <= half && d < n; d++ {
+			node.rightLeaves = append(node.rightLeaves, nodes[(i+d)%n])
+			node.leftLeaves = append(node.leftLeaves, nodes[(i-d+n)%n])
+		}
+		for row := range node.table {
+			for col := range node.table[row] {
+				node.table[row][col] = nil
+			}
+		}
+		// Fill routing table rows: for each other node, slot it into
+		// [sharedPrefix][differing digit] if that slot is empty or this
+		// candidate is numerically closer to us (a deterministic stand-in
+		// for Pastry's proximity choice).
+		for _, other := range nodes {
+			if other == node {
+				continue
+			}
+			row := r.sharedPrefix(node.id, other.id)
+			if row >= r.digits {
+				continue
+			}
+			col := r.digit(other.id, row)
+			cur := node.table[row][col]
+			if cur == nil ||
+				r.space.CircularDistance(node.id, other.id) < r.space.CircularDistance(node.id, cur.id) {
+				node.table[row][col] = other
+			}
+		}
+	}
+}
+
+// Repair runs one round of Pastry's failure handling at this node: dead
+// leaf-set entries are dropped and the sets are refilled from the leaf
+// sets of the surviving leaves (plus live routing-table entries), and
+// dead routing-table slots are refilled from the same candidate pool.
+// A few rounds across all live nodes re-converge the overlay after
+// moderate failures, without global knowledge.
+func (n *Node) Repair() {
+	if !n.up {
+		return
+	}
+	// Candidate pool: live leaves, their live leaves, live table entries.
+	cands := map[chord.ID]*Node{}
+	add := func(p *Node) {
+		if p != nil && p.up && p != n {
+			cands[p.id] = p
+		}
+	}
+	harvest := func(p *Node) {
+		if p == nil || !p.up {
+			return
+		}
+		add(p)
+		for _, q := range p.leftLeaves {
+			add(q)
+		}
+		for _, q := range p.rightLeaves {
+			add(q)
+		}
+	}
+	for _, p := range n.leftLeaves {
+		harvest(p)
+	}
+	for _, p := range n.rightLeaves {
+		harvest(p)
+	}
+	for _, row := range n.table {
+		for _, p := range row {
+			add(p)
+		}
+	}
+	// Rebuild leaf halves: nearest by clockwise distance on each side.
+	sorted := make([]*Node, 0, len(cands))
+	for _, p := range cands {
+		sorted = append(sorted, p)
+	}
+	sp := n.ring.space
+	half := n.ring.cfg.LeafSet / 2
+	sort.Slice(sorted, func(i, j int) bool {
+		return sp.Distance(n.id, sorted[i].id) < sp.Distance(n.id, sorted[j].id)
+	})
+	n.rightLeaves = n.rightLeaves[:0]
+	for _, p := range sorted {
+		if len(n.rightLeaves) >= half {
+			break
+		}
+		n.rightLeaves = append(n.rightLeaves, p)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		return sp.Distance(sorted[i].id, n.id) < sp.Distance(sorted[j].id, n.id)
+	})
+	n.leftLeaves = n.leftLeaves[:0]
+	for _, p := range sorted {
+		if len(n.leftLeaves) >= half {
+			break
+		}
+		n.leftLeaves = append(n.leftLeaves, p)
+	}
+	// Refill dead or empty routing-table slots from the candidate pool.
+	for _, p := range cands {
+		row := n.ring.sharedPrefix(n.id, p.id)
+		if row >= n.ring.digits {
+			continue
+		}
+		col := n.ring.digit(p.id, row)
+		cur := n.table[row][col]
+		if cur == nil || !cur.up ||
+			sp.CircularDistance(n.id, p.id) < sp.CircularDistance(n.id, cur.id) {
+			n.table[row][col] = p
+		}
+	}
+}
+
+// leafRangeContains reports whether key falls inside the node's leaf-set
+// coverage (the circular interval from the farthest left leaf to the
+// farthest right leaf).
+func (n *Node) leafRangeContains(key chord.ID) bool {
+	// If the two leaf-set halves overlap, the leaf set wraps the whole
+	// ring (small networks): every key is in range.
+	right := map[chord.ID]bool{}
+	for _, l := range n.rightLeaves {
+		if l.up {
+			right[l.id] = true
+		}
+	}
+	lo, hi := n.id, n.id
+	for _, l := range n.leftLeaves {
+		if l.up {
+			if right[l.id] {
+				return true
+			}
+			lo = l.id
+		}
+	}
+	for _, l := range n.rightLeaves {
+		if l.up {
+			hi = l.id
+		}
+	}
+	if lo == hi {
+		return lo == key || n.id == key
+	}
+	sp := n.ring.space
+	return key == lo || sp.InOpenClosed(lo, hi, key)
+}
+
+// closestLeaf returns the live node among self ∪ leaves numerically
+// closest to key.
+func (n *Node) closestLeaf(key chord.ID) *Node {
+	sp := n.ring.space
+	best := n
+	bestD := sp.CircularDistance(n.id, key)
+	consider := func(p *Node) {
+		if p == nil || !p.up {
+			return
+		}
+		if d := sp.CircularDistance(p.id, key); d < bestD || (d == bestD && p.id < best.id) {
+			best, bestD = p, d
+		}
+	}
+	for _, p := range n.leftLeaves {
+		consider(p)
+	}
+	for _, p := range n.rightLeaves {
+		consider(p)
+	}
+	return best
+}
+
+// KnownPeers returns the live distinct peers in the node's routing state
+// (leaf sets + routing table), sorted by ID.
+func (n *Node) KnownPeers() []*Node {
+	seen := map[chord.ID]*Node{}
+	add := func(p *Node) {
+		if p != nil && p != n && p.up {
+			seen[p.id] = p
+		}
+	}
+	for _, p := range n.leftLeaves {
+		add(p)
+	}
+	for _, p := range n.rightLeaves {
+		add(p)
+	}
+	for _, row := range n.table {
+		for _, p := range row {
+			add(p)
+		}
+	}
+	out := make([]*Node, 0, len(seen))
+	for _, p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// RouteStep is the standard Pastry routing decision: deliver if this node
+// is numerically closest within its leaf range, otherwise forward by
+// prefix, otherwise (rare case) to any known strictly closer node.
+func (n *Node) RouteStep(key chord.ID) (next *Node, deliver bool) {
+	if key == n.id {
+		return nil, true
+	}
+	sp := n.ring.space
+	if n.leafRangeContains(key) {
+		best := n.closestLeaf(key)
+		if best == n {
+			return nil, true
+		}
+		return best, false
+	}
+	row := n.ring.sharedPrefix(n.id, key)
+	if row < n.ring.digits {
+		if e := n.table[row][n.ring.digit(key, row)]; e != nil && e.up {
+			return e, false
+		}
+	}
+	// Rare case: any known node with at least as long a shared prefix that
+	// is strictly closer to the key.
+	var best *Node
+	myD := sp.CircularDistance(n.id, key)
+	bestD := myD
+	for _, p := range n.KnownPeers() {
+		if n.ring.sharedPrefix(p.id, key) < row {
+			continue
+		}
+		if d := sp.CircularDistance(p.id, key); d < bestD || (d == bestD && best != nil && p.id < best.id) {
+			best, bestD = p, d
+		}
+	}
+	if best == nil {
+		return nil, true // nowhere closer: we are the destination
+	}
+	return best, false
+}
+
+// Route walks RouteStep from start until delivery, returning the
+// destination and hop count (synchronous control-plane form).
+func (r *Ring) Route(start *Node, key chord.ID) (*Node, int) {
+	cur, hops := start, 0
+	limit := 4*r.digits + int(4*r.cfg.Bits)
+	for hops < limit {
+		next, deliver := cur.RouteStep(key)
+		if deliver {
+			return cur, hops
+		}
+		cur = next
+		hops++
+	}
+	return cur, hops
+}

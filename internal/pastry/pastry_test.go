@@ -1,0 +1,288 @@
+package pastry
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/simnet"
+)
+
+func buildRing(t *testing.T, ids []uint64) *Ring {
+	t.Helper()
+	r, err := NewRing(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if _, err := r.AddNode(chord.ID(id), simnet.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.BuildConverged()
+	return r
+}
+
+func randomIDs(rng *rand.Rand, n int) []uint64 {
+	seen := map[uint64]bool{}
+	for len(seen) < n {
+		seen[rng.Uint64()&((1<<30)-1)] = true
+	}
+	out := make([]uint64, 0, n)
+	for id := range seen {
+		out = append(out, id)
+	}
+	return out
+}
+
+// groundTruth returns the live node numerically closest to key.
+func groundTruth(r *Ring, key chord.ID) *Node {
+	var best *Node
+	var bestD uint64
+	for _, n := range r.AliveNodes() {
+		d := r.Space().CircularDistance(n.ID(), key)
+		if best == nil || d < bestD || (d == bestD && n.ID() < best.ID()) {
+			best, bestD = n, d
+		}
+	}
+	return best
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewRing(Config{Bits: 30, DigitBits: 4, LeafSet: 8}); err == nil {
+		t.Fatal("30 bits with 4-bit digits should fail")
+	}
+	if _, err := NewRing(Config{Bits: 30, DigitBits: 3, LeafSet: 3}); err == nil {
+		t.Fatal("odd leaf set should fail")
+	}
+	if _, err := NewRing(Config{Bits: 30, DigitBits: 0, LeafSet: 8}); err == nil {
+		t.Fatal("zero digit bits should fail")
+	}
+}
+
+func TestDigitExtraction(t *testing.T) {
+	r, _ := NewRing(Config{Bits: 12, DigitBits: 4, LeafSet: 4})
+	// 0xABC: digits A, B, C most significant first.
+	id := chord.ID(0xABC)
+	want := []int{0xA, 0xB, 0xC}
+	for i, w := range want {
+		if got := r.digit(id, i); got != w {
+			t.Fatalf("digit %d = %x, want %x", i, got, w)
+		}
+	}
+	if got := r.sharedPrefix(0xABC, 0xAB0); got != 2 {
+		t.Fatalf("sharedPrefix = %d, want 2", got)
+	}
+	if got := r.sharedPrefix(0xABC, 0xABC); got != 3 {
+		t.Fatalf("identical prefix = %d, want 3", got)
+	}
+	if got := r.sharedPrefix(0xABC, 0x1BC); got != 0 {
+		t.Fatalf("disjoint prefix = %d, want 0", got)
+	}
+}
+
+func TestRoutingDeliversNumericallyClosest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := buildRing(t, randomIDs(rng, 128))
+	nodes := r.AliveNodes()
+	for i := 0; i < 2000; i++ {
+		key := chord.ID(rng.Uint64() & ((1 << 30) - 1))
+		start := nodes[rng.Intn(len(nodes))]
+		got, _ := r.Route(start, key)
+		want := groundTruth(r, key)
+		if got != want {
+			t.Fatalf("Route(%d) from %v = %v, want %v", key, start, got, want)
+		}
+	}
+}
+
+func TestLogarithmicHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := buildRing(t, randomIDs(rng, 512))
+	nodes := r.AliveNodes()
+	total, worst := 0, 0
+	const trials = 1500
+	for i := 0; i < trials; i++ {
+		key := chord.ID(rng.Uint64() & ((1 << 30) - 1))
+		_, hops := r.Route(nodes[rng.Intn(len(nodes))], key)
+		total += hops
+		if hops > worst {
+			worst = hops
+		}
+	}
+	avg := float64(total) / trials
+	// log_8(512) = 3 digits resolved per hop on average; generous bound.
+	if avg > 5 {
+		t.Fatalf("average hops %.2f too high for 512 nodes (b=3)", avg)
+	}
+	if worst > 12 {
+		t.Fatalf("worst hops %d too high", worst)
+	}
+}
+
+// Property: routing reaches the unique numerically closest live node for
+// arbitrary memberships, keys and starting points.
+func TestQuickRoutingCorrect(t *testing.T) {
+	prop := func(rawIDs []uint32, rawKey uint32, startIdx uint8) bool {
+		if len(rawIDs) == 0 {
+			return true
+		}
+		r, err := NewRing(DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for i, raw := range rawIDs {
+			_, _ = r.AddNode(chord.ID(raw)&((1<<30)-1), simnet.NodeID(i))
+		}
+		if r.Len() == 0 {
+			return true
+		}
+		r.BuildConverged()
+		nodes := r.AliveNodes()
+		start := nodes[int(startIdx)%len(nodes)]
+		key := chord.ID(rawKey) & ((1 << 30) - 1)
+		got, _ := r.Route(start, key)
+		return got == groundTruth(r, key)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairProtocolConvergence(t *testing.T) {
+	// Per-node repair (no global rebuild): after failing 15% of nodes and
+	// running a few repair rounds, routing must again deliver to the
+	// numerically closest LIVE node from every start.
+	rng := rand.New(rand.NewSource(7))
+	r := buildRing(t, randomIDs(rng, 120))
+	nodes := r.AliveNodes()
+	rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	for _, n := range nodes[:18] {
+		r.Fail(n)
+	}
+	for round := 0; round < 4; round++ {
+		for _, n := range r.AliveNodes() {
+			n.Repair()
+		}
+	}
+	alive := r.AliveNodes()
+	for i := 0; i < 600; i++ {
+		key := chord.ID(rng.Uint64() & ((1 << 30) - 1))
+		got, hops := r.Route(alive[rng.Intn(len(alive))], key)
+		want := groundTruth(r, key)
+		if got != want {
+			t.Fatalf("post-repair routing: key %d delivered to %d, want %d (hops %d)",
+				key, got.ID(), want.ID(), hops)
+		}
+		if !got.Up() {
+			t.Fatal("delivered to dead node")
+		}
+	}
+	// Leaf sets must be full again (population ≫ leaf set).
+	for _, n := range alive {
+		if len(n.leftLeaves) < r.cfg.LeafSet/2 || len(n.rightLeaves) < r.cfg.LeafSet/2 {
+			t.Fatalf("node %d leaf sets not refilled: %d/%d",
+				n.ID(), len(n.leftLeaves), len(n.rightLeaves))
+		}
+	}
+}
+
+func TestRepairNoOpOnHealthyRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := buildRing(t, randomIDs(rng, 64))
+	for _, n := range r.AliveNodes() {
+		n.Repair()
+	}
+	// Routing must remain exact.
+	alive := r.AliveNodes()
+	for i := 0; i < 300; i++ {
+		key := chord.ID(rng.Uint64() & ((1 << 30) - 1))
+		if got, _ := r.Route(alive[rng.Intn(len(alive))], key); got != groundTruth(r, key) {
+			t.Fatal("repair perturbed a healthy ring")
+		}
+	}
+}
+
+func TestRoutingAroundFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := buildRing(t, randomIDs(rng, 100))
+	nodes := r.AliveNodes()
+	rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	for _, n := range nodes[:20] {
+		r.Fail(n)
+	}
+	// Repair: at this abstraction level the ring re-converges from live
+	// membership (the protocol's leaf-set repair outcome).
+	r.BuildConverged()
+	alive := r.AliveNodes()
+	for i := 0; i < 500; i++ {
+		key := chord.ID(rng.Uint64() & ((1 << 30) - 1))
+		got, _ := r.Route(alive[rng.Intn(len(alive))], key)
+		if got != groundTruth(r, key) {
+			t.Fatalf("post-failure routing wrong for key %d", key)
+		}
+		if !got.Up() {
+			t.Fatal("delivered to dead node")
+		}
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	r := buildRing(t, []uint64{42})
+	n := r.AliveNodes()[0]
+	got, hops := r.Route(n, 7)
+	if got != n || hops != 0 {
+		t.Fatalf("singleton should deliver to itself, got %v in %d hops", got, hops)
+	}
+}
+
+func TestKnownPeersLiveAndSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r := buildRing(t, randomIDs(rng, 64))
+	nodes := r.AliveNodes()
+	r.Fail(nodes[10])
+	peers := nodes[0].KnownPeers()
+	var prev chord.ID
+	for i, p := range peers {
+		if !p.Up() {
+			t.Fatal("dead peer in KnownPeers")
+		}
+		if p == nodes[0] {
+			t.Fatal("self in KnownPeers")
+		}
+		if i > 0 && p.ID() <= prev {
+			t.Fatal("KnownPeers not sorted")
+		}
+		prev = p.ID()
+	}
+}
+
+func TestDuplicateID(t *testing.T) {
+	r, _ := NewRing(DefaultConfig())
+	if _, err := r.AddNode(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddNode(5, 1); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := buildRing(t, []uint64{1, 2, 3})
+	if r.Len() != 3 || r.Digits() != 10 {
+		t.Fatalf("accessors wrong: len=%d digits=%d", r.Len(), r.Digits())
+	}
+	if r.Lookup(2) == nil || r.Lookup(9) != nil {
+		t.Fatal("Lookup wrong")
+	}
+	if len(r.Nodes()) != 3 {
+		t.Fatal("Nodes wrong")
+	}
+	if r.Lookup(1).Addr() != 0 {
+		t.Fatal("Addr wrong")
+	}
+	if r.Lookup(1).String() == "" {
+		t.Fatal("String empty")
+	}
+}

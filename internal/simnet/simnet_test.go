@@ -1,0 +1,201 @@
+package simnet
+
+import (
+	"testing"
+
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/topology"
+)
+
+func testNet(t *testing.T) (*Network, *simkernel.Kernel) {
+	t.Helper()
+	k := simkernel.New(1)
+	cfg := topology.DefaultConfig(1)
+	cfg.TotalNodes = 300
+	cfg.UniformNodes = 20
+	topo, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(k, topo), k
+}
+
+type recorder struct {
+	msgs []Message
+}
+
+func (r *recorder) HandleMessage(m Message) { r.msgs = append(r.msgs, m) }
+
+func TestDeliveryAfterLatency(t *testing.T) {
+	n, k := testNet(t)
+	rec := &recorder{}
+	n.Register(1, rec)
+	n.Send(0, 1, CatQuery, 40, "hello")
+	k.Run(simkernel.Hour)
+	if len(rec.msgs) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(rec.msgs))
+	}
+	m := rec.msgs[0]
+	if m.Payload != "hello" || m.From != 0 || m.To != 1 {
+		t.Fatalf("bad message %+v", m)
+	}
+	want := n.Latency(0, 1)
+	if got := k.Now(); got < want {
+		t.Fatalf("kernel time %v before latency %v", got, want)
+	}
+}
+
+func TestSelfSendIsImmediateOrder(t *testing.T) {
+	n, k := testNet(t)
+	rec := &recorder{}
+	n.Register(5, rec)
+	n.Send(5, 5, CatQuery, 10, 1)
+	k.Run(simkernel.Second)
+	if len(rec.msgs) != 1 {
+		t.Fatalf("self-send not delivered")
+	}
+}
+
+func TestDeadReceiverDrops(t *testing.T) {
+	n, k := testNet(t)
+	rec := &recorder{}
+	n.Register(2, rec)
+	n.Fail(2)
+	n.Send(0, 2, CatQuery, 40, nil)
+	k.Run(simkernel.Hour)
+	if len(rec.msgs) != 0 {
+		t.Fatal("message delivered to dead node")
+	}
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", n.Dropped())
+	}
+}
+
+func TestDeadSenderDoesNotSend(t *testing.T) {
+	n, k := testNet(t)
+	rec := &recorder{}
+	n.Register(2, rec)
+	n.Fail(0)
+	n.Send(0, 2, CatQuery, 40, nil)
+	k.Run(simkernel.Hour)
+	if len(rec.msgs) != 0 || n.Sent() != 0 {
+		t.Fatal("dead sender transmitted")
+	}
+}
+
+func TestFailureInFlight(t *testing.T) {
+	// Receiver dies while the message is in flight: message is lost.
+	n, k := testNet(t)
+	rec := &recorder{}
+	n.Register(3, rec)
+	n.Send(0, 3, CatQuery, 40, nil)
+	k.At(1, func() { n.Fail(3) }) // latency >= 10ms so this lands first
+	k.Run(simkernel.Hour)
+	if len(rec.msgs) != 0 {
+		t.Fatal("in-flight message delivered to node that died")
+	}
+}
+
+func TestRecover(t *testing.T) {
+	n, k := testNet(t)
+	rec := &recorder{}
+	n.Register(4, rec)
+	n.Fail(4)
+	n.Recover(4)
+	n.Send(0, 4, CatQuery, 40, nil)
+	k.Run(simkernel.Hour)
+	if len(rec.msgs) != 1 {
+		t.Fatal("recovered node did not receive")
+	}
+}
+
+type sinkRec struct {
+	total map[Category]int
+	count int
+}
+
+func (s *sinkRec) RecordMessage(at simkernel.Time, from, to NodeID, cat Category, bytes int) {
+	if s.total == nil {
+		s.total = map[Category]int{}
+	}
+	s.total[cat] += bytes
+	s.count++
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	n, k := testNet(t)
+	sink := &sinkRec{}
+	n.SetSink(sink)
+	n.Register(1, &recorder{})
+	n.Send(0, 1, CatGossip, 1200, nil)
+	n.Send(0, 1, CatPush, 60, nil)
+	n.Send(0, 1, CatGossip, 800, nil)
+	k.Run(simkernel.Hour)
+	if sink.total[CatGossip] != 2000 {
+		t.Fatalf("gossip bytes = %d, want 2000", sink.total[CatGossip])
+	}
+	if sink.total[CatPush] != 60 {
+		t.Fatalf("push bytes = %d, want 60", sink.total[CatPush])
+	}
+	if sink.count != 3 {
+		t.Fatalf("messages = %d, want 3", sink.count)
+	}
+}
+
+func TestAccountingEvenIfReceiverDead(t *testing.T) {
+	// Bytes crossed the sender's uplink even when the receiver is gone.
+	n, k := testNet(t)
+	sink := &sinkRec{}
+	n.SetSink(sink)
+	n.Fail(9)
+	n.Send(0, 9, CatKeepalive, 20, nil)
+	k.Run(simkernel.Hour)
+	if sink.total[CatKeepalive] != 20 {
+		t.Fatal("send to dead receiver should still be accounted")
+	}
+}
+
+func TestHandlerFunc(t *testing.T) {
+	n, k := testNet(t)
+	got := 0
+	n.Register(7, HandlerFunc(func(m Message) { got = m.Bytes }))
+	n.Send(0, 7, CatQuery, 55, nil)
+	k.Run(simkernel.Hour)
+	if got != 55 {
+		t.Fatalf("HandlerFunc not invoked, got %d", got)
+	}
+}
+
+func TestUnregisteredDrop(t *testing.T) {
+	n, k := testNet(t)
+	n.Send(0, 8, CatQuery, 10, nil)
+	k.Run(simkernel.Hour)
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", n.Dropped())
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Category(0); int(c) < NumCategories; c++ {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("category %d has bad or duplicate name %q", c, s)
+		}
+		seen[s] = true
+	}
+	if Category(200).String() == "" {
+		t.Fatal("unknown category should still render")
+	}
+}
+
+func TestSentAtStamp(t *testing.T) {
+	n, k := testNet(t)
+	rec := &recorder{}
+	n.Register(1, rec)
+	k.At(777, func() { n.Send(0, 1, CatQuery, 1, nil) })
+	k.Run(simkernel.Hour)
+	if len(rec.msgs) != 1 || rec.msgs[0].SentAt != 777 {
+		t.Fatalf("SentAt = %v, want 777", rec.msgs)
+	}
+}

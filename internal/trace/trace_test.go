@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func TestBufferOrder(t *testing.T) {
+	b := NewBuffer(10)
+	for i := 0; i < 5; i++ {
+		b.Record(Event{At: 0, QueryID: uint64(i + 1), Peer: -1})
+	}
+	evs := b.Events()
+	if len(evs) != 5 || b.Len() != 5 || b.Total() != 5 {
+		t.Fatalf("len=%d total=%d", b.Len(), b.Total())
+	}
+	for i, e := range evs {
+		if e.QueryID != uint64(i+1) {
+			t.Fatalf("order wrong: %v", evs)
+		}
+	}
+}
+
+func TestBufferWrap(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 1; i <= 7; i++ {
+		b.Record(Event{QueryID: uint64(i), Peer: -1})
+	}
+	evs := b.Events()
+	if len(evs) != 3 || b.Total() != 7 {
+		t.Fatalf("retained %d, total %d", len(evs), b.Total())
+	}
+	want := []uint64{5, 6, 7}
+	for i, e := range evs {
+		if e.QueryID != want[i] {
+			t.Fatalf("wrap order = %v, want %v", evs, want)
+		}
+	}
+}
+
+func TestQueryTraceAndFilter(t *testing.T) {
+	b := NewBuffer(32)
+	b.Record(Event{Kind: QuerySubmitted, QueryID: 1, Peer: -1})
+	b.Record(Event{Kind: RouteHop, QueryID: 1, Peer: 5})
+	b.Record(Event{Kind: QuerySubmitted, QueryID: 2, Peer: -1})
+	b.Record(Event{Kind: Served, QueryID: 1, Peer: -1})
+	q1 := b.QueryTrace(1)
+	if len(q1) != 3 {
+		t.Fatalf("q1 trace = %d events, want 3", len(q1))
+	}
+	hops := Filter(b.Events(), RouteHop)
+	if len(hops) != 1 || hops[0].Peer != 5 {
+		t.Fatalf("filter wrong: %v", hops)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	e := Event{At: 1500, Kind: Redirect, QueryID: 9, Node: 3, Peer: 7, Detail: "holder"}
+	s := e.String()
+	for _, want := range []string{"redirect", "q9", "node 3", "node 7", "holder"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+	if !strings.Contains(Format([]Event{e}), "\n") {
+		t.Fatal("Format should newline-terminate")
+	}
+	// Peer = -1 suppresses the arrow.
+	e2 := Event{Kind: Served, Node: 1, Peer: -1}
+	if strings.Contains(e2.String(), "->") {
+		t.Fatal("no-peer event should not render an arrow")
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	b := NewBuffer(0)
+	b.Record(Event{QueryID: 1, Peer: -1})
+	b.Record(Event{QueryID: 2, Peer: -1})
+	if b.Len() != 1 || b.Events()[0].QueryID != 2 {
+		t.Fatal("degenerate capacity should keep the newest event")
+	}
+}
+
+// Property: the buffer always retains the most recent min(cap, total)
+// events in order.
+func TestQuickBufferRetention(t *testing.T) {
+	prop := func(capRaw uint8, n uint8) bool {
+		capacity := int(capRaw%16) + 1
+		b := NewBuffer(capacity)
+		for i := 1; i <= int(n); i++ {
+			b.Record(Event{QueryID: uint64(i), Peer: -1})
+		}
+		evs := b.Events()
+		want := int(n)
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i, e := range evs {
+			if e.QueryID != uint64(int(n)-want+i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

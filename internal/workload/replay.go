@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"flowercdn/internal/model"
+	"flowercdn/internal/simkernel"
+)
+
+// Source produces a (time-ordered) query stream. Generator provides the
+// synthetic stream of §6.1; Replayer replays recorded traces (the paper
+// notes public web traces reflect object accesses across sites — with a
+// site mapping they can be replayed here).
+type Source interface {
+	// Next returns the next query; ok=false means the stream is exhausted
+	// (a Generator never exhausts).
+	Next() (Query, bool)
+}
+
+// sourceAdapter lets the infinite Generator satisfy Source.
+type sourceAdapter struct{ g *Generator }
+
+func (s sourceAdapter) Next() (Query, bool) { return s.g.Next(), true }
+
+// AsSource adapts the generator to the Source interface.
+func (g *Generator) AsSource() Source { return sourceAdapter{g} }
+
+// Replayer replays a fixed list of queries in timestamp order.
+type Replayer struct {
+	queries []Query
+	idx     int
+}
+
+// NewReplayer validates ordering and builds a replayer.
+func NewReplayer(queries []Query) (*Replayer, error) {
+	for i := 1; i < len(queries); i++ {
+		if queries[i].At < queries[i-1].At {
+			return nil, fmt.Errorf("workload: replay records out of order at %d", i)
+		}
+	}
+	return &Replayer{queries: queries}, nil
+}
+
+// Next implements Source.
+func (r *Replayer) Next() (Query, bool) {
+	if r.idx >= len(r.queries) {
+		return Query{}, false
+	}
+	q := r.queries[r.idx]
+	r.idx++
+	return q, true
+}
+
+// Remaining reports how many queries are left.
+func (r *Replayer) Remaining() int { return len(r.queries) - r.idx }
+
+// Trace record format (one per line, '#' comments allowed):
+//
+//	at_ms,site_idx,locality,member,object_num
+//
+// Example: "2500,0,3,17,42" — at t=2.5 s, client 17 of site 0 in locality
+// 3 requests object 42.
+
+// ParseTrace reads the record format into replayable queries. sites maps
+// site indices to identifiers.
+func ParseTrace(r io.Reader, sites []model.SiteID) ([]Query, error) {
+	var out []Query
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("workload: line %d: want 5 fields, got %d", line, len(parts))
+		}
+		vals := make([]int64, 5)
+		for i, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d field %d: %v", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		si := int(vals[1])
+		if si < 0 || si >= len(sites) {
+			return nil, fmt.Errorf("workload: line %d: site index %d out of range", line, si)
+		}
+		if vals[0] < 0 || vals[2] < 0 || vals[3] < 0 || vals[4] < 0 {
+			return nil, fmt.Errorf("workload: line %d: negative field", line)
+		}
+		out = append(out, Query{
+			At:       simkernel.Time(vals[0]),
+			Site:     sites[si],
+			SiteIdx:  si,
+			Locality: int(vals[2]),
+			Member:   int(vals[3]),
+			Object:   model.ObjectID{Site: sites[si], Num: int(vals[4])},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteTrace serialises queries in the record format (the inverse of
+// ParseTrace), so synthetic workloads can be exported, edited and
+// replayed.
+func WriteTrace(w io.Writer, queries []Query) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# at_ms,site_idx,locality,member,object_num")
+	for _, q := range queries {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d\n",
+			int64(q.At), q.SiteIdx, q.Locality, q.Member, q.Object.Num); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flowercdn/internal/model"
+	"flowercdn/internal/simkernel"
+)
+
+func TestParseTrace(t *testing.T) {
+	src := `
+# comment
+2500,0,3,17,42
+3000, 1, 0, 2, 7
+`
+	sites := model.MakeSites(2)
+	qs, err := ParseTrace(strings.NewReader(src), sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("parsed %d queries", len(qs))
+	}
+	q := qs[0]
+	if q.At != 2500 || q.SiteIdx != 0 || q.Locality != 3 || q.Member != 17 || q.Object.Num != 42 {
+		t.Fatalf("bad parse: %+v", q)
+	}
+	if q.Object.Site != sites[0] || q.Site != sites[0] {
+		t.Fatal("site mapping wrong")
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	sites := model.MakeSites(2)
+	cases := []string{
+		"1,2,3",      // wrong arity
+		"1,x,0,0,0",  // bad int
+		"1,7,0,0,0",  // site out of range
+		"-1,0,0,0,0", // negative time
+		"1,0,-2,0,0", // negative locality
+	}
+	for _, src := range cases {
+		if _, err := ParseTrace(strings.NewReader(src), sites); err == nil {
+			t.Errorf("input %q should fail", src)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	g, err := New(genCfg(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []Query
+	for i := 0; i < 200; i++ {
+		qs = append(qs, g.Next())
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(&buf, model.MakeSites(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(qs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), len(qs))
+	}
+	for i := range qs {
+		if back[i] != qs[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, back[i], qs[i])
+		}
+	}
+}
+
+func TestReplayerOrderingAndExhaustion(t *testing.T) {
+	sites := model.MakeSites(1)
+	mk := func(at int64) Query {
+		return Query{At: simkernel.Time(at), Site: sites[0], Object: model.ObjectID{Site: sites[0]}}
+	}
+	if _, err := NewReplayer([]Query{mk(5), mk(3)}); err == nil {
+		t.Fatal("out-of-order records accepted")
+	}
+	r, err := NewReplayer([]Query{mk(1), mk(2), mk(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 3 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := r.Next(); !ok {
+			t.Fatal("premature exhaustion")
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("exhausted replayer returned a query")
+	}
+}
+
+func TestGeneratorAsSource(t *testing.T) {
+	g, err := New(genCfg(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.AsSource()
+	for i := 0; i < 10; i++ {
+		if _, ok := src.Next(); !ok {
+			t.Fatal("generator source should never exhaust")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package workload generates the synthetic query stream of §6.1: a fixed
+// aggregate query rate spread over the active websites, with originators
+// drawn from per-(website, locality) client pools and object popularity
+// following a Zipf-like distribution (Breslau et al., INFOCOM 1999 —
+// reference [8] in the paper).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to 1/(rank+1)^α.
+// Unlike math/rand's Zipf, it supports α ≤ 1 (web popularity exponents are
+// typically 0.6–0.9, per Breslau et al.).
+type Zipf struct {
+	cdf   []float64
+	alpha float64
+}
+
+// NewZipf builds the sampler. n must be positive; alpha must be
+// non-negative (0 = uniform).
+func NewZipf(n int, alpha float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs n > 0, got %d", n)
+	}
+	if alpha < 0 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("workload: invalid zipf alpha %v", alpha)
+	}
+	z := &Zipf{cdf: make([]float64, n), alpha: alpha}
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += 1 / math.Pow(float64(i+1), alpha)
+		z.cdf[i] = acc
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= acc
+	}
+	return z, nil
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Alpha returns the skew exponent.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// Sample draws a rank in [0, N).
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i
+}
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
