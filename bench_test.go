@@ -321,6 +321,43 @@ func BenchmarkAblationConditionalRouting(b *testing.B) {
 	b.ReportMetric(alg2/float64(b.N), "alg2-same-website/frac")
 }
 
+// --- Campaign engine --------------------------------------------------------
+// Eight independent bench-scale points, run sequentially vs on 4 workers.
+// The parallel run must be markedly faster in wall-clock (the acceptance
+// bar is >1.5× at 4 workers) while producing identical reports; the
+// determinism half is asserted by harness.TestCampaignParallelMatchesSequential.
+
+func campaignBenchPoints(n int) []harness.Point {
+	points := make([]harness.Point, n)
+	for i := range points {
+		points[i] = harness.Point{
+			Label:  "pt" + string(rune('a'+i)),
+			Params: benchParams(harness.PointSeed(1, i)),
+		}
+	}
+	return points
+}
+
+func benchCampaign(b *testing.B, parallel int) {
+	b.Helper()
+	points := campaignBenchPoints(8)
+	var tot benchTotals
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := RunCampaign(points, parallel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			tot.add(res.Report)
+		}
+	}
+	tot.report(b)
+}
+
+func BenchmarkCampaignSequential(b *testing.B) { benchCampaign(b, 1) }
+func BenchmarkCampaignParallel(b *testing.B)   { benchCampaign(b, 4) }
+
 // --- Substrate micro-benchmarks --------------------------------------------
 
 func BenchmarkSimulationThroughput(b *testing.B) {

@@ -7,10 +7,16 @@
 //	flowersim -exp table2a                 # full paper scale (24 simulated hours)
 //	flowersim -exp fig6 -scale small       # laptop-scale shape check
 //	flowersim -exp all -hours 6 -seed 7    # shorter day, different seed
+//	flowersim -exp table2b -parallel 4     # fan sweep points over 4 workers
+//	flowersim -exp sweep -parallel -1      # scenario grid, one worker per CPU
 //	flowersim -list                        # enumerate experiments
 //
 // Experiments: table2a table2b table2c fig5 fig6 fig7 fig8 headline
-// push-threshold query-policy churn home-store conditional-routing all.
+// push-threshold query-policy churn home-store conditional-routing sweep all.
+//
+// Sweep-style experiments run one full simulation per point; -parallel N
+// executes points on N workers (results are identical to the sequential
+// run — every point owns its kernel, topology and metrics stack).
 package main
 
 import (
@@ -41,17 +47,19 @@ var experiments = map[string]func(w *writer, p flowercdn.Params) error{
 	"substrates":          runSubstrates,
 	"active-replication":  runActiveReplication,
 	"scale-up":            runScaleUp,
+	"sweep":               runSweep,
 	"trace":               runTrace,
 }
 
 func main() {
 	var (
-		exp   = flag.String("exp", "headline", "experiment to run (see -list)")
-		scale = flag.String("scale", "paper", "paper | small")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		hours = flag.Int("hours", 0, "override simulated duration in hours")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		quiet = flag.Bool("quiet", false, "suppress progress notes on stderr")
+		exp      = flag.String("exp", "headline", "experiment to run (see -list)")
+		scale    = flag.String("scale", "paper", "paper | small")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		hours    = flag.Int("hours", 0, "override simulated duration in hours")
+		parallel = flag.Int("parallel", 1, "sweep workers: 1 = sequential, N>1 = N workers, -1 = one per CPU")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quiet    = flag.Bool("quiet", false, "suppress progress notes on stderr")
 	)
 	flag.Parse()
 
@@ -79,13 +87,14 @@ func main() {
 	if *hours > 0 {
 		p.Duration = flowercdn.Time(*hours) * flowercdn.Hour
 	}
+	p.Parallel = *parallel
 
 	w := &writer{quiet: *quiet}
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table2a", "table2b", "table2c", "fig5", "fig6", "fig7", "fig8",
 			"headline", "push-threshold", "query-policy", "churn", "home-store",
-			"conditional-routing", "substrates", "active-replication", "scale-up"}
+			"conditional-routing", "substrates", "active-replication", "scale-up", "sweep"}
 	}
 	for _, name := range names {
 		fn, ok := experiments[name]
@@ -372,6 +381,22 @@ func runScaleUp(w *writer, p flowercdn.Params) error {
 	for _, r := range rows {
 		w.printf("%-10s %-10.3f %8.1f bps  %-10d", r.Label, r.HitRatio, r.BackgroundBps,
 			r.Result.Stats.Joins)
+	}
+	return nil
+}
+
+func runSweep(w *writer, p flowercdn.Params) error {
+	rows, err := flowercdn.SweepGrid(p, nil, nil, nil)
+	if err != nil {
+		return err
+	}
+	w.printf("Scenario grid — localities × T_gossip × V_gossip (campaign seed %d, %d cells)",
+		p.Seed, len(rows))
+	w.printf("%-6s %-10s %-8s %-10s %-14s %-12s", "k", "T_gossip", "V", "Hit ratio", "Background BW", "lookup(ms)")
+	for _, r := range rows {
+		w.printf("%-6d %-10s %-8d %-10.3f %8.1f bps  %-12.0f",
+			r.Localities, r.TGossip, r.ViewSize,
+			r.Result.Report.HitRatio, r.Result.Report.BackgroundBps, r.Result.Report.AvgLookupMs)
 	}
 	return nil
 }

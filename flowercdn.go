@@ -108,6 +108,36 @@ func ScaledParams(seed int64) Params { return harness.ScaledParams(seed) }
 // RunFlower simulates Flower-CDN under the given parameters.
 func RunFlower(p Params) (Result, error) { return harness.RunFlower(p) }
 
+// Point is one independent simulation of a campaign: complete parameters
+// plus which system (Flower-CDN or Squirrel) to run.
+type Point = harness.Point
+
+// Campaign fans independent simulation points out over a worker pool.
+// Every point builds its own kernel, topology and metrics stack, so a
+// parallel campaign's results are byte-identical to the sequential run.
+type Campaign = harness.Campaign
+
+// RunCampaign executes the points with the given worker count (0/1 =
+// sequential, n>1 = n workers, negative = one per CPU) and returns
+// results in point order.
+func RunCampaign(points []Point, parallel int) ([]Result, error) {
+	return harness.RunCampaign(points, parallel)
+}
+
+// PointSeed derives a grid point's seed from a campaign seed; it is a
+// pure function of its inputs.
+func PointSeed(campaignSeed int64, idx int) int64 { return harness.PointSeed(campaignSeed, idx) }
+
+// GridRow is one cell of a localities × T_gossip × V_gossip scenario grid.
+type GridRow = harness.GridRow
+
+// SweepGrid crosses localities × gossip period × view size into one
+// campaign (nil slices use a default grid) and runs every cell, honouring
+// p.Parallel.
+func SweepGrid(p Params, localities []int, periods []Time, views []int) ([]GridRow, error) {
+	return harness.SweepGrid(p, localities, periods, views)
+}
+
 // TraceEvent is one structured protocol event from a traced run.
 type TraceEvent = trace.Event
 

@@ -1,0 +1,3 @@
+module flowercdn
+
+go 1.22

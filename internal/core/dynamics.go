@@ -51,6 +51,7 @@ func (s *System) RevivePeer(addr simnet.NodeID) bool {
 	h.stash = nil
 	h.joinInFlight = false
 	h.gossipTicker, h.kaTicker = nil, nil
+	h.gossipTimeout, h.kaTimeout, h.joinTimer = simkernel.TimerHandle{}, simkernel.TimerHandle{}, simkernel.TimerHandle{}
 	return true
 }
 
@@ -102,8 +103,10 @@ func (s *System) attemptDirJoin(h *host, site model.SiteID, loc int) {
 	h.joinInFlight = true
 	s.net.Send(h.addr, entry, simnet.CatMaintenance, bytesJoinCtl,
 		routedMsg{Key: key, TTL: dring.RouteTTL(s.ks.Space), Inner: innerDirJoin{Candidate: h.addr}})
-	// Clear the in-flight latch if the request is lost in a broken ring.
-	s.k.After(15*simkernel.Second, func() { h.joinInFlight = false })
+	// Clear the in-flight latch if the request is lost in a broken ring;
+	// an answer cancels the timer.
+	h.joinTimer.Cancel()
+	h.joinTimer = s.k.After(15*simkernel.Second, func() { h.joinInFlight = false })
 }
 
 // handleDirJoinRequest runs at the D-ring node that received the routed
@@ -124,6 +127,7 @@ func (s *System) handleDirJoinRequest(h *host, key chord.ID, m innerDirJoin) {
 // acquainted with its new directory peer", §5.2).
 func (s *System) handleDirJoinTaken(h *host, m dirJoinTakenMsg) {
 	h.joinInFlight = false
+	h.joinTimer.Cancel()
 	if h.cp == nil {
 		return
 	}
@@ -136,6 +140,7 @@ func (s *System) handleDirJoinTaken(h *host, m dirJoinTakenMsg) {
 // while answering early queries from our own store and view (§5.2).
 func (s *System) handleDirJoinAccept(h *host, m dirJoinAcceptMsg) {
 	h.joinInFlight = false
+	h.joinTimer.Cancel()
 	if h.cp == nil || h.dir != nil || !s.net.Alive(h.addr) {
 		return
 	}
@@ -283,6 +288,8 @@ func (s *System) ChangeLocality(addr simnet.NodeID, newLoc int) bool {
 			h.kaTicker.Stop()
 			h.kaTicker = nil
 		}
+		h.gossipTimeout.Cancel()
+		h.kaTimeout.Cancel()
 		// Still an accounted participant; it rejoins on its next query.
 	}
 	return true

@@ -40,10 +40,15 @@ type host struct {
 	stabTicker   *simkernel.Ticker
 	replTicker   *simkernel.Ticker
 
-	// Await tokens.
-	gossipToken  uint64
-	kaToken      uint64
-	joinInFlight bool
+	// Await tokens and their armed failure-detection timers. The handles
+	// let replies revoke the timeout outright; the tokens stay as a guard
+	// against replies racing a new round at the same instant.
+	gossipToken   uint64
+	gossipTimeout simkernel.TimerHandle
+	kaToken       uint64
+	kaTimeout     simkernel.TimerHandle
+	joinInFlight  bool
+	joinTimer     simkernel.TimerHandle
 
 	// dirInstance records which §5.3 directory instance this content peer
 	// belongs to (always 0 in the basic scheme).
@@ -61,13 +66,17 @@ func (h *host) overlayLocality() int {
 	return h.loc
 }
 
-// stopTickers cancels every periodic behaviour (on failure/leave).
+// stopTickers cancels every periodic behaviour and armed one-shot timer
+// (on failure/leave), so a dead host leaves nothing in the event queue.
 func (h *host) stopTickers() {
 	for _, t := range []*simkernel.Ticker{h.dirTicker, h.gossipTicker, h.kaTicker, h.stabTicker, h.replTicker} {
 		if t != nil {
 			t.Stop()
 		}
 	}
+	h.gossipTimeout.Cancel()
+	h.kaTimeout.Cancel()
+	h.joinTimer.Cancel()
 }
 
 // HandleMessage dispatches simulated datagrams to the protocol engines.
@@ -133,11 +142,13 @@ func (s *System) timeout(a, b simnet.NodeID) simkernel.Time {
 }
 
 // await arms a cancellable timeout for q; any settle() (on response) or a
-// newer await invalidates it.
+// newer await revokes it. At most one timeout per query is armed at a
+// time, so completion leaves no dead events behind.
 func (s *System) await(q *Query, d simkernel.Time, onTimeout func()) {
 	q.token++
 	tok := q.token
-	s.k.After(d, func() {
+	q.pending.Cancel()
+	q.pending = s.k.After(d, func() {
 		if q.token == tok && !q.finished {
 			onTimeout()
 		}

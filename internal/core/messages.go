@@ -35,8 +35,9 @@ type Query struct {
 	NewClient bool
 
 	// Routing/progress state.
-	token    uint64 // await-cancellation token
-	recorded bool   // metrics emitted
+	token    uint64                // await-cancellation token
+	pending  simkernel.TimerHandle // armed retry/failure timeout, if any
+	recorded bool                  // metrics emitted
 	finished bool
 
 	dringHops int
@@ -57,8 +58,13 @@ type Query struct {
 	needDirBootstrap bool // client should try to become d(ws,loc) after service (§5.2 edge)
 }
 
-// settle cancels any outstanding timeout for the query.
-func (q *Query) settle() { q.token++ }
+// settle cancels any outstanding timeout for the query: the armed kernel
+// timer is revoked (so it never clutters the event queue) and the token is
+// bumped as a second line of defence for exotic interleavings.
+func (q *Query) settle() {
+	q.token++
+	q.pending.Cancel()
+}
 
 // --- D-ring routed envelope ----------------------------------------------
 

@@ -42,9 +42,11 @@ func (s *System) gossipTick(h *host) {
 	wrapped := gossipMsg{Site: h.cp.Site(), Loc: h.cp.Locality(), M: m}
 	s.net.Send(h.addr, target, simnet.CatGossip, bytesGossipHdr+m.WireBytes(), wrapped)
 	// Failure detection: no answer within the deadline ⇒ drop the contact.
+	// The reply (or a reject) cancels the armed timer.
 	h.gossipToken++
 	tok := h.gossipToken
-	s.k.After(s.timeout(h.addr, target), func() {
+	h.gossipTimeout.Cancel()
+	h.gossipTimeout = s.k.After(s.timeout(h.addr, target), func() {
 		if h.gossipToken == tok && h.cp != nil {
 			h.cp.RemoveContact(target)
 		}
@@ -55,8 +57,9 @@ func (s *System) gossipTick(h *host) {
 func (s *System) handleGossip(h *host, wrapped gossipMsg) {
 	m := wrapped.M
 	if m.IsReply {
-		// Completion of our active round.
+		// Completion of our active round: disarm failure detection.
 		h.gossipToken++
+		h.gossipTimeout.Cancel()
 		if h.cp != nil && h.cp.Site() == wrapped.Site && h.cp.Locality() == wrapped.Loc {
 			h.cp.ApplyGossipReply(m)
 		}
@@ -76,6 +79,7 @@ func (s *System) handleGossip(h *host, wrapped gossipMsg) {
 
 func (s *System) handleGossipReject(h *host, m gossipRejectMsg) {
 	h.gossipToken++
+	h.gossipTimeout.Cancel()
 	if h.cp != nil {
 		h.cp.RemoveContact(m.From)
 	}
@@ -129,7 +133,8 @@ func (s *System) keepaliveTick(h *host) {
 	s.net.Send(h.addr, d.Addr, simnet.CatKeepalive, bytesKeepalive, keepaliveMsg{From: h.addr})
 	h.kaToken++
 	tok := h.kaToken
-	s.k.After(s.timeout(h.addr, d.Addr), func() {
+	h.kaTimeout.Cancel()
+	h.kaTimeout = s.k.After(s.timeout(h.addr, d.Addr), func() {
 		if h.kaToken == tok && h.cp != nil {
 			s.onDirectoryUnreachable(h)
 		}
@@ -146,6 +151,7 @@ func (s *System) handleKeepalive(h *host, m keepaliveMsg) {
 
 func (s *System) handleKeepaliveAck(h *host, m keepaliveAckMsg) {
 	h.kaToken++
+	h.kaTimeout.Cancel()
 	if h.cp != nil {
 		h.cp.RefreshDir()
 	}

@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"flowercdn/internal/simkernel"
+)
+
+// This file implements the parallel experiment engine. The paper's
+// evaluation (§6) is a grid of independent parameter sweeps; every point
+// builds its own kernel, topology and metrics stack, so points can run on
+// separate cores with no shared state. A Campaign fans points out over a
+// worker pool and collects results in point order, which makes a parallel
+// run's output byte-identical to the sequential one.
+
+// Point is one independent simulation of a campaign: complete parameters
+// (including the seed) plus which system to run.
+type Point struct {
+	Label  string
+	Params Params
+	Kind   SystemKind // zero value runs Flower-CDN
+}
+
+// Campaign executes a set of independent points.
+type Campaign struct {
+	// Parallel is the worker count: 0 or 1 runs sequentially in the
+	// calling goroutine, n>1 uses n workers, and a negative value uses
+	// one worker per CPU.
+	Parallel int
+}
+
+// workers resolves the effective worker count for n points.
+func (c Campaign) workers(n int) int {
+	w := c.Parallel
+	if w < 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runPoint dispatches one point to the matching runner.
+func runPoint(pt Point) (Result, error) {
+	if pt.Kind == KindSquirrel {
+		return RunSquirrel(pt.Params)
+	}
+	return RunFlower(pt.Params)
+}
+
+// Run executes every point and returns results indexed like points.
+// Results depend only on each point's Params (each run owns its kernel,
+// topology, metrics and RNGs), so the output is identical no matter how
+// many workers execute it or in which order points finish. On failure,
+// in-flight points drain, not-yet-started points are skipped, and the
+// lowest-index error is returned (matching the sequential path).
+func (c Campaign) Run(points []Point) ([]Result, error) {
+	results := make([]Result, len(points))
+	workers := c.workers(len(points))
+	if workers == 1 {
+		for i, pt := range points {
+			res, err := runPoint(pt)
+			if err != nil {
+				return nil, fmt.Errorf("campaign point %d (%s): %w", i, pt.Label, err)
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	idx := make(chan int)
+	errs := make([]error, len(points))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failed := false
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				mu.Lock()
+				skip := failed
+				mu.Unlock()
+				if skip {
+					continue // a point already failed; drain without running
+				}
+				res, err := runPoint(points[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("campaign point %d (%s): %w", i, points[i].Label, err)
+					mu.Lock()
+					failed = true
+					mu.Unlock()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	// Like the sequential path, report the lowest-index failure.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunCampaign is the convenience form: fan points out over parallel
+// workers (see Campaign.Parallel for the encoding).
+func RunCampaign(points []Point, parallel int) ([]Result, error) {
+	return Campaign{Parallel: parallel}.Run(points)
+}
+
+// sweepRows runs the points of a Table-2-style sweep and packages the
+// results as rows, honouring the parallelism encoded in each sweep's base
+// parameters.
+func sweepRows(points []Point, parallel int) ([]SweepRow, error) {
+	results, err := Campaign{Parallel: parallel}.Run(points)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, len(results))
+	for i, res := range results {
+		rows[i] = SweepRow{
+			Label:         points[i].Label,
+			HitRatio:      res.Report.HitRatio,
+			BackgroundBps: res.Report.BackgroundBps,
+			Result:        res,
+		}
+	}
+	return rows, nil
+}
+
+// PointSeed derives the seed of grid point idx from the campaign seed.
+// It is a pure function of its inputs (simkernel.Mix64), so adding points
+// to a grid never perturbs the seeds of existing points.
+func PointSeed(campaignSeed int64, idx int) int64 {
+	return int64(simkernel.Mix64(uint64(campaignSeed) + uint64(idx+1)*0x9e3779b97f4a7c15))
+}
+
+// GridRow is one cell of a multi-dimensional scenario sweep.
+type GridRow struct {
+	Localities int
+	TGossip    simkernel.Time
+	ViewSize   int
+	Result     Result
+}
+
+// Label renders the cell coordinates compactly.
+func (g GridRow) Label() string {
+	return fmt.Sprintf("k=%d T=%s V=%d", g.Localities, g.TGossip, g.ViewSize)
+}
+
+// SweepGrid crosses localities × gossip period × view size into one
+// campaign and runs every cell (nil slices fall back to a default grid).
+// Cell seeds derive from p.Seed via PointSeed, so the grid is
+// reproducible and each cell is statistically independent.
+func SweepGrid(p Params, localities []int, periods []simkernel.Time, views []int) ([]GridRow, error) {
+	if len(localities) == 0 {
+		localities = []int{3, 6}
+	}
+	if len(periods) == 0 {
+		periods = []simkernel.Time{5 * simkernel.Minute, 30 * simkernel.Minute}
+	}
+	if len(views) == 0 {
+		views = []int{20, 50}
+	}
+	var points []Point
+	var cells []GridRow
+	for _, k := range localities {
+		for _, tg := range periods {
+			for _, vs := range views {
+				pv := p
+				pv.Localities = k
+				pv.TGossip = tg
+				pv.TKeepalive = tg
+				pv.ViewSize = vs
+				pv.Seed = PointSeed(p.Seed, len(points))
+				cells = append(cells, GridRow{Localities: k, TGossip: tg, ViewSize: vs})
+				points = append(points, Point{Label: cells[len(cells)-1].Label(), Params: pv})
+			}
+		}
+	}
+	results, err := Campaign{Parallel: p.Parallel}.Run(points)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cells {
+		cells[i].Result = results[i]
+	}
+	return cells, nil
+}

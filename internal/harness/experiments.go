@@ -33,22 +33,13 @@ func Table2a(p Params, values []int) ([]SweepRow, error) {
 	if len(values) == 0 {
 		values = []int{5, 10, 20}
 	}
-	var rows []SweepRow
-	for _, v := range values {
+	points := make([]Point, len(values))
+	for i, v := range values {
 		pv := p
 		pv.GossipLen = v
-		res, err := RunFlower(pv)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SweepRow{
-			Label:         itoa(v),
-			HitRatio:      res.Report.HitRatio,
-			BackgroundBps: res.Report.BackgroundBps,
-			Result:        res,
-		})
+		points[i] = Point{Label: itoa(v), Params: pv}
 	}
-	return rows, nil
+	return sweepRows(points, p.Parallel)
 }
 
 // Table2b varies the gossip period T_gossip (paper values 1 min, 30 min,
@@ -57,23 +48,14 @@ func Table2b(p Params, values []simkernel.Time) ([]SweepRow, error) {
 	if len(values) == 0 {
 		values = []simkernel.Time{simkernel.Minute, 30 * simkernel.Minute, simkernel.Hour}
 	}
-	var rows []SweepRow
-	for _, v := range values {
+	points := make([]Point, len(values))
+	for i, v := range values {
 		pv := p
 		pv.TGossip = v
 		pv.TKeepalive = v
-		res, err := RunFlower(pv)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SweepRow{
-			Label:         v.String(),
-			HitRatio:      res.Report.HitRatio,
-			BackgroundBps: res.Report.BackgroundBps,
-			Result:        res,
-		})
+		points[i] = Point{Label: v.String(), Params: pv}
 	}
-	return rows, nil
+	return sweepRows(points, p.Parallel)
 }
 
 // Table2c varies the view size V_gossip (paper values 20, 50, 70).
@@ -81,22 +63,13 @@ func Table2c(p Params, values []int) ([]SweepRow, error) {
 	if len(values) == 0 {
 		values = []int{20, 50, 70}
 	}
-	var rows []SweepRow
-	for _, v := range values {
+	points := make([]Point, len(values))
+	for i, v := range values {
 		pv := p
 		pv.ViewSize = v
-		res, err := RunFlower(pv)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SweepRow{
-			Label:         itoa(v),
-			HitRatio:      res.Report.HitRatio,
-			BackgroundBps: res.Report.BackgroundBps,
-			Result:        res,
-		})
+		points[i] = Point{Label: itoa(v), Params: pv}
 	}
-	return rows, nil
+	return sweepRows(points, p.Parallel)
 }
 
 // Fig5 runs Flower-CDN at the chosen operating point and returns the run;
@@ -104,14 +77,17 @@ func Table2c(p Params, values []int) ([]SweepRow, error) {
 func Fig5(p Params) (Result, error) { return RunFlower(p) }
 
 // Comparison runs both systems on the same seed, topology and workload —
-// the shared basis of Figures 6, 7 and 8.
+// the shared basis of Figures 6, 7 and 8. With p.Parallel > 1 the two
+// runs execute concurrently.
 func Comparison(p Params) (flower, baseline Result, err error) {
-	flower, err = RunFlower(p)
+	results, err := Campaign{Parallel: p.Parallel}.Run([]Point{
+		{Label: "flower", Params: p, Kind: KindFlower},
+		{Label: "squirrel", Params: p, Kind: KindSquirrel},
+	})
 	if err != nil {
-		return
+		return Result{}, Result{}, err
 	}
-	baseline, err = RunSquirrel(p)
-	return
+	return results[0], results[1], nil
 }
 
 // Headline condenses the paper's §1/§6 claims from a comparison pair.
@@ -158,36 +134,29 @@ func AblationPushThreshold(p Params, values []float64) ([]SweepRow, error) {
 	if len(values) == 0 {
 		values = []float64{0.1, 0.5, 0.7}
 	}
-	var rows []SweepRow
-	for _, v := range values {
+	points := make([]Point, len(values))
+	for i, v := range values {
 		pv := p
 		pv.PushThreshold = v
-		res, err := RunFlower(pv)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SweepRow{
-			Label:         ftoa(v),
-			HitRatio:      res.Report.HitRatio,
-			BackgroundBps: res.Report.BackgroundBps,
-			Result:        res,
-		})
+		points[i] = Point{Label: ftoa(v), Params: pv}
 	}
-	return rows, nil
+	return sweepRows(points, p.Parallel)
 }
 
 // AblationQueryPolicy compares the paper's view-only member lookup with
 // the view-then-directory variant.
 func AblationQueryPolicy(p Params) (viewOnly, viaDir Result, err error) {
-	pv := p
-	pv.QueryPolicy = core.PolicyViewOnly
-	viewOnly, err = RunFlower(pv)
+	pView, pDir := p, p
+	pView.QueryPolicy = core.PolicyViewOnly
+	pDir.QueryPolicy = core.PolicyViewThenDirectory
+	results, err := Campaign{Parallel: p.Parallel}.Run([]Point{
+		{Label: "view-only", Params: pView},
+		{Label: "view-then-directory", Params: pDir},
+	})
 	if err != nil {
-		return
+		return Result{}, Result{}, err
 	}
-	pv.QueryPolicy = core.PolicyViewThenDirectory
-	viaDir, err = RunFlower(pv)
-	return
+	return results[0], results[1], nil
 }
 
 // AblationChurn sweeps failure rates (the paper lists churn analysis as
@@ -196,36 +165,29 @@ func AblationChurn(p Params, perHour []float64) ([]SweepRow, error) {
 	if len(perHour) == 0 {
 		perHour = []float64{0, 30, 120}
 	}
-	var rows []SweepRow
-	for _, v := range perHour {
+	points := make([]Point, len(perHour))
+	for i, v := range perHour {
 		pv := p
 		pv.ChurnPerHour = v
 		pv.ChurnIncludesDirs = true
-		res, err := RunFlower(pv)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SweepRow{
-			Label:         ftoa(v) + "/h",
-			HitRatio:      res.Report.HitRatio,
-			BackgroundBps: res.Report.BackgroundBps,
-			Result:        res,
-		})
+		points[i] = Point{Label: ftoa(v) + "/h", Params: pv}
 	}
-	return rows, nil
+	return sweepRows(points, p.Parallel)
 }
 
 // AblationHomeStore compares Squirrel's two strategies (§7).
 func AblationHomeStore(p Params) (directory, homeStore Result, err error) {
-	pv := p
-	pv.SquirrelHomeStore = false
-	directory, err = RunSquirrel(pv)
+	pDir, pHome := p, p
+	pDir.SquirrelHomeStore = false
+	pHome.SquirrelHomeStore = true
+	results, err := Campaign{Parallel: p.Parallel}.Run([]Point{
+		{Label: "directory", Params: pDir, Kind: KindSquirrel},
+		{Label: "home-store", Params: pHome, Kind: KindSquirrel},
+	})
 	if err != nil {
-		return
+		return Result{}, Result{}, err
 	}
-	pv.SquirrelHomeStore = true
-	homeStore, err = RunSquirrel(pv)
-	return
+	return results[0], results[1], nil
 }
 
 // AblationActiveReplication compares the base system with the §8
@@ -235,22 +197,13 @@ func AblationActiveReplication(p Params, topK []int) ([]SweepRow, error) {
 	if len(topK) == 0 {
 		topK = []int{0, 5, 20}
 	}
-	var rows []SweepRow
-	for _, k := range topK {
+	points := make([]Point, len(topK))
+	for i, k := range topK {
 		pv := p
 		pv.ReplicationTopK = k
-		res, err := RunFlower(pv)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SweepRow{
-			Label:         "top-" + itoa(k),
-			HitRatio:      res.Report.HitRatio,
-			BackgroundBps: res.Report.BackgroundBps,
-			Result:        res,
-		})
+		points[i] = Point{Label: "top-" + itoa(k), Params: pv}
 	}
-	return rows, nil
+	return sweepRows(points, p.Parallel)
 }
 
 // AblationScaleUp compares the basic scheme (one directory peer per
@@ -260,22 +213,13 @@ func AblationScaleUp(p Params, instanceBits []uint) ([]SweepRow, error) {
 	if len(instanceBits) == 0 {
 		instanceBits = []uint{0, 1}
 	}
-	var rows []SweepRow
-	for _, b := range instanceBits {
+	points := make([]Point, len(instanceBits))
+	for i, b := range instanceBits {
 		pv := p
 		pv.InstanceBits = b
-		res, err := RunFlower(pv)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SweepRow{
-			Label:         "b=" + itoa(int(b)),
-			HitRatio:      res.Report.HitRatio,
-			BackgroundBps: res.Report.BackgroundBps,
-			Result:        res,
-		})
+		points[i] = Point{Label: "b=" + itoa(int(b)), Params: pv}
 	}
-	return rows, nil
+	return sweepRows(points, p.Parallel)
 }
 
 // SubstrateResult compares D-ring routing cost over the two DHT

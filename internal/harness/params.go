@@ -70,6 +70,13 @@ type Params struct {
 
 	// Metrics resolution.
 	BucketWidth simkernel.Time
+
+	// Parallel sets the worker count used when this Params drives a
+	// multi-point sweep (Table 2, ablations, scenario grids): 0 or 1 runs
+	// points sequentially, n>1 uses n workers, negative uses one worker
+	// per CPU. It is an execution knob only — every point owns its kernel,
+	// topology and metrics stack, so results are independent of it.
+	Parallel int
 }
 
 // DefaultParams returns the paper's full-scale setup (Table 1, §6.1/§6.2):

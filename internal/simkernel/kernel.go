@@ -6,6 +6,13 @@
 // order (FIFO), which makes runs with the same seed bit-for-bit
 // reproducible. All protocol code in this repository executes inside kernel
 // events; nothing observes wall-clock time.
+//
+// Timers are slab-allocated: the heap holds small (time, seq, slot, gen)
+// records while the callbacks live in a reusable slot arena. Scheduling
+// returns a TimerHandle that can cancel the timer before it fires; a
+// cancelled entry is elided lazily when it reaches the top of the heap, so
+// cancellation is O(1) and the heap is never re-sifted. Generation counters
+// make handles ABA-safe across slot reuse.
 package simkernel
 
 import (
@@ -48,10 +55,13 @@ func (t Time) String() string {
 	}
 }
 
+// event is one heap record. The callback itself lives in the slot arena so
+// heap moves copy four words, not a closure header.
 type event struct {
-	at  Time
-	seq uint64 // FIFO tie-break for events at the same instant
-	fn  func()
+	at   Time
+	seq  uint64 // FIFO tie-break for events at the same instant
+	slot uint32
+	gen  uint32
 }
 
 type eventHeap []event
@@ -73,68 +83,166 @@ func (h eventHeap) peek() (event, bool) { // caller checks Len first
 	return h[0], true
 }
 
+// timerSlot is one arena cell. gen increments every time the slot is
+// handed out, so stale heap records and stale handles can be recognised.
+type timerSlot struct {
+	gen  uint32
+	live bool
+	fn   func()
+}
+
+// TimerHandle identifies a scheduled timer. The zero value is inert:
+// Cancel and Active on it are safe no-ops. Handles stay valid (and
+// harmless) after the timer fires or is cancelled — the generation
+// counter prevents a stale handle from touching a reused slot.
+type TimerHandle struct {
+	k    *Kernel
+	slot uint32
+	gen  uint32
+}
+
+// Cancel revokes the timer if it has not fired yet. It reports whether
+// this call actually cancelled it; cancelling a fired, already-cancelled
+// or zero handle is a no-op returning false.
+func (h TimerHandle) Cancel() bool {
+	if h.k == nil {
+		return false
+	}
+	s := &h.k.slots[h.slot]
+	if s.gen != h.gen || !s.live {
+		return false
+	}
+	s.live = false
+	s.fn = nil
+	h.k.free = append(h.k.free, h.slot)
+	h.k.live--
+	h.k.cancelled++
+	return true
+}
+
+// Active reports whether the timer is still scheduled to fire.
+func (h TimerHandle) Active() bool {
+	if h.k == nil {
+		return false
+	}
+	s := &h.k.slots[h.slot]
+	return s.gen == h.gen && s.live
+}
+
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; construct with New.
 type Kernel struct {
-	now       Time
-	queue     eventHeap
-	seq       uint64
+	now   Time
+	queue eventHeap
+	seq   uint64
+
+	slots []timerSlot
+	free  []uint32 // reusable slot indices
+	live  int      // scheduled-and-not-cancelled timers
+
+	seed      int64
 	rng       *rand.Rand
 	processed uint64
+	cancelled uint64
+	elided    uint64
 	stopped   bool
 }
 
 // New returns a kernel whose clock starts at 0 and whose PRNG is seeded
 // deterministically from seed.
 func New(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	return &Kernel{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
 
+// Seed returns the seed the kernel was constructed with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
 // Rand exposes the kernel's deterministic PRNG. Components that need an
 // independent stream should derive one with DeriveRNG instead.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
-// DeriveRNG returns a new PRNG deterministically derived from the kernel
-// seed stream and a caller-supplied label, so that adding a consumer does
-// not perturb the draws seen by existing consumers.
+// Mix64 is the splitmix64 finalizer: a bijective avalanche mix used to
+// derive independent, reproducible seeds from structured inputs. Every
+// seed-derivation scheme in this repository must route through it so the
+// mixing function can only ever be tuned in one place.
+func Mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveRNG returns a new PRNG that is a pure function of (kernel seed,
+// label): adding, removing or reordering other DeriveRNG consumers does
+// not perturb the draws seen by existing consumers, and the same (seed,
+// label) pair always yields the same stream.
 func (k *Kernel) DeriveRNG(label string) *rand.Rand {
-	var h uint64 = 14695981039346656037
+	var h uint64 = 14695981039346656037 // FNV-1a over the label
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
-	return rand.New(rand.NewSource(int64(h) ^ k.rng.Int63()))
+	return rand.New(rand.NewSource(int64(Mix64(uint64(k.seed) ^ h))))
 }
 
 // Processed reports how many events have fired so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
-// Pending reports how many events are waiting in the queue.
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Cancelled reports how many timers were revoked before firing.
+func (k *Kernel) Cancelled() uint64 { return k.cancelled }
 
-// At schedules fn to run at absolute time t. Scheduling in the past (or at
-// the present instant) runs the event at the current time, after events
-// already queued for that time.
-func (k *Kernel) At(t Time, fn func()) {
+// Elided reports how many dead heap records were skipped during Run —
+// the queue garbage that lazy deletion absorbed.
+func (k *Kernel) Elided() uint64 { return k.elided }
+
+// Pending reports how many live timers are waiting to fire. Cancelled
+// entries still occupying the heap are not counted.
+func (k *Kernel) Pending() int { return k.live }
+
+// alloc takes a slot from the free list (or grows the arena), bumps its
+// generation and installs fn.
+func (k *Kernel) alloc(fn func()) uint32 {
+	var slot uint32
+	if n := len(k.free); n > 0 {
+		slot = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.slots = append(k.slots, timerSlot{})
+		slot = uint32(len(k.slots) - 1)
+	}
+	s := &k.slots[slot]
+	s.gen++
+	s.live = true
+	s.fn = fn
+	return slot
+}
+
+// At schedules fn to run at absolute time t and returns a cancellable
+// handle. Scheduling in the past (or at the present instant) runs the
+// event at the current time, after events already queued for that time.
+func (k *Kernel) At(t Time, fn func()) TimerHandle {
 	if fn == nil {
 		panic("simkernel: nil event function")
 	}
 	if t < k.now {
 		t = k.now
 	}
+	slot := k.alloc(fn)
 	k.seq++
-	heap.Push(&k.queue, event{at: t, seq: k.seq, fn: fn})
+	k.live++
+	heap.Push(&k.queue, event{at: t, seq: k.seq, slot: slot, gen: k.slots[slot].gen})
+	return TimerHandle{k: k, slot: slot, gen: k.slots[slot].gen}
 }
 
 // After schedules fn to run d milliseconds from now.
-func (k *Kernel) After(d Time, fn func()) {
+func (k *Kernel) After(d Time, fn func()) TimerHandle {
 	if d < 0 {
 		d = 0
 	}
-	k.At(k.now+d, fn)
+	return k.At(k.now+d, fn)
 }
 
 // Ticker repeatedly schedules a function at a fixed period until stopped.
@@ -142,6 +250,7 @@ type Ticker struct {
 	k       *Kernel
 	period  Time
 	fn      func()
+	next    TimerHandle
 	stopped bool
 }
 
@@ -152,7 +261,7 @@ func (k *Kernel) Every(start, period Time, fn func()) *Ticker {
 		panic("simkernel: non-positive ticker period")
 	}
 	t := &Ticker{k: k, period: period, fn: fn}
-	k.After(start, t.fire)
+	t.next = k.After(start, t.fire)
 	return t
 }
 
@@ -162,19 +271,28 @@ func (t *Ticker) fire() {
 	}
 	t.fn()
 	if !t.stopped { // fn may have stopped the ticker
-		t.k.After(t.period, t.fire)
+		t.next = t.k.After(t.period, t.fire)
 	}
 }
 
-// Stop cancels the ticker. Safe to call multiple times.
-func (t *Ticker) Stop() { t.stopped = true }
+// Stop cancels the ticker, revoking its pending firing. Safe to call
+// multiple times, including from inside the ticker's own callback.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.next.Cancel()
+}
 
 // Stopped reports whether Stop has been called.
 func (t *Ticker) Stopped() bool { return t.stopped }
 
 // Run executes events in timestamp order until the queue is empty, the
 // clock reaches until, or Stop is called. Events scheduled exactly at
-// until do run. It returns the number of events processed by this call.
+// until do run. It returns the number of events processed by this call;
+// lazily-deleted (cancelled) records are skipped without firing, without
+// advancing the clock and without being counted.
 func (k *Kernel) Run(until Time) uint64 {
 	k.stopped = false
 	var n uint64
@@ -187,8 +305,18 @@ func (k *Kernel) Run(until Time) uint64 {
 			break
 		}
 		heap.Pop(&k.queue)
+		s := &k.slots[ev.slot]
+		if s.gen != ev.gen || !s.live {
+			k.elided++
+			continue
+		}
+		fn := s.fn
+		s.live = false
+		s.fn = nil
+		k.free = append(k.free, ev.slot)
+		k.live--
 		k.now = ev.at
-		ev.fn()
+		fn()
 		n++
 		k.processed++
 	}
