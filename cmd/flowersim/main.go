@@ -9,6 +9,7 @@
 //	flowersim -exp all -hours 6 -seed 7    # shorter day, different seed
 //	flowersim -exp table2b -parallel 4     # fan sweep points over 4 workers
 //	flowersim -exp sweep -parallel -1      # scenario grid, one worker per CPU
+//	flowersim -exp fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	flowersim -list                        # enumerate experiments
 //
 // Experiments: table2a table2b table2c fig5 fig6 fig7 fig8 headline
@@ -23,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -52,16 +55,53 @@ var experiments = map[string]func(w *writer, p flowercdn.Params) error{
 }
 
 func main() {
+	// The profile defers must run even on failure (os.Exit skips them, and
+	// a truncated CPU profile is unreadable), so the real work returns an
+	// exit code instead of exiting.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp      = flag.String("exp", "headline", "experiment to run (see -list)")
-		scale    = flag.String("scale", "paper", "paper | small")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		hours    = flag.Int("hours", 0, "override simulated duration in hours")
-		parallel = flag.Int("parallel", 1, "sweep workers: 1 = sequential, N>1 = N workers, -1 = one per CPU")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		quiet    = flag.Bool("quiet", false, "suppress progress notes on stderr")
+		exp        = flag.String("exp", "headline", "experiment to run (see -list)")
+		scale      = flag.String("scale", "paper", "paper | small")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		hours      = flag.Int("hours", 0, "override simulated duration in hours")
+		parallel   = flag.Int("parallel", 1, "sweep workers: 1 = sequential, N>1 = N workers, -1 = one per CPU")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		quiet      = flag.Bool("quiet", false, "suppress progress notes on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		names := make([]string, 0, len(experiments)+1)
@@ -71,7 +111,7 @@ func main() {
 		names = append(names, "all")
 		sort.Strings(names)
 		fmt.Println(strings.Join(names, "\n"))
-		return
+		return 0
 	}
 
 	var p flowercdn.Params
@@ -82,7 +122,7 @@ func main() {
 		p = flowercdn.ScaledParams(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 	if *hours > 0 {
 		p.Duration = flowercdn.Time(*hours) * flowercdn.Hour
@@ -100,16 +140,17 @@ func main() {
 		fn, ok := experiments[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
-			os.Exit(2)
+			return 2
 		}
 		w.notef("=== %s (scale=%s, %s simulated) ===", name, *scale, p.Duration)
 		start := time.Now()
 		if err := fn(w, p); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		w.notef("--- %s done in %s wall-clock", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
 type writer struct{ quiet bool }

@@ -54,6 +54,13 @@ type host struct {
 	// belongs to (always 0 in the basic scheme).
 	dirInstance int
 
+	// Pre-boxed keepalive payloads: boxing a keepaliveMsg value into the
+	// network's `any` payload heap-allocates, so each host boxes its two
+	// constant probe messages once (lazily) and resends the same interface
+	// value every period.
+	kaPayload    any
+	kaAckPayload any
+
 	// accounted marks the host as a participant in the per-peer traffic
 	// average (joined content peers and active-site directories).
 	accounted bool
@@ -94,7 +101,7 @@ func (h *host) HandleMessage(msg simnet.Message) {
 	case peerQueryMsg:
 		s.handlePeerQuery(h, m)
 	case nackMsg:
-		s.handleNack(h, m)
+		s.handleNack(h, m, msg.From)
 	case fetchMsg:
 		s.handleFetch(h, m)
 	case dirQueryMsg:
@@ -105,7 +112,7 @@ func (h *host) HandleMessage(msg simnet.Message) {
 		s.handleForwardFail(h, m)
 	case serveMsg:
 		s.handleServe(h, m)
-	case gossipMsg:
+	case *gossipMsg:
 		s.handleGossip(h, m)
 	case gossipRejectMsg:
 		s.handleGossipReject(h, m)

@@ -105,13 +105,17 @@ type redirectFailMsg struct {
 }
 
 // peerQueryMsg: content peer → view contact: do you have Q.Obj?
+//
+// Hot path: a single-pointer struct is pointer-shaped, so storing it in
+// Message.Payload (an `any`) is a direct-interface conversion — no heap
+// allocation per send. nackMsg below relies on the same property; keep
+// these structs single-pointer.
 type peerQueryMsg struct{ Q *Query }
 
-// nackMsg: contact → content peer: I do not have it.
-type nackMsg struct {
-	Q    *Query
-	From simnet.NodeID
-}
+// nackMsg: contact → content peer: I do not have it. The sender's address
+// travels in the network envelope (Message.From), not the payload, which
+// keeps the struct pointer-shaped and its boxing allocation-free.
+type nackMsg struct{ Q *Query }
 
 // fetchMsg: requester → origin server.
 type fetchMsg struct{ Q *Query }
@@ -152,7 +156,10 @@ func (m serveMsg) wireBytes(objectBytes int) int {
 // --- Overlay maintenance messages ----------------------------------------
 
 // gossipMsg wraps an overlay gossip exchange with the overlay identity so
-// a peer that changed locality (§5.4) can reject strays.
+// a peer that changed locality (§5.4) can reject strays. It travels by
+// pointer and is recycled through System.gossipPool once handled, so
+// steady-state gossip rounds do not allocate an envelope per exchange;
+// allocate via System.newGossipMsg, release via System.putGossipMsg.
 type gossipMsg struct {
 	Site model.SiteID
 	Loc  int
@@ -168,10 +175,12 @@ type pushMsg struct {
 	M    overlay.PushMsg
 }
 
-// keepaliveMsg: content peer → directory (§5.1).
+// keepaliveMsg: content peer → directory (§5.1). Hosts send their
+// pre-boxed copy (host.kaPayload) so the periodic probe never re-boxes.
 type keepaliveMsg struct{ From simnet.NodeID }
 
-// keepaliveAckMsg: directory → content peer.
+// keepaliveAckMsg: directory → content peer. Pre-boxed per host as
+// host.kaAckPayload, like keepaliveMsg.
 type keepaliveAckMsg struct{ From simnet.NodeID }
 
 // dirSummaryMsg: directory → same-website directory: refreshed directory

@@ -39,7 +39,7 @@ func (s *System) gossipTick(h *host) {
 	if !ok {
 		return
 	}
-	wrapped := gossipMsg{Site: h.cp.Site(), Loc: h.cp.Locality(), M: m}
+	wrapped := s.newGossipMsg(h.cp.Site(), h.cp.Locality(), m)
 	s.net.Send(h.addr, target, simnet.CatGossip, bytesGossipHdr+m.WireBytes(), wrapped)
 	// Failure detection: no answer within the deadline ⇒ drop the contact.
 	// The reply (or a reject) cancels the armed timer.
@@ -53,8 +53,10 @@ func (s *System) gossipTick(h *host) {
 	})
 }
 
-// handleGossip covers both directions of an exchange.
-func (s *System) handleGossip(h *host, wrapped gossipMsg) {
+// handleGossip covers both directions of an exchange. The envelope is
+// recycled to the pool on every path out, so it must not be touched after
+// this function returns (the overlay copies what it keeps during merge).
+func (s *System) handleGossip(h *host, wrapped *gossipMsg) {
 	m := wrapped.M
 	if m.IsReply {
 		// Completion of our active round: disarm failure detection.
@@ -63,17 +65,20 @@ func (s *System) handleGossip(h *host, wrapped gossipMsg) {
 		if h.cp != nil && h.cp.Site() == wrapped.Site && h.cp.Locality() == wrapped.Loc {
 			h.cp.ApplyGossipReply(m)
 		}
+		s.putGossipMsg(wrapped)
 		return
 	}
 	// Passive behaviour.
 	if h.cp == nil || h.cp.Site() != wrapped.Site || h.cp.Locality() != wrapped.Loc {
 		// We are not (any longer) in the sender's overlay (§5.4).
 		s.stats.GossipRejects++
+		s.putGossipMsg(wrapped)
 		s.net.Send(h.addr, m.From, simnet.CatGossip, bytesKeepalive, gossipRejectMsg{From: h.addr})
 		return
 	}
 	reply := h.cp.AcceptGossip(m, s.rng)
-	rw := gossipMsg{Site: wrapped.Site, Loc: wrapped.Loc, M: reply}
+	rw := s.newGossipMsg(wrapped.Site, wrapped.Loc, reply)
+	s.putGossipMsg(wrapped)
 	s.net.Send(h.addr, m.From, simnet.CatGossip, bytesGossipHdr+reply.WireBytes(), rw)
 }
 
@@ -130,7 +135,10 @@ func (s *System) keepaliveTick(h *host) {
 	if !d.Known || d.Addr == h.addr {
 		return
 	}
-	s.net.Send(h.addr, d.Addr, simnet.CatKeepalive, bytesKeepalive, keepaliveMsg{From: h.addr})
+	if h.kaPayload == nil {
+		h.kaPayload = keepaliveMsg{From: h.addr}
+	}
+	s.net.Send(h.addr, d.Addr, simnet.CatKeepalive, bytesKeepalive, h.kaPayload)
 	h.kaToken++
 	tok := h.kaToken
 	h.kaTimeout.Cancel()
@@ -146,7 +154,10 @@ func (s *System) handleKeepalive(h *host, m keepaliveMsg) {
 		return // not a directory (any more): silence triggers replacement
 	}
 	h.dir.Keepalive(m.From)
-	s.net.Send(h.addr, m.From, simnet.CatKeepalive, bytesKeepalive, keepaliveAckMsg{From: h.addr})
+	if h.kaAckPayload == nil {
+		h.kaAckPayload = keepaliveAckMsg{From: h.addr}
+	}
+	s.net.Send(h.addr, m.From, simnet.CatKeepalive, bytesKeepalive, h.kaAckPayload)
 }
 
 func (s *System) handleKeepaliveAck(h *host, m keepaliveAckMsg) {

@@ -348,14 +348,15 @@ func (s *System) handlePeerQuery(h *host, m peerQueryMsg) {
 		s.serveQuery(h, q, false, true)
 		return
 	}
-	s.net.Send(h.addr, q.Origin, simnet.CatQuery, bytesQueryCtl, nackMsg{Q: q, From: h.addr})
+	s.net.Send(h.addr, q.Origin, simnet.CatQuery, bytesQueryCtl, nackMsg{Q: q})
 }
 
-// handleNack advances the requesting peer to its next candidate.
-func (s *System) handleNack(h *host, m nackMsg) {
+// handleNack advances the requesting peer to its next candidate. from is
+// the nacking contact, taken from the network envelope.
+func (s *System) handleNack(h *host, m nackMsg, from simnet.NodeID) {
 	q := m.Q
 	q.settle()
-	s.trace(trace.PeerNack, q.ID, h.addr, m.From, "stale summary or false positive")
+	s.trace(trace.PeerNack, q.ID, h.addr, from, "stale summary or false positive")
 	s.tryNextCandidate(h, q)
 }
 

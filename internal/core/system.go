@@ -8,6 +8,7 @@ import (
 	"flowercdn/internal/dring"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/model"
+	"flowercdn/internal/overlay"
 	"flowercdn/internal/simkernel"
 	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
@@ -48,8 +49,35 @@ type System struct {
 	rng *rand.Rand
 	qid uint64
 
+	// gossipPool recycles gossip envelopes: an exchange's wrapper is
+	// returned here once its handler finishes, so steady-state gossip sends
+	// reuse records instead of allocating. Envelopes lost to dead receivers
+	// simply never come back — the pool refills on the next allocation.
+	gossipPool []*gossipMsg
+
 	tracer trace.Tracer
 	stats  Stats
+}
+
+// newGossipMsg takes an envelope from the pool (or allocates one) and
+// fills it.
+func (s *System) newGossipMsg(site model.SiteID, loc int, m overlay.GossipMsg) *gossipMsg {
+	var g *gossipMsg
+	if n := len(s.gossipPool); n > 0 {
+		g = s.gossipPool[n-1]
+		s.gossipPool = s.gossipPool[:n-1]
+	} else {
+		g = new(gossipMsg)
+	}
+	g.Site, g.Loc, g.M = site, loc, m
+	return g
+}
+
+// putGossipMsg returns a fully-handled envelope to the pool. The handler
+// must not retain any reference to it or its M field afterwards.
+func (s *System) putGossipMsg(g *gossipMsg) {
+	*g = gossipMsg{} // release the view-subset slice and summary pointers
+	s.gossipPool = append(s.gossipPool, g)
 }
 
 // trace emits a protocol event when tracing is enabled.

@@ -1,0 +1,50 @@
+package gossip
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowercdn/internal/simnet"
+)
+
+// BenchmarkGossipRound drives the per-round view operations of Algorithm 4
+// — age, select a subset, merge the partner's subset — on two steady-state
+// views. After warm-up the only allocation left is the subset slice that
+// escapes into the outgoing message; Merge and the Fisher–Yates index
+// buffer reuse the views' scratch storage.
+func BenchmarkGossipRound(b *testing.B) {
+	const viewSize, gossipLen = 24, 10
+	a := NewView(1, viewSize)
+	c := NewView(2, viewSize)
+	for i := 0; i < viewSize; i++ {
+		a.Insert(Entry{Node: simnet.NodeID(10 + i), Age: i % 7})
+		c.Insert(Entry{Node: simnet.NodeID(40 + i), Age: i % 5})
+	}
+	rng := rand.New(rand.NewSource(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.IncrementAges()
+		sub := a.SelectSubset(rng, gossipLen)
+		c.Merge(sub)
+		back := c.SelectSubset(rng, gossipLen)
+		a.Merge(back)
+	}
+}
+
+// Merge on its own must allocate nothing once the scratch buffers exist.
+func TestMergeAllocFree(t *testing.T) {
+	v := NewView(0, 24)
+	for i := 1; i <= 24; i++ {
+		v.Insert(Entry{Node: simnet.NodeID(i), Age: i % 9})
+	}
+	in := make([]Entry, 8)
+	for i := range in {
+		in[i] = Entry{Node: simnet.NodeID(20 + i), Age: i % 3}
+	}
+	v.Merge(in) // warm both scratch buffers
+	v.Merge(in)
+	if avg := testing.AllocsPerRun(100, func() { v.Merge(in) }); avg != 0 {
+		t.Fatalf("Merge allocates %.1f/op in steady state, want 0", avg)
+	}
+}

@@ -14,7 +14,6 @@ package gossip
 
 import (
 	"math/rand"
-	"sort"
 
 	"flowercdn/internal/bloom"
 	"flowercdn/internal/simnet"
@@ -42,10 +41,19 @@ func (e Entry) WireBytes() int {
 
 // View is a bounded set of entries about distinct peers, owned by one peer
 // (the owner never appears in its own view).
+//
+// The view keeps two pieces of reusable scratch storage so the per-round
+// operations (Merge each exchange, SelectSubset each send) stop allocating
+// once their buffers reach steady-state capacity: a spare entry slice that
+// Merge builds into and then swaps with the live one, and an index buffer
+// for SelectSubset's partial shuffle.
 type View struct {
 	owner    simnet.NodeID
 	capacity int
 	entries  []Entry // kept sorted by (Age, Node) — "most recent" first
+
+	scratch []Entry // Merge's build buffer, swapped with entries each call
+	idx     []int32 // SelectSubset's reusable index buffer
 }
 
 // NewView creates an empty view with the given capacity (V_gossip).
@@ -88,14 +96,24 @@ func (v *View) Contains(node simnet.NodeID) bool {
 	return ok
 }
 
-func (v *View) sortEntries() {
-	sort.Slice(v.entries, func(i, j int) bool {
-		if v.entries[i].Age != v.entries[j].Age {
-			return v.entries[i].Age < v.entries[j].Age
+// sortByAgeNode is an insertion sort by (Age, Node). Views are small
+// (bounded by V_gossip, tens of entries), where insertion sort beats the
+// generic sort and — unlike sort.Slice, whose reflect.Swapper allocates —
+// costs nothing on the heap. The key is a total order (nodes are distinct
+// after dedup), so the result is deterministic.
+func sortByAgeNode(es []Entry) {
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && (es[j].Age > e.Age || (es[j].Age == e.Age && es[j].Node > e.Node)) {
+			es[j+1] = es[j]
+			j--
 		}
-		return v.entries[i].Node < v.entries[j].Node
-	})
+		es[j+1] = e
+	}
 }
+
+func (v *View) sortEntries() { sortByAgeNode(v.entries) }
 
 // IncrementAges ages every entry by one gossip period (§4.2: "periodically,
 // cws,loc increments by 1 the age of all its view entries").
@@ -121,18 +139,43 @@ func (v *View) SelectOldest() (Entry, bool) {
 }
 
 // SelectSubset returns up to l random distinct entries (the view subset of
-// length L_gossip exchanged each round).
+// length L_gossip exchanged each round). Selection is a partial
+// Fisher–Yates over a reusable index buffer — l draws from rng instead of
+// rng.Perm's n fresh ints — so only the returned slice is allocated (it
+// escapes into the outgoing gossip message and cannot be pooled here).
 func (v *View) SelectSubset(rng *rand.Rand, l int) []Entry {
 	if l <= 0 || len(v.entries) == 0 {
 		return nil
 	}
-	if l >= len(v.entries) {
+	n := len(v.entries)
+	if l >= n {
 		return v.Entries()
 	}
-	idx := rng.Perm(len(v.entries))[:l]
-	sort.Ints(idx) // deterministic output order
+	if cap(v.idx) < n {
+		v.idx = make([]int32, n)
+	}
+	idx := v.idx[:n]
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	for i := 0; i < l; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	sel := idx[:l]
+	// Deterministic output order: ascending view position (insertion sort;
+	// sort.Ints on a converted []int would allocate).
+	for i := 1; i < len(sel); i++ {
+		x := sel[i]
+		j := i - 1
+		for j >= 0 && sel[j] > x {
+			sel[j+1] = sel[j]
+			j--
+		}
+		sel[j+1] = x
+	}
 	out := make([]Entry, 0, l)
-	for _, i := range idx {
+	for _, i := range sel {
 		out = append(out, v.entries[i])
 	}
 	return out
@@ -148,38 +191,58 @@ func (v *View) Insert(e Entry) {
 // current entries with the received ones, discard duplicates keeping the
 // smallest age (refreshing the summary from the fresher instance), drop the
 // owner, and keep the capacity most-recent entries.
+//
+// The combined set is built in the view's scratch slice and swapped with
+// the live one, and duplicates are found by linear scan — views are tens
+// of entries, where the scan beats a throwaway map and, unlike the map,
+// allocates nothing in steady state.
 func (v *View) Merge(received []Entry) {
-	byNode := make(map[simnet.NodeID]Entry, len(v.entries)+len(received))
-	keep := func(e Entry) {
-		if e.Node == v.owner {
-			return
-		}
-		cur, ok := byNode[e.Node]
-		if !ok || e.Age < cur.Age {
-			// Never lose a known summary to a fresher entry that lacks one.
-			if e.Summary == nil && ok && cur.Summary != nil {
-				e.Summary = cur.Summary
-			}
-			byNode[e.Node] = e
-		} else if ok && cur.Summary == nil && e.Summary != nil {
-			cur.Summary = e.Summary
-			byNode[e.Node] = cur
-		}
-	}
-	for _, e := range v.entries {
-		keep(e)
-	}
+	s := v.scratch[:0]
+	// The live entries are already deduped and owner-free (invariant).
+	s = append(s, v.entries...)
 	for _, e := range received {
-		keep(e)
+		if e.Node == v.owner {
+			continue
+		}
+		found := false
+		for i := range s {
+			if s[i].Node != e.Node {
+				continue
+			}
+			found = true
+			if e.Age < s[i].Age {
+				// Never lose a known summary to a fresher entry that lacks one.
+				if e.Summary == nil && s[i].Summary != nil {
+					e.Summary = s[i].Summary
+				}
+				s[i] = e
+			} else if s[i].Summary == nil && e.Summary != nil {
+				s[i].Summary = e.Summary
+			}
+			break
+		}
+		if !found {
+			s = append(s, e)
+		}
 	}
-	v.entries = v.entries[:0]
-	for _, e := range byNode {
-		v.entries = append(v.entries, e)
+	sortByAgeNode(s)
+	if len(s) > v.capacity {
+		// Clear the tail so truncated entries do not pin their summaries.
+		for i := v.capacity; i < len(s); i++ {
+			s[i] = Entry{}
+		}
+		s = s[:v.capacity]
 	}
-	v.sortEntries()
-	if len(v.entries) > v.capacity {
-		v.entries = v.entries[:v.capacity]
+	// Swap: s (built in the old scratch array) becomes the live slice and
+	// the retired entries array becomes next call's scratch. Its contents
+	// were copied into s, so clear them — stale Entry values would pin
+	// their bloom-filter summaries until overwritten.
+	prev := v.entries
+	v.entries = s
+	for i := range prev {
+		prev[i] = Entry{}
 	}
+	v.scratch = prev[:0]
 }
 
 // Remove deletes the entry for node (dead peer, per §5.1/§5.4).

@@ -129,6 +129,35 @@ func TestSelectSubset(t *testing.T) {
 	}
 }
 
+// The partial Fisher–Yates must stay a pure function of the RNG stream:
+// identical seeds yield identical draws, and the output order is ascending
+// view position.
+func TestSelectSubsetDeterministicPerSeed(t *testing.T) {
+	build := func() *View {
+		v := NewView(0, 20)
+		for i := 1; i <= 12; i++ {
+			v.Insert(entry(i, i%5))
+		}
+		return v
+	}
+	a := build().SelectSubset(rand.New(rand.NewSource(7)), 5)
+	b := build().SelectSubset(rand.New(rand.NewSource(7)), 5)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("lens = %d, %d, want 5", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	// Output order follows view order: (Age, Node)-sorted, so ages ascend.
+	for i := 1; i < len(a); i++ {
+		if a[i].Age < a[i-1].Age {
+			t.Fatalf("subset not in view order: %v", a)
+		}
+	}
+}
+
 func TestRemoveAndDropOlderThan(t *testing.T) {
 	v := NewView(0, 8)
 	v.Insert(entry(1, 0))

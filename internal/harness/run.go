@@ -50,7 +50,7 @@ func RunFlowerTraced(p Params, traceCapacity int) (Result, *trace.Buffer, error)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	mets := metrics.New(metrics.Config{BucketWidth: p.BucketWidth})
+	mets := metrics.New(metrics.Config{BucketWidth: p.BucketWidth, Horizon: p.Duration})
 	deps := core.Deps{Kernel: kernel, Topo: topo, Metrics: mets}
 	var buf *trace.Buffer
 	if traceCapacity > 0 {
@@ -96,7 +96,7 @@ func RunSquirrel(p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	mets := metrics.New(metrics.Config{BucketWidth: p.BucketWidth})
+	mets := metrics.New(metrics.Config{BucketWidth: p.BucketWidth, Horizon: p.Duration})
 	sys, err := squirrel.New(p.SquirrelConfig(pools), kernel, topo, mets)
 	if err != nil {
 		return Result{}, err
@@ -178,7 +178,7 @@ func RunFlowerReplay(p Params, queries []workload.Query) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	mets := metrics.New(metrics.Config{BucketWidth: p.BucketWidth})
+	mets := metrics.New(metrics.Config{BucketWidth: p.BucketWidth, Horizon: p.Duration})
 	sys, err := core.New(p.CoreConfig(pools), core.Deps{Kernel: kernel, Topo: topo, Metrics: mets})
 	if err != nil {
 		return Result{}, err

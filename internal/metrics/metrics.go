@@ -53,6 +53,13 @@ func (s Source) IsHit() bool { return s != SourceServer }
 type Config struct {
 	BucketWidth simkernel.Time // time-series resolution (default 30 min)
 
+	// Horizon is the expected simulated duration. When set, the collector
+	// preallocates the full time-series bucket range up front, so the
+	// per-message accounting path (RecordMessage) never appends in steady
+	// state. Events beyond the horizon still work — the bucket slice grows
+	// on demand as before. 0 means "unknown" (grow on demand only).
+	Horizon simkernel.Time
+
 	LatencyBinMs  float64 // histogram bin width for lookup latency (default 150, per Fig 7b)
 	LatencyBins   int     // number of finite bins; one overflow bin is added (default 7 → ">1050ms")
 	DistanceBinMs float64 // histogram bin width for transfer distance (default 100, per Fig 8b)
@@ -142,15 +149,24 @@ type Collector struct {
 // New creates a collector.
 func New(cfg Config) *Collector {
 	cfg = cfg.withDefaults()
-	return &Collector{
+	c := &Collector{
 		cfg:          cfg,
 		latencyHist:  make([]int64, cfg.LatencyBins+1),
 		distanceHist: make([]int64, cfg.DistanceBins+1),
 	}
+	if cfg.Horizon > 0 {
+		// One bucket per width across the horizon, plus one for events
+		// landing exactly at the horizon boundary.
+		c.buckets = make([]bucket, int(cfg.Horizon/cfg.BucketWidth)+1)
+	}
+	return c
 }
 
 func (c *Collector) bucketAt(at simkernel.Time) *bucket {
 	i := int(at / c.cfg.BucketWidth)
+	if i < len(c.buckets) { // preallocated (or already grown) — append-free
+		return &c.buckets[i]
+	}
 	for len(c.buckets) <= i {
 		c.buckets = append(c.buckets, bucket{})
 	}

@@ -99,6 +99,10 @@ type ContentPeer struct {
 	view *gossip.View
 	dir  DirInfo
 
+	// mergeScratch assembles "received subset + sender entry" for each
+	// gossip merge without a per-exchange allocation.
+	mergeScratch []gossip.Entry
+
 	joinedAt simkernel.Time
 }
 
@@ -321,10 +325,15 @@ func (c *ContentPeer) AcceptGossip(msg GossipMsg, rng *rand.Rand) GossipMsg {
 func (c *ContentPeer) ApplyGossipReply(msg GossipMsg) { c.mergeGossip(msg) }
 
 func (c *ContentPeer) mergeGossip(msg GossipMsg) {
-	incoming := make([]gossip.Entry, 0, len(msg.ViewSubset)+1)
-	incoming = append(incoming, msg.ViewSubset...)
+	// mergeScratch is reusable: Merge copies what it keeps into the view
+	// before returning, so the buffer never escapes an exchange.
+	incoming := append(c.mergeScratch[:0], msg.ViewSubset...)
 	incoming = append(incoming, gossip.Entry{Node: msg.From, Age: 0, Summary: msg.Summary})
 	c.view.Merge(incoming)
+	for i := range incoming {
+		incoming[i] = gossip.Entry{} // do not pin summaries between rounds
+	}
+	c.mergeScratch = incoming[:0]
 	c.ConsiderDir(msg.Dir)
 }
 

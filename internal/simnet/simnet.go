@@ -93,12 +93,24 @@ type TrafficSink interface {
 }
 
 // Network binds nodes, topology and the kernel together.
+//
+// Delivery is pooled: in-flight messages live in a reusable slab of Message
+// records, and every delivery event is the same long-lived callback bound
+// once at construction, parameterised by the slab index through the
+// kernel's AtArg path. Send therefore performs zero heap allocations in
+// steady state (the slab and its free list stop growing once they cover
+// the peak number of in-flight messages), provided the payload itself is
+// pointer-shaped or pre-boxed — see TestHotPathAllocs.
 type Network struct {
 	kernel   *simkernel.Kernel
 	topo     *topology.Topology
 	handlers []Handler
 	alive    []bool
 	sink     TrafficSink
+
+	pending []Message    // slab of in-flight messages, indexed by delivery events
+	free    []uint32     // reusable slab indices
+	deliver func(uint64) // the one delivery callback, bound once in New
 
 	sent    uint64
 	dropped uint64
@@ -116,6 +128,7 @@ func New(kernel *simkernel.Kernel, topo *topology.Topology) *Network {
 	for i := range n.alive {
 		n.alive[i] = true
 	}
+	n.deliver = n.deliverPending // one method-value allocation for the network's lifetime
 	return n
 }
 
@@ -157,22 +170,41 @@ func (n *Network) Send(from, to NodeID, cat Category, bytes int, payload any) {
 		n.dropped++
 		return
 	}
-	msg := Message{
-		From: from, To: to,
-		Payload: payload, Bytes: bytes, Category: cat,
-		SentAt: n.kernel.Now(),
-	}
+	now := n.kernel.Now()
 	if n.sink != nil {
-		n.sink.RecordMessage(msg.SentAt, from, to, cat, bytes)
+		n.sink.RecordMessage(now, from, to, cat, bytes)
 	}
 	n.sent++
-	n.kernel.After(n.topo.Latency(from, to), func() {
-		if !n.alive[to] || n.handlers[to] == nil {
-			n.dropped++
-			return
-		}
-		n.handlers[to].HandleMessage(msg)
-	})
+	var idx uint32
+	if m := len(n.free); m > 0 {
+		idx = n.free[m-1]
+		n.free = n.free[:m-1]
+	} else {
+		n.pending = append(n.pending, Message{})
+		idx = uint32(len(n.pending) - 1)
+	}
+	n.pending[idx] = Message{
+		From: from, To: to,
+		Payload: payload, Bytes: bytes, Category: cat,
+		SentAt: now,
+	}
+	n.kernel.AfterArg(n.topo.Latency(from, to), n.deliver, uint64(idx))
+}
+
+// deliverPending fires when a slab record's latency elapses: it releases
+// the slot (so re-entrant Sends from the handler can reuse it) and hands
+// the message to the receiver, unless the receiver died or unregistered
+// while the message was in flight.
+func (n *Network) deliverPending(arg uint64) {
+	idx := uint32(arg)
+	msg := n.pending[idx]
+	n.pending[idx].Payload = nil // drop the reference; slab cells outlive messages
+	n.free = append(n.free, idx)
+	if !n.alive[msg.To] || n.handlers[msg.To] == nil {
+		n.dropped++
+		return
+	}
+	n.handlers[msg.To].HandleMessage(msg)
 }
 
 // Sent reports the number of messages accepted for transmission.
