@@ -1,0 +1,168 @@
+package flowercdn
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"flowercdn/internal/metrics"
+)
+
+// The equivalence fixture locks the simulator's observable outputs — hit
+// ratios, latency/distance distributions, traffic accounting, time series,
+// protocol counters and trace transcripts — to a golden file, per seed.
+// Performance refactors (dense object interning, zero-alloc paths) must
+// keep every byte of this file unchanged: regenerate with
+//
+//	go test -run TestEquivalenceFixture -update-fixture .
+//
+// and inspect the diff; any change means behaviour drifted.
+var updateFixture = flag.Bool("update-fixture", false, "rewrite testdata/equivalence.golden")
+
+func fixtureParams(seed int64) Params {
+	p := ScaledParams(seed)
+	p.Duration = 30 * Minute
+	p.BucketWidth = 10 * Minute
+	return p
+}
+
+func formatReport(sb *strings.Builder, label string, r Report) {
+	fmt.Fprintf(sb, "== %s ==\n", label)
+	fmt.Fprintf(sb, "queries=%d hits=%d hit_ratio=%.6f\n", r.TotalQueries, r.Hits, r.HitRatio)
+	fmt.Fprintf(sb, "avg_lookup_ms=%.4f avg_transfer_ms=%.4f p2p_lookup_ms=%.4f p2p_transfer_ms=%.4f\n",
+		r.AvgLookupMs, r.AvgTransferMs, r.P2PAvgLookupMs, r.P2PAvgTransferMs)
+	srcs := make([]string, 0, len(r.BySource))
+	for s := range r.BySource {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	for _, s := range srcs {
+		fmt.Fprintf(sb, "source %s count=%d avg_lookup=%.4f\n", s, r.BySource[s], r.AvgLookupBySource[s])
+	}
+	fmt.Fprintf(sb, "lookup_pct p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		r.LookupPercentiles.P50, r.LookupPercentiles.P90, r.LookupPercentiles.P95,
+		r.LookupPercentiles.P99, r.LookupPercentiles.Max)
+	fmt.Fprintf(sb, "transfer_pct p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		r.TransferPercentiles.P50, r.TransferPercentiles.P90, r.TransferPercentiles.P95,
+		r.TransferPercentiles.P99, r.TransferPercentiles.Max)
+	fmt.Fprintf(sb, "background_bps=%.6f peer_seconds=%.2f redirect_failures=%d ttl_expiry=%d\n",
+		r.BackgroundBps, r.PeerSecondsTotal, r.RedirectFailures, r.RouteTTLExpiry)
+	for _, ts := range r.Traffic {
+		fmt.Fprintf(sb, "traffic %s bytes=%d msgs=%d\n", ts.Category, ts.Bytes, ts.Messages)
+	}
+	sb.WriteString("series:\n")
+	sb.WriteString(r.SeriesCSV())
+	sb.WriteString("latency_hist:\n")
+	sb.WriteString(metrics.HistCSV(r.LatencyHist))
+	sb.WriteString("distance_hist:\n")
+	sb.WriteString(metrics.HistCSV(r.DistanceHist))
+}
+
+func formatStats(sb *strings.Builder, res Result) {
+	fmt.Fprintf(sb, "stats joins=%d dir_replacements=%d dir_bootstraps=%d gossip_rejects=%d retried=%d prefetches=%d\n",
+		res.Stats.Joins, res.Stats.DirReplacements, res.Stats.DirBootstraps,
+		res.Stats.GossipRejects, res.Stats.QueriesRetried, res.Stats.Prefetches)
+}
+
+// buildFixture runs every scenario and renders the canonical transcript.
+func buildFixture(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+
+	for _, seed := range []int64{1, 2} {
+		res, err := RunFlower(fixtureParams(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		formatReport(&sb, fmt.Sprintf("flower seed=%d", seed), res.Report)
+		formatStats(&sb, res)
+	}
+
+	res, err := RunSquirrel(fixtureParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatReport(&sb, "squirrel seed=1", res.Report)
+
+	hp := fixtureParams(2)
+	hp.SquirrelHomeStore = true
+	res, err = RunSquirrel(hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatReport(&sb, "squirrel home-store seed=2", res.Report)
+
+	cp := fixtureParams(3)
+	cp.ChurnPerHour = 120
+	cp.ChurnIncludesDirs = true
+	cp.ChurnMeanDowntime = 10 * Minute
+	cp.QueryPolicy = PolicyViewThenDirectory
+	cp.ReplicationTopK = 5
+	res, err = RunFlower(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatReport(&sb, "flower churn+replication seed=3", res.Report)
+	formatStats(&sb, res)
+
+	sp := fixtureParams(4)
+	sp.MaxOverlaySize = 8
+	sp.ClientsPerSite = 60
+	sp.InstanceBits = 1
+	res, err = RunFlower(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatReport(&sb, "flower scale-up seed=4", res.Report)
+	formatStats(&sb, res)
+
+	tres, buf, err := RunFlowerTraced(fixtureParams(5), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatReport(&sb, "flower traced seed=5", tres.Report)
+	formatStats(&sb, tres)
+	sb.WriteString("trace:\n")
+	sb.WriteString(FormatTrace(buf.Events()))
+
+	return sb.String()
+}
+
+func TestEquivalenceFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture runs several full simulations")
+	}
+	got := buildFixture(t)
+	path := filepath.Join("testdata", "equivalence.golden")
+	if *updateFixture {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("fixture rewritten: %d bytes", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-fixture): %v", err)
+	}
+	if got != string(want) {
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		n := len(gl)
+		if len(wl) < n {
+			n = len(wl)
+		}
+		for i := 0; i < n; i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("fixture diverged at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("fixture diverged in length: got %d lines, want %d", len(gl), len(wl))
+	}
+}

@@ -171,6 +171,14 @@ func WriteWorkloadTrace(w io.Writer, queries []WorkloadQuery) error {
 // SiteID names a website.
 type SiteID = model.SiteID
 
+// ObjectRef is a dense interned object identifier (see internal/model):
+// the uint32 every content-plane layer keys on instead of URL strings.
+type ObjectRef = model.ObjectRef
+
+// NoRef is the invalid ObjectRef sentinel (e.g. on parsed workload traces,
+// whose queries are re-interned by the consuming system).
+const NoRef = model.NoRef
+
 // MakeSites generates n website identifiers.
 func MakeSites(n int) []SiteID { return model.MakeSites(n) }
 

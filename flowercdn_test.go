@@ -212,6 +212,9 @@ func TestPublicTraceRoundTrip(t *testing.T) {
 	}
 	qs[0].Object.Site = qs[0].Site
 	qs[0].Object.Num = 9
+	// The trace format carries no interned refs; parsed queries come back
+	// explicitly un-interned and consumers re-intern from (SiteIdx, Num).
+	qs[0].Ref = NoRef
 	var buf bytesBuffer
 	if err := WriteWorkloadTrace(&buf, qs); err != nil {
 		t.Fatal(err)

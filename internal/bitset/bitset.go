@@ -1,0 +1,100 @@
+// Package bitset provides a dense fixed-capacity bit set keyed by small
+// integer indices. It backs the content plane's interned-object state: a
+// content peer's stored-object set, a directory entry's holdings and the
+// directory's known-object set are all bitsets over the per-site dense
+// object space, replacing string-keyed maps on the query hot path.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. Construct with New; the zero value is
+// an empty set of capacity 0.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+	count int // set bits, maintained incrementally
+}
+
+// New creates an empty set able to hold indices [0, n).
+func New(n int) Set {
+	if n < 0 {
+		n = 0
+	}
+	return Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity in bits.
+func (s *Set) Cap() int { return s.n }
+
+// Count returns the number of set bits.
+func (s *Set) Count() int { return s.count }
+
+// Has reports whether bit i is set. Out-of-range indices are false.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i and reports whether it was previously clear. Out-of-range
+// indices panic: the caller owns the dense index space.
+func (s *Set) Set(i int) bool {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if s.words[w]&m != 0 {
+		return false
+	}
+	s.words[w] |= m
+	s.count++
+	return true
+}
+
+// Clear clears bit i and reports whether it was previously set.
+func (s *Set) Clear(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if s.words[w]&m == 0 {
+		return false
+	}
+	s.words[w] &^= m
+	s.count--
+	return true
+}
+
+// Reset clears every bit, keeping the capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.count = 0
+}
+
+// ForEach calls fn for every set bit in ascending index order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			fn(i)
+			w &= w - 1 // clear lowest set bit
+		}
+	}
+}
+
+// AppendIndices appends the set bit indices to dst in ascending order and
+// returns the extended slice (allocation-free once dst has capacity).
+func (s *Set) AppendIndices(dst []int) []int {
+	s.ForEach(func(i int) { dst = append(dst, i) })
+	return dst
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() Set {
+	cp := Set{words: make([]uint64, len(s.words)), n: s.n, count: s.count}
+	copy(cp.words, s.words)
+	return cp
+}

@@ -1,0 +1,126 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBoundary exercises set/clear/iterate around word edges and the
+// capacity boundary for sizes shaped like ObjectsPerSite configurations —
+// including the awkward non-multiple-of-64 ones.
+func TestBoundary(t *testing.T) {
+	for _, n := range []int{1, 60, 63, 64, 65, 127, 128, 500} {
+		s := New(n)
+		if s.Cap() != n || s.Count() != 0 {
+			t.Fatalf("n=%d: fresh set cap=%d count=%d", n, s.Cap(), s.Count())
+		}
+		// First, last and a middle bit (deduped for tiny sizes).
+		probes := []int{0}
+		if n/2 != 0 {
+			probes = append(probes, n/2)
+		}
+		if n-1 != 0 && n-1 != n/2 {
+			probes = append(probes, n-1)
+		}
+		for _, i := range probes {
+			if !s.Set(i) {
+				t.Fatalf("n=%d: Set(%d) reported already-set", n, i)
+			}
+			if s.Set(i) {
+				t.Fatalf("n=%d: duplicate Set(%d) reported fresh", n, i)
+			}
+			if !s.Has(i) {
+				t.Fatalf("n=%d: Has(%d) = false after Set", n, i)
+			}
+		}
+		if s.Has(n) || s.Has(-1) {
+			t.Fatalf("n=%d: out-of-range Has must be false", n)
+		}
+		if s.Clear(n) || s.Clear(-1) {
+			t.Fatalf("n=%d: out-of-range Clear must be a no-op", n)
+		}
+		var got []int
+		got = s.AppendIndices(got)
+		want := map[int]bool{}
+		for _, i := range probes {
+			want[i] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: iterate returned %v", n, got)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("n=%d: iteration not ascending: %v", n, got)
+			}
+		}
+		for _, i := range got {
+			if !want[i] {
+				t.Fatalf("n=%d: iteration yielded unset bit %d", n, i)
+			}
+		}
+		if !s.Clear(n - 1) {
+			t.Fatalf("n=%d: Clear(%d) reported unset", n, n-1)
+		}
+		if s.Has(n-1) || s.Clear(n-1) {
+			t.Fatalf("n=%d: bit %d survived Clear", n, n-1)
+		}
+		s.Reset()
+		if s.Count() != 0 || s.Has(0) {
+			t.Fatalf("n=%d: Reset left bits behind", n)
+		}
+	}
+}
+
+func TestSetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set beyond capacity must panic")
+		}
+	}()
+	s := New(64)
+	s.Set(64)
+}
+
+// TestAgainstMap cross-checks the set against a reference map under a
+// random operation stream, then verifies Clone independence.
+func TestAgainstMap(t *testing.T) {
+	const n = 130 // spans three words, last one partial
+	rng := rand.New(rand.NewSource(7))
+	s := New(n)
+	ref := map[int]bool{}
+	for op := 0; op < 4000; op++ {
+		i := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			if s.Set(i) == ref[i] {
+				t.Fatalf("op %d: Set(%d) freshness mismatch", op, i)
+			}
+			ref[i] = true
+		} else {
+			if s.Clear(i) != ref[i] {
+				t.Fatalf("op %d: Clear(%d) mismatch", op, i)
+			}
+			delete(ref, i)
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("count=%d want %d", s.Count(), len(ref))
+	}
+	cp := s.Clone()
+	var fromIter []int
+	s.ForEach(func(i int) { fromIter = append(fromIter, i) })
+	if len(fromIter) != len(ref) {
+		t.Fatalf("iterated %d bits, want %d", len(fromIter), len(ref))
+	}
+	for _, i := range fromIter {
+		if !ref[i] {
+			t.Fatalf("iterated unset bit %d", i)
+		}
+	}
+	// Clone must not share storage.
+	for i := 0; i < n; i++ {
+		s.Clear(i)
+	}
+	if cp.Count() != len(ref) {
+		t.Fatal("Clone shares storage with original")
+	}
+}

@@ -70,38 +70,50 @@ func fnv1a64(seed uint64, s string) uint64 {
 	return h
 }
 
-func (f *Filter) indices(key string, fn func(idx uint64) bool) {
-	h1 := fnv1a64(0, key)
-	h2 := fnv1a64(1, key) | 1 // odd => full period
+// HashKey computes the two independent 64-bit FNV-1a streams double
+// hashing derives every probe index from. Callers that probe the same key
+// repeatedly (the interned-object hot path) compute the pair once and use
+// AddHash/TestHash; Add/Test are the equivalent convenience API over raw
+// strings. h2 is returned raw — the probe loop forces it odd.
+func HashKey(key string) (h1, h2 uint64) {
+	return fnv1a64(0, key), fnv1a64(1, key)
+}
+
+// AddHash inserts the key whose HashKey pair is (h1, h2). Zero hashing,
+// zero allocation: the per-probe work is one multiply-add and a modulo.
+func (f *Filter) AddHash(h1, h2 uint64) {
+	h2 |= 1 // odd => full period
 	for i := uint32(0); i < f.hashes; i++ {
 		idx := (h1 + uint64(i)*h2) % f.mBits
-		if !fn(idx) {
-			return
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.count++
+}
+
+// TestHash reports whether the key whose HashKey pair is (h1, h2) may be
+// in the filter. False positives are possible; false negatives are not.
+func (f *Filter) TestHash(h1, h2 uint64) bool {
+	h2 |= 1
+	for i := uint32(0); i < f.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % f.mBits
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
 		}
 	}
+	return true
 }
 
 // Add inserts key into the filter.
 func (f *Filter) Add(key string) {
-	f.indices(key, func(idx uint64) bool {
-		f.bits[idx/64] |= 1 << (idx % 64)
-		return true
-	})
-	f.count++
+	h1, h2 := HashKey(key)
+	f.AddHash(h1, h2)
 }
 
 // Test reports whether key may be in the filter. False positives are
 // possible; false negatives are not.
 func (f *Filter) Test(key string) bool {
-	ok := true
-	f.indices(key, func(idx uint64) bool {
-		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
-			ok = false
-			return false
-		}
-		return true
-	})
-	return ok
+	h1, h2 := HashKey(key)
+	return f.TestHash(h1, h2)
 }
 
 // Reset clears the filter in place.

@@ -179,4 +179,9 @@ type Deps struct {
 	// Tracer receives structured protocol events when non-nil (see
 	// internal/trace); nil disables tracing at zero cost.
 	Tracer trace.Tracer
+	// Interner is the shared dense object space. Optional: when nil the
+	// system builds its own over cfg.Sites × cfg.ObjectsPerSite. Supply it
+	// to share one instance (and its precomputed hash tables) with the
+	// workload generator and across campaign points.
+	Interner *model.Interner
 }

@@ -1,14 +1,11 @@
 package core
 
 import (
-	"fmt"
-
 	"flowercdn/internal/chord"
 	"flowercdn/internal/dring"
 	"flowercdn/internal/model"
 	"flowercdn/internal/simkernel"
 	"flowercdn/internal/simnet"
-	"flowercdn/internal/trace"
 )
 
 // This file implements §5, "Dealing with Dynamicity": crash failures,
@@ -72,8 +69,7 @@ func (s *System) onDirectoryUnreachable(h *host) {
 	if h.cp == nil {
 		return
 	}
-	s.trace(trace.DirFailureDetected, 0, h.addr, -1,
-		fmt.Sprintf("d(%s,%d) silent", h.cp.Site(), h.cp.Locality()))
+	s.traceDirSilent(h)
 	h.cp.ForgetDir()
 	s.attemptDirJoin(h, h.cp.Site(), h.cp.Locality())
 }
@@ -174,8 +170,7 @@ func (s *System) handleDirJoinAccept(h *host, m dirJoinAcceptMsg) {
 	h.dir.ApplyPush(h.addr, h.cp.Objects(), nil)
 	h.cp.SetDir(h.addr)
 	s.stats.DirReplacements++
-	s.trace(trace.DirReplaced, 0, h.addr, -1,
-		fmt.Sprintf("took over d(%s,%d)", h.cp.Site(), h.cp.Locality()))
+	s.traceDirReplaced(h)
 }
 
 // installDirectory wires directory state and tickers onto a host.
@@ -183,7 +178,7 @@ func (s *System) installDirectory(h *host, node *chord.Node, site model.SiteID, 
 	key := node.ID()
 	h.dirNode = node
 	h.dir = dring.NewDirectory(site, s.widBySite[site], loc, key,
-		s.cfg.MaxOverlaySize, s.cfg.ObjectsPerSite, s.cfg.DirSummaryThreshold)
+		s.cfg.MaxOverlaySize, s.cfg.ObjectsPerSite, s.cfg.DirSummaryThreshold, s.in)
 	s.dirByKey[key] = h.addr
 	s.dirAddrs = append(s.dirAddrs, h.addr)
 	offset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TGossip)))
@@ -257,8 +252,7 @@ func (s *System) DirectoryLeave(site model.SiteID, loc int) bool {
 		old.accounted = false
 	}
 	s.stats.DirReplacements++
-	s.trace(trace.DirHandoff, 0, old.addr, best.addr,
-		fmt.Sprintf("d(%s,%d) voluntary leave", site, loc))
+	s.traceDirHandoff(old.addr, best.addr, site, loc)
 	return true
 }
 

@@ -31,7 +31,7 @@ type host struct {
 
 	// Content stashed across a locality change (§5.4): the peer keeps its
 	// objects and re-pushes them after rejoining.
-	stash []string
+	stash []model.ObjectRef
 
 	// Tickers.
 	dirTicker    *simkernel.Ticker

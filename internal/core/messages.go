@@ -22,7 +22,7 @@ const (
 
 // Query carries one client request through the system. It is shared by
 // pointer across the simulated messages of a single in-process run; on a
-// real wire it would be a compact identifier plus the object URL.
+// real wire it would be a compact identifier plus the interned object ref.
 type Query struct {
 	ID        uint64
 	Origin    simnet.NodeID
@@ -30,7 +30,7 @@ type Query struct {
 	SiteIdx   int
 	Site      model.SiteID
 	Object    model.ObjectID
-	Obj       string // Object.Key(), cached
+	Ref       model.ObjectRef // interned Object; every lookup keys on this
 	Start     simkernel.Time
 	NewClient bool
 
@@ -45,18 +45,41 @@ type Query struct {
 	candidates []simnet.NodeID // content-peer path candidates
 	candIdx    int
 
-	targetInstance   int           // §5.3: which directory instance the query targeted
-	handlerDir       simnet.NodeID // the directory that ran Algorithm 3 for us
-	handlerIsLocal   bool          // handler covers the client's locality
-	admitted         bool          // optimistic index entry created; client joins on serve
-	dirSeed          []gossip.Entry
-	triedDirs        map[chord.ID]bool
-	failedHolders    map[simnet.NodeID]bool
+	targetInstance int           // §5.3: which directory instance the query targeted
+	handlerDir     simnet.NodeID // the directory that ran Algorithm 3 for us
+	handlerIsLocal bool          // handler covers the client's locality
+	admitted       bool          // optimistic index entry created; client joins on serve
+	dirSeed        []gossip.Entry
+	// Failed-destination dedup: queries touch a handful of directories and
+	// holders, so linear scans over small slices beat per-query maps (and
+	// allocate nothing until a failure actually occurs).
+	triedDirs        []chord.ID
+	failedHolders    []simnet.NodeID
 	remoteDir        simnet.NodeID // set while a neighbour directory handles the query
 	atRemote         bool
 	viaDirectory     bool // content-peer path escalated to the directory (ablation policy)
 	needDirBootstrap bool // client should try to become d(ws,loc) after service (§5.2 edge)
+
+	refScratch [1]model.ObjectRef // backs oneRef
 }
+
+// oneRef returns a one-element ref slice without allocating, backed by
+// query-local scratch; callees (ApplyPush) must not retain it.
+func (q *Query) oneRef(ref model.ObjectRef) []model.ObjectRef {
+	q.refScratch[0] = ref
+	return q.refScratch[:]
+}
+
+func (q *Query) triedDir(id chord.ID) bool {
+	for _, d := range q.triedDirs {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (q *Query) markTriedDir(id chord.ID) { q.triedDirs = append(q.triedDirs, id) }
 
 // settle cancels any outstanding timeout for the query: the armed kernel
 // timer is revoked (so it never clutters the event queue) and the token is
@@ -195,7 +218,7 @@ type dirSummaryMsg struct {
 
 // ReplicaOffer names one popular object and a content peer that holds it.
 type ReplicaOffer struct {
-	Obj    string
+	Ref    model.ObjectRef
 	Holder simnet.NodeID
 }
 
@@ -206,22 +229,22 @@ type replicaOfferMsg struct {
 	Offers  []ReplicaOffer
 }
 
-// prefetchMsg: directory → one of its members: fetch obj from Holder so
+// prefetchMsg: directory → one of its members: fetch Ref from Holder so
 // our overlay has it before anyone asks.
 type prefetchMsg struct {
-	Obj    string
+	Ref    model.ObjectRef
 	Holder simnet.NodeID
 }
 
 // prefetchFetchMsg: member → remote holder.
 type prefetchFetchMsg struct {
-	Obj  string
+	Ref  model.ObjectRef
 	From simnet.NodeID
 }
 
 // prefetchServeMsg: holder → member: the object.
 type prefetchServeMsg struct {
-	Obj string
+	Ref model.ObjectRef
 }
 
 // dirJoinTakenMsg: the directory position was already filled; NewDir is

@@ -9,12 +9,12 @@ import (
 
 // newContentPeerFor constructs the overlay state for a joining host.
 func newContentPeerFor(h *host, site model.SiteID, loc int, cfg overlay.Config, now simkernel.Time) *overlay.ContentPeer {
-	return overlay.New(h.addr, site, loc, cfg, now)
+	return overlay.New(h.addr, site, loc, cfg, now, h.sys.in)
 }
 
 // overlayPush builds an additions-only push (full-content re-registration
 // after a directory change, §5.2).
-func overlayPush(from simnet.NodeID, added []string) overlay.PushMsg {
+func overlayPush(from simnet.NodeID, added []model.ObjectRef) overlay.PushMsg {
 	return overlay.PushMsg{From: from, Added: added}
 }
 

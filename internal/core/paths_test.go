@@ -31,7 +31,7 @@ func TestStaleSummaryNackPath(t *testing.T) {
 	// Hand b a summary for a that FALSELY claims object 5 (models a stale
 	// summary: a could have evicted the object).
 	fake := a.cp.Summary().Clone()
-	fake.Add(e.obj(0, 5))
+	fake.Add(e.objKey(0, 5))
 	b.cp.View().Refresh(a.addr, fake)
 	// b now asks for object 5: peer-query a → NACK → server.
 	e.submitAt(20*simkernel.Second, 0, 0, 1, 5)
@@ -42,7 +42,13 @@ func TestStaleSummaryNackPath(t *testing.T) {
 	}
 }
 
-func (e *testEnv) obj(si, num int) string {
+// obj interns (site index, object number) through the system's interner.
+func (e *testEnv) obj(si, num int) model.ObjectRef {
+	return e.sys.in.RefFor(si, num)
+}
+
+// objKey is the canonical string form (for seeding Bloom filters by hand).
+func (e *testEnv) objKey(si, num int) string {
 	return model.ObjectID{Site: e.cfg.Sites[si], Num: num}.Key()
 }
 
@@ -60,7 +66,7 @@ func TestForwardFailFallsBackToServer(t *testing.T) {
 	d0 := e.sys.host(d0addr)
 	d1 := e.sys.host(d1addr)
 	fake := d0.dir.BuildSummary().Clone()
-	fake.Add(e.obj(0, 9)) // nobody holds object 9
+	fake.Add(e.objKey(0, 9)) // nobody holds object 9
 	d1.dir.UpdateNeighborSummary(d0.dir.Key(), 0, fake)
 	// A new client in locality 1 asks for object 9: D-ring → d(ws,1) →
 	// forwarded to d(ws,0) (summary hit) → forward-fail → server.

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-
-	"flowercdn/internal/chord"
 	"flowercdn/internal/dring"
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/metrics"
@@ -79,12 +76,12 @@ func (s *System) randomAliveDir() (simnet.NodeID, bool) {
 // the content summaries of the peer's partial view, then (per policy) the
 // directory, finally the origin server.
 func (s *System) startContentPeerQuery(h *host, q *Query) {
-	if h.cp.Has(q.Obj) {
+	if h.cp.Has(q.Ref) {
 		s.mets.RecordQuery(s.k.Now(), metrics.SourceLocal, 0, 0)
 		q.recorded, q.finished = true, true
 		return
 	}
-	cands := h.cp.CandidatesFor(q.Obj, s.rng)
+	cands := h.cp.CandidatesFor(q.Ref, s.rng)
 	if len(cands) > s.cfg.RetryLimit {
 		cands = cands[:s.cfg.RetryLimit]
 	}
@@ -174,7 +171,7 @@ func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
 		q.handlerDir = h.addr
 		q.handlerIsLocal = h.dir.Site() == q.Site && h.dir.Locality() == q.OriginLoc
 		if q.NewClient && q.handlerIsLocal {
-			q.admitted = h.dir.AddOptimistic(q.Origin, q.Obj)
+			q.admitted = h.dir.AddOptimistic(q.Origin, q.Ref)
 			if q.admitted {
 				q.dirSeed = s.dirViewSeed(h, q.Origin)
 			}
@@ -188,19 +185,16 @@ func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
 			}
 		}
 	}
-	if q.triedDirs == nil {
-		q.triedDirs = make(map[chord.ID]bool)
-	}
 	if h.dir.Site() == q.Site {
 		// Popularity bookkeeping for the §8 active-replication extension.
-		h.dir.NoteRequest(q.Obj)
+		h.dir.NoteRequest(q.Ref)
 	}
 	if !forwarded {
-		s.trace(trace.DirProcess, q.ID, h.addr, -1, fmt.Sprintf("d(%s,%d)", h.dir.Site(), h.dir.Locality()))
+		s.traceDirProcess(q, h)
 	}
 
 	// Stage A: directory index (complete view of the content overlay).
-	for _, holder := range h.dir.Holders(q.Obj) {
+	for _, holder := range h.dir.Holders(q.Ref) {
 		if holder == q.Origin || q.triedHolder(holder) {
 			continue
 		}
@@ -210,11 +204,11 @@ func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
 	// Stage B: a replacement directory answers from its own store and its
 	// content-peer view while its index rebuilds from pushes (§5.2).
 	if h.cp != nil {
-		if h.cp.Has(q.Obj) {
+		if h.cp.Has(q.Ref) {
 			s.serveQuery(h, q, forwarded, true)
 			return
 		}
-		for _, cand := range h.cp.CandidatesFor(q.Obj, s.rng) {
+		for _, cand := range h.cp.CandidatesFor(q.Ref, s.rng) {
 			if cand == q.Origin || q.triedHolder(cand) {
 				continue
 			}
@@ -228,11 +222,11 @@ func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
 		return
 	}
 	// Stage C: directory summaries of same-website neighbours.
-	for _, dirID := range h.dir.NeighborsWithObject(q.Obj) {
-		if q.triedDirs[dirID] {
+	for _, dirID := range h.dir.NeighborsWithObject(q.Ref) {
+		if q.triedDir(dirID) {
 			continue
 		}
-		q.triedDirs[dirID] = true
+		q.markTriedDir(dirID)
 		target := s.ring.Lookup(dirID)
 		if target == nil || !target.Up() {
 			h.dir.RemoveNeighborSummary(dirID)
@@ -257,17 +251,16 @@ func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
 }
 
 func (q *Query) triedHolder(n simnet.NodeID) bool {
-	if q.failedHolders == nil {
-		return false
+	for _, f := range q.failedHolders {
+		if f == n {
+			return true
+		}
 	}
-	return q.failedHolders[n]
+	return false
 }
 
 func (q *Query) markFailedHolder(n simnet.NodeID) {
-	if q.failedHolders == nil {
-		q.failedHolders = make(map[simnet.NodeID]bool)
-	}
-	q.failedHolders[n] = true
+	q.failedHolders = append(q.failedHolders, n)
 }
 
 // dirRedirect sends the query to a believed holder and arms the §5.1
@@ -296,7 +289,7 @@ func (s *System) handleRedirect(h *host, m redirectMsg) {
 	}
 	// Acknowledge liveness to the redirecting directory.
 	s.net.Send(h.addr, m.FromDir, simnet.CatQuery, bytesQueryCtl, redirectAckMsg{Q: q, From: h.addr})
-	if h.cp != nil && h.cp.Has(q.Obj) {
+	if h.cp != nil && h.cp.Has(q.Ref) {
 		s.serveQuery(h, q, q.atRemote, true)
 		return
 	}
@@ -309,7 +302,7 @@ func (s *System) handleRedirectFail(h *host, m redirectFailMsg) {
 	q := m.Q
 	q.settle()
 	if h.dir != nil {
-		h.dir.ApplyPush(m.From, nil, []string{q.Obj})
+		h.dir.ApplyPush(m.From, nil, q.oneRef(q.Ref))
 	}
 	q.markFailedHolder(m.From)
 	s.dirProcess(h, q, q.atRemote && h.addr == q.remoteDir)
@@ -344,7 +337,7 @@ func (s *System) handleDirQuery(h *host, m dirQueryMsg) {
 // handlePeerQuery runs at a view contact of the requesting content peer.
 func (s *System) handlePeerQuery(h *host, m peerQueryMsg) {
 	q := m.Q
-	if h.cp != nil && h.cp.Has(q.Obj) {
+	if h.cp != nil && h.cp.Has(q.Ref) {
 		s.serveQuery(h, q, false, true)
 		return
 	}
@@ -383,8 +376,7 @@ func (s *System) serveQuery(h *host, q *Query, remote bool, fromContentPeer bool
 		dist := s.topo.LatencyMs(h.addr, q.Origin)
 		s.mets.RecordQuery(now, src, lookup, dist)
 		q.recorded = true
-		s.trace(trace.Served, q.ID, h.addr, q.Origin,
-			fmt.Sprintf("%s lookup=%.0fms dist=%.0fms", src, lookup, dist))
+		s.traceServed(q, h.addr, src, lookup, dist)
 	}
 	msg := serveMsg{Q: q, Provider: h.addr, FromContentPeer: fromContentPeer}
 	if q.NewClient && q.admitted && fromContentPeer && h.cp != nil &&
@@ -416,7 +408,7 @@ func (s *System) handleServe(h *host, m serveMsg) {
 		s.joinFounder(h, q)
 	}
 	if h.cp != nil {
-		h.cp.AddObject(q.Obj)
+		h.cp.AddObject(q.Ref)
 		s.maybePush(h)
 	}
 	if q.needDirBootstrap {
@@ -443,8 +435,7 @@ func (s *System) joinFounder(h *host, q *Query) {
 		h.accounted = true
 	}
 	s.stats.Joins++
-	s.trace(trace.Joined, q.ID, h.addr, -1,
-		fmt.Sprintf("founding content-overlay(%s,%d)", q.Site, q.OriginLoc))
+	s.traceJoined(q, h, -1, true)
 	s.startContentPeerTickers(h)
 }
 
@@ -473,8 +464,7 @@ func (s *System) joinOverlay(h *host, q *Query, m serveMsg) {
 		h.accounted = true
 	}
 	s.stats.Joins++
-	s.trace(trace.Joined, q.ID, h.addr, q.handlerDir,
-		fmt.Sprintf("content-overlay(%s,%d)", q.Site, q.OriginLoc))
+	s.traceJoined(q, h, q.handlerDir, false)
 	s.startContentPeerTickers(h)
 }
 

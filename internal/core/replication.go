@@ -3,7 +3,6 @@ package core
 import (
 	"flowercdn/internal/simkernel"
 	"flowercdn/internal/simnet"
-	"flowercdn/internal/trace"
 )
 
 // This file implements the active-replication extension the paper lists as
@@ -45,16 +44,17 @@ func (s *System) replicationTick(h *host) {
 			continue
 		}
 		var offers []ReplicaOffer
-		for _, obj := range top {
-			if ns.Filter != nil && ns.Filter.Test(obj) {
+		for _, ref := range top {
+			h1, h2 := s.in.Hashes(ref)
+			if ns.Filter != nil && ns.Filter.TestHash(h1, h2) {
 				continue // the sibling overlay (probably) has it already
 			}
-			holders := h.dir.Holders(obj)
+			holders := h.dir.Holders(ref)
 			if len(holders) == 0 {
 				continue
 			}
 			offers = append(offers, ReplicaOffer{
-				Obj:    obj,
+				Ref:    ref,
 				Holder: holders[s.rng.Intn(len(holders))],
 			})
 		}
@@ -78,32 +78,32 @@ func (s *System) handleReplicaOffer(h *host, m replicaOfferMsg) {
 		return
 	}
 	for _, offer := range m.Offers {
-		if len(h.dir.Holders(offer.Obj)) > 0 {
+		if len(h.dir.Holders(offer.Ref)) > 0 {
 			continue // raced: someone fetched it meanwhile
 		}
 		member := members[s.rng.Intn(len(members))]
 		s.net.Send(h.addr, member, simnet.CatReplication, bytesQueryCtl,
-			prefetchMsg{Obj: offer.Obj, Holder: offer.Holder})
+			prefetchMsg{Ref: offer.Ref, Holder: offer.Holder})
 	}
 }
 
 // handlePrefetch runs at the chosen member: fetch the object from the
 // remote holder unless we already have it.
 func (s *System) handlePrefetch(h *host, m prefetchMsg) {
-	if h.cp == nil || h.cp.Has(m.Obj) {
+	if h.cp == nil || h.cp.Has(m.Ref) {
 		return
 	}
 	s.net.Send(h.addr, m.Holder, simnet.CatReplication, bytesQueryCtl,
-		prefetchFetchMsg{Obj: m.Obj, From: h.addr})
+		prefetchFetchMsg{Ref: m.Ref, From: h.addr})
 }
 
 // handlePrefetchFetch runs at the holder: serve the replica.
 func (s *System) handlePrefetchFetch(h *host, m prefetchFetchMsg) {
-	if h.cp == nil || !h.cp.Has(m.Obj) {
+	if h.cp == nil || !h.cp.Has(m.Ref) {
 		return // stale offer; the prefetch silently fails
 	}
 	s.net.Send(h.addr, m.From, simnet.CatTransfer, bytesServeHdr+s.cfg.ObjectBytes,
-		prefetchServeMsg{Obj: m.Obj})
+		prefetchServeMsg{Ref: m.Ref})
 }
 
 // handlePrefetchServe completes the prefetch at the member: store the
@@ -112,8 +112,8 @@ func (s *System) handlePrefetchServe(h *host, m prefetchServeMsg) {
 	if h.cp == nil {
 		return
 	}
-	h.cp.AddObject(m.Obj)
+	h.cp.AddObject(m.Ref)
 	s.stats.Prefetches++
-	s.trace(trace.Prefetch, 0, h.addr, -1, m.Obj)
+	s.tracePrefetch(h, m.Ref)
 	s.maybePush(h)
 }

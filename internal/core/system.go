@@ -35,6 +35,10 @@ type System struct {
 	topo *topology.Topology
 	mets *metrics.Collector
 
+	// in is the dense object interner shared by every layer touching
+	// content identity (overlay bitsets, directory indexes, Bloom probes).
+	in *model.Interner
+
 	ks   dring.KeySpec
 	ring *chord.Ring
 
@@ -107,12 +111,27 @@ func New(cfg Config, deps Deps) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	in := deps.Interner
+	if in == nil {
+		in = model.NewInterner(cfg.Sites, cfg.ObjectsPerSite)
+	} else {
+		if in.ObjectsPerSite() != cfg.ObjectsPerSite {
+			return nil, fmt.Errorf("core: interner has %d objects per site, config %d",
+				in.ObjectsPerSite(), cfg.ObjectsPerSite)
+		}
+		for si, site := range cfg.Sites {
+			if in.SiteIndex(site) != si {
+				return nil, fmt.Errorf("core: interner does not place site %q at index %d", site, si)
+			}
+		}
+	}
 	s := &System{
 		cfg:       cfg,
 		k:         deps.Kernel,
 		net:       simnet.New(deps.Kernel, deps.Topo),
 		topo:      deps.Topo,
 		mets:      deps.Metrics,
+		in:        in,
 		ks:        ks,
 		ring:      chord.NewRing(chord.Config{Bits: cfg.DRingBits, SuccessorList: 8}),
 		hosts:     make([]*host, deps.Topo.NumNodes()),
@@ -218,7 +237,7 @@ func (s *System) placeDirectoriesAndPools() error {
 				}
 				h := &host{sys: s, addr: addr, loc: loc, dirNode: node}
 				h.dir = dring.NewDirectory(site, wid, loc, key,
-					s.cfg.MaxOverlaySize, s.cfg.ObjectsPerSite, s.cfg.DirSummaryThreshold)
+					s.cfg.MaxOverlaySize, s.cfg.ObjectsPerSite, s.cfg.DirSummaryThreshold, s.in)
 				if active[site] {
 					// Active-site directories are accounted participants from t=0.
 					h.accounted = true
@@ -382,7 +401,15 @@ func (s *System) Submit(wq workload.Query) {
 	if h == nil || !s.net.Alive(origin) {
 		return
 	}
+	if wq.Object.Num < 0 || wq.Object.Num >= s.cfg.ObjectsPerSite {
+		return // outside the fixed object universe: nothing can hold it
+	}
 	s.qid++
+	// The workload's active-site index is the interner's site index (the
+	// active sites lead cfg.Sites), so interning is pure arithmetic; it is
+	// recomputed here rather than trusted from the stream so replayed or
+	// hand-built queries can never smuggle a stale ref.
+	ref := s.in.RefFor(wq.SiteIdx, wq.Object.Num)
 	q := &Query{
 		ID:        s.qid,
 		Origin:    origin,
@@ -390,16 +417,15 @@ func (s *System) Submit(wq workload.Query) {
 		SiteIdx:   wq.SiteIdx,
 		Site:      wq.Site,
 		Object:    wq.Object,
-		Obj:       wq.Object.Key(),
+		Ref:       ref,
 		Start:     s.k.Now(),
 		NewClient: h.cp == nil,
-		triedDirs: make(map[chord.ID]bool),
 	}
 	if h.cp != nil {
-		s.trace(trace.QuerySubmitted, q.ID, origin, -1, "member "+q.Obj)
+		s.traceQuerySubmitted(q, true)
 		s.startContentPeerQuery(h, q)
 	} else {
-		s.trace(trace.QuerySubmitted, q.ID, origin, -1, "new-client "+q.Obj)
+		s.traceQuerySubmitted(q, false)
 		s.startNewClientQuery(h, q)
 	}
 }

@@ -20,7 +20,7 @@ type testEnv struct {
 	cfg  Config
 }
 
-func newTestEnv(t *testing.T, seed int64, mod func(*Config)) *testEnv {
+func newTestEnv(t testing.TB, seed int64, mod func(*Config)) *testEnv {
 	t.Helper()
 	k := simkernel.New(seed)
 	tcfg := topology.Config{
@@ -347,13 +347,13 @@ func TestLocalityChange(t *testing.T) {
 		t.Fatalf("peer did not rejoin in locality 2")
 	}
 	// Old content came along (stash + push).
-	if !h.cp.Has(model.ObjectID{Site: e.cfg.Sites[0], Num: 4}.Key()) {
+	if !h.cp.Has(e.obj(0, 4)) {
 		t.Fatal("held content lost across locality change")
 	}
 	// The new directory should index the transferred content after pushes.
 	dirAddr, _ := e.sys.DirectoryAddr(e.cfg.Sites[0], 2)
 	dh := e.sys.host(dirAddr)
-	if len(dh.dir.Holders(model.ObjectID{Site: e.cfg.Sites[0], Num: 4}.Key())) == 0 {
+	if len(dh.dir.Holders(e.obj(0, 4))) == 0 {
 		t.Fatal("new directory does not index transferred content")
 	}
 }
@@ -474,7 +474,7 @@ func TestActiveReplication(t *testing.T) {
 	}
 	// Give summaries and replication a few periods to act.
 	e.k.Run(30 * simkernel.Minute)
-	obj := model.ObjectID{Site: e.cfg.Sites[0], Num: 7}.Key()
+	obj := e.obj(0, 7)
 	dirAddr, ok := e.sys.DirectoryAddr(e.cfg.Sites[0], 1)
 	if !ok {
 		t.Fatal("directory missing")
@@ -482,7 +482,7 @@ func TestActiveReplication(t *testing.T) {
 	dh := e.sys.host(dirAddr)
 	if len(dh.dir.Holders(obj)) == 0 {
 		t.Fatalf("object %s not replicated into locality 1 (prefetches=%d)",
-			obj, e.sys.Stats().Prefetches)
+			e.sys.in.Key(obj), e.sys.Stats().Prefetches)
 	}
 	if e.sys.Stats().Prefetches == 0 {
 		t.Fatal("no prefetches counted")

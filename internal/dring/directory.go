@@ -3,6 +3,7 @@ package dring
 import (
 	"sort"
 
+	"flowercdn/internal/bitset"
 	"flowercdn/internal/bloom"
 	"flowercdn/internal/chord"
 	"flowercdn/internal/model"
@@ -10,21 +11,61 @@ import (
 )
 
 // IndexEntry is one row of the directory index (§3.3): a content peer, the
-// age of the information, and the identifiers of the objects it holds.
+// age of the information, and the objects it holds as a bitset over the
+// site's dense object space (local indices; see model.Interner).
 type IndexEntry struct {
 	Node    simnet.NodeID
 	Age     int
-	Objects map[string]struct{}
+	Objects bitset.Set
 }
 
-// objectKeys returns the entry's objects sorted (deterministic iteration).
-func (e *IndexEntry) objectKeys() []string {
-	out := make([]string, 0, len(e.Objects))
-	for k := range e.Objects {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+// Directory is the state of one directory peer d(ws,loc): the complete
+// view of its content overlay plus the summaries of its D-ring neighbours.
+// It contains no networking; the core system drives it with events and
+// messages.
+//
+// All object state is ref-indexed: the directory serves one website whose
+// ObjectsPerSite objects map to dense local indices, so the inverse index
+// (object → holders), the known-object set and the popularity counters are
+// flat slices instead of string-keyed maps.
+type Directory struct {
+	site      model.SiteID
+	websiteID uint64
+	loc       int
+	key       chord.ID
+
+	in   *model.Interner
+	base model.ObjectRef // first ref of the site
+	nObj int             // objects per site
+
+	maxOverlay int // S_co: directory refuses new members beyond this
+
+	index map[simnet.NodeID]*IndexEntry
+
+	// holders[i] lists the indexed peers holding local object i, kept
+	// sorted ascending so lookups need no sort and stay allocation-free.
+	holders      [][]simnet.NodeID
+	heldDistinct int // local objects with ≥1 holder
+
+	neighbors []NeighborSummary // sorted by DirID
+
+	// Directory-summary publication bookkeeping (§4.2.1: delayed
+	// propagation on a threshold of new object identifiers).
+	summaryThreshold float64
+	objectsAtPublish int
+	knownObjects     bitset.Set // every local object ever indexed (grow-only per epoch)
+	newSincePublish  int
+	published        bool
+
+	summaryCapacity int // Bloom sizing: nb-ob
+
+	// Popularity counters for the active-replication extension (§8
+	// future work: "pushing popular contents from some content overlay
+	// towards other overlays of the same website").
+	popularity []int64
+
+	// neighborScratch backs NeighborsWithObject's result between calls.
+	neighborScratch []chord.ID
 }
 
 // NeighborSummary is a directory summary received from another directory
@@ -35,54 +76,30 @@ type NeighborSummary struct {
 	Filter   *bloom.Filter
 }
 
-// Directory is the state of one directory peer d(ws,loc): the complete
-// view of its content overlay plus the summaries of its D-ring neighbours.
-// It contains no networking; the core system drives it with events and
-// messages.
-type Directory struct {
-	site      model.SiteID
-	websiteID uint64
-	loc       int
-	key       chord.ID
-
-	maxOverlay int // S_co: directory refuses new members beyond this
-
-	index   map[simnet.NodeID]*IndexEntry
-	holders map[string]map[simnet.NodeID]struct{} // object → holders (inverse index)
-
-	neighbors []NeighborSummary // sorted by DirID
-
-	// Directory-summary publication bookkeeping (§4.2.1: delayed
-	// propagation on a threshold of new object identifiers).
-	summaryThreshold float64
-	objectsAtPublish int
-	knownObjects     map[string]struct{} // every object id ever indexed (grow-only per epoch)
-	newSincePublish  int
-	published        bool
-
-	summaryCapacity int // Bloom sizing: nb-ob
-
-	// Popularity counters for the active-replication extension (§8
-	// future work: "pushing popular contents from some content overlay
-	// towards other overlays of the same website").
-	popularity map[string]int64
-}
-
-// NewDirectory creates an empty directory peer state.
+// NewDirectory creates an empty directory peer state. The interner must
+// cover site; it defines the dense object space the index is keyed by.
 func NewDirectory(site model.SiteID, websiteID uint64, loc int, key chord.ID,
-	maxOverlay int, summaryCapacity int, summaryThreshold float64) *Directory {
+	maxOverlay int, summaryCapacity int, summaryThreshold float64, in *model.Interner) *Directory {
+	si := in.SiteIndex(site)
+	if si < 0 {
+		panic("dring: site not covered by interner")
+	}
+	n := in.ObjectsPerSite()
 	return &Directory{
 		site:             site,
 		websiteID:        websiteID,
 		loc:              loc,
 		key:              key,
+		in:               in,
+		base:             in.SiteBase(si),
+		nObj:             n,
 		maxOverlay:       maxOverlay,
 		index:            make(map[simnet.NodeID]*IndexEntry),
-		holders:          make(map[string]map[simnet.NodeID]struct{}),
-		knownObjects:     make(map[string]struct{}),
+		holders:          make([][]simnet.NodeID, n),
+		knownObjects:     bitset.New(n),
 		summaryThreshold: summaryThreshold,
 		summaryCapacity:  summaryCapacity,
-		popularity:       make(map[string]int64),
+		popularity:       make([]int64, n),
 	}
 }
 
@@ -121,77 +138,111 @@ func (d *Directory) Members() []simnet.NodeID {
 	return out
 }
 
+// local maps a ref to the site's dense index. Refs of other sites map
+// outside [0, nObj); callers treat them as not-indexed (the string-keyed
+// predecessor simply missed on such keys — severe-churn routing can
+// deliver a query to a wrong-website directory, so this must stay
+// graceful, not panic).
+func (d *Directory) local(ref model.ObjectRef) int { return int(ref) - int(d.base) }
+
+// inRange reports whether ref belongs to this directory's site.
+func (d *Directory) inRange(ref model.ObjectRef) bool {
+	i := d.local(ref)
+	return i >= 0 && i < d.nObj
+}
+
 func (d *Directory) entry(node simnet.NodeID) *IndexEntry {
 	e, ok := d.index[node]
 	if !ok {
-		e = &IndexEntry{Node: node, Objects: make(map[string]struct{})}
+		e = &IndexEntry{Node: node, Objects: bitset.New(d.nObj)}
 		d.index[node] = e
 	}
 	return e
 }
 
-func (d *Directory) addObject(node simnet.NodeID, obj string) {
+func (d *Directory) addObject(node simnet.NodeID, ref model.ObjectRef) {
+	if !d.inRange(ref) {
+		return // foreign-site ref: nothing of ours to index
+	}
+	i := d.local(ref)
 	e := d.entry(node)
-	if _, dup := e.Objects[obj]; dup {
-		return
+	if !e.Objects.Set(i) {
+		return // duplicate
 	}
-	e.Objects[obj] = struct{}{}
-	hs, ok := d.holders[obj]
-	if !ok {
-		hs = make(map[simnet.NodeID]struct{})
-		d.holders[obj] = hs
+	hs := d.holders[i]
+	if len(hs) == 0 {
+		d.heldDistinct++
 	}
-	hs[node] = struct{}{}
-	if _, known := d.knownObjects[obj]; !known {
-		d.knownObjects[obj] = struct{}{}
+	// Insert keeping ascending node order (holder lists are small).
+	pos := len(hs)
+	for pos > 0 && hs[pos-1] > node {
+		pos--
+	}
+	hs = append(hs, 0)
+	copy(hs[pos+1:], hs[pos:])
+	hs[pos] = node
+	d.holders[i] = hs
+	if d.knownObjects.Set(i) {
 		d.newSincePublish++
 	}
 }
 
-func (d *Directory) dropObject(node simnet.NodeID, obj string) {
-	e, ok := d.index[node]
-	if !ok {
-		return
-	}
-	if _, has := e.Objects[obj]; !has {
-		return
-	}
-	delete(e.Objects, obj)
-	if hs, ok := d.holders[obj]; ok {
-		delete(hs, node)
-		if len(hs) == 0 {
-			delete(d.holders, obj)
+// removeHolder deletes node from local object i's holder list.
+func (d *Directory) removeHolder(i int, node simnet.NodeID) {
+	hs := d.holders[i]
+	for p, h := range hs {
+		if h == node {
+			copy(hs[p:], hs[p+1:])
+			d.holders[i] = hs[:len(hs)-1]
+			if len(hs) == 1 {
+				d.heldDistinct--
+			}
+			return
 		}
 	}
+}
+
+func (d *Directory) dropObject(node simnet.NodeID, ref model.ObjectRef) {
+	e, ok := d.index[node]
+	if !ok || !d.inRange(ref) {
+		return
+	}
+	i := d.local(ref)
+	if !e.Objects.Clear(i) {
+		return
+	}
+	d.removeHolder(i, node)
 }
 
 // AddOptimistic records a freshly served client with its requested object
 // at age zero (§3.4: "dws,loc optimistically adds a new entry in its
 // directory index"). It reports whether the peer is (now) a member; false
 // means the overlay is full and the client was not admitted.
-func (d *Directory) AddOptimistic(node simnet.NodeID, obj string) bool {
+func (d *Directory) AddOptimistic(node simnet.NodeID, ref model.ObjectRef) bool {
 	if _, member := d.index[node]; !member && d.Full() {
 		return false
 	}
-	d.addObject(node, obj)
-	d.index[node].Age = 0
+	d.addObject(node, ref)
+	// entry() rather than index[node]: addObject indexes nothing for a
+	// foreign-site ref, but the peer itself is still admitted at age 0.
+	d.entry(node).Age = 0
 	return true
 }
 
-// ApplyPush ingests a ∆list push (Algorithm 6): added/removed object
-// identifiers from a content peer, resetting the entry age. Unknown peers
-// are admitted if capacity allows (this is how a replacement directory
+// ApplyPush ingests a ∆list push (Algorithm 6): added/removed object refs
+// from a content peer, resetting the entry age. Unknown peers are
+// admitted if capacity allows (this is how a replacement directory
 // rebuilds its index from pushes, §5.2); the return value reports whether
 // the push was accepted.
-func (d *Directory) ApplyPush(node simnet.NodeID, added, removed []string) bool {
+func (d *Directory) ApplyPush(node simnet.NodeID, added, removed []model.ObjectRef) bool {
 	if _, member := d.index[node]; !member && d.Full() {
 		return false
 	}
-	for _, obj := range added {
-		d.addObject(node, obj)
+	for _, ref := range added {
+		d.addObject(node, ref)
 	}
-	for _, obj := range removed {
-		d.dropObject(node, obj)
+	for _, ref := range removed {
+		d.dropObject(node, ref)
 	}
 	d.entry(node).Age = 0
 	return true
@@ -211,14 +262,7 @@ func (d *Directory) RemovePeer(node simnet.NodeID) {
 	if !ok {
 		return
 	}
-	for obj := range e.Objects {
-		if hs, ok := d.holders[obj]; ok {
-			delete(hs, node)
-			if len(hs) == 0 {
-				delete(d.holders, obj)
-			}
-		}
-	}
+	e.Objects.ForEach(func(i int) { d.removeHolder(i, node) })
 	delete(d.index, node)
 }
 
@@ -246,60 +290,68 @@ func (d *Directory) EvictOlderThan(ageLimit int) []simnet.NodeID {
 	return evicted
 }
 
-// Holders returns the indexed peers holding obj, ascending (the caller
-// picks one, typically at random, to spread load — §4.1).
-func (d *Directory) Holders(obj string) []simnet.NodeID {
-	hs, ok := d.holders[obj]
-	if !ok {
+// Holders returns the indexed peers holding ref, ascending (the caller
+// picks one, typically at random, to spread load — §4.1). The returned
+// slice is the directory's internal holder list: read-only, valid until
+// the next index mutation.
+func (d *Directory) Holders(ref model.ObjectRef) []simnet.NodeID {
+	if !d.inRange(ref) {
 		return nil
 	}
-	out := make([]simnet.NodeID, 0, len(hs))
-	for n := range hs {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return d.holders[d.local(ref)]
 }
 
 // ObjectCount returns the number of distinct objects currently indexed.
-func (d *Directory) ObjectCount() int { return len(d.holders) }
+func (d *Directory) ObjectCount() int { return d.heldDistinct }
 
 // --- Popularity tracking (active replication, §8) ------------------------
 
-// NoteRequest counts one query for obj processed by this directory; the
+// NoteRequest counts one query for ref processed by this directory; the
 // counters rank objects for active replication toward sibling overlays.
-func (d *Directory) NoteRequest(obj string) { d.popularity[obj]++ }
+// Foreign-site refs are ignored.
+func (d *Directory) NoteRequest(ref model.ObjectRef) {
+	if d.inRange(ref) {
+		d.popularity[d.local(ref)]++
+	}
+}
 
-// Popularity returns the request count recorded for obj.
-func (d *Directory) Popularity(obj string) int64 { return d.popularity[obj] }
+// Popularity returns the request count recorded for ref (0 for
+// foreign-site refs).
+func (d *Directory) Popularity(ref model.ObjectRef) int64 {
+	if !d.inRange(ref) {
+		return 0
+	}
+	return d.popularity[d.local(ref)]
+}
 
 // TopObjects returns up to k locally-held objects by descending request
-// count (ties broken lexicographically). Objects with no live holder are
-// skipped — replication offers must name a source.
-func (d *Directory) TopObjects(k int) []string {
+// count (ties broken by ascending canonical key, i.e. ascending ref).
+// Objects with no live holder are skipped — replication offers must name
+// a source.
+func (d *Directory) TopObjects(k int) []model.ObjectRef {
 	type po struct {
-		obj   string
+		ref   model.ObjectRef
 		count int64
 	}
 	var list []po
-	for obj, count := range d.popularity {
-		if len(d.holders[obj]) == 0 {
+	for i, count := range d.popularity {
+		if count == 0 || len(d.holders[i]) == 0 {
 			continue
 		}
-		list = append(list, po{obj, count})
+		list = append(list, po{d.base + model.ObjectRef(i), count})
 	}
 	sort.Slice(list, func(i, j int) bool {
 		if list[i].count != list[j].count {
 			return list[i].count > list[j].count
 		}
-		return list[i].obj < list[j].obj
+		return list[i].ref < list[j].ref
 	})
 	if len(list) > k {
 		list = list[:k]
 	}
-	out := make([]string, len(list))
+	out := make([]model.ObjectRef, len(list))
 	for i, e := range list {
-		out[i] = e.obj
+		out[i] = e.ref
 	}
 	return out
 }
@@ -339,29 +391,32 @@ func (d *Directory) NeighborSummaries() []NeighborSummary {
 }
 
 // NeighborsWithObject returns the directory IDs whose summary tests
-// positive for obj (Algorithm 3's directory-summaries lookup), in
-// ascending ID order.
-func (d *Directory) NeighborsWithObject(obj string) []chord.ID {
-	var out []chord.ID
+// positive for ref (Algorithm 3's directory-summaries lookup), in
+// ascending ID order. Probes use the ref's precomputed hashes; the
+// returned slice is reusable scratch, valid until the next call.
+func (d *Directory) NeighborsWithObject(ref model.ObjectRef) []chord.ID {
+	h1, h2 := d.in.Hashes(ref)
+	out := d.neighborScratch[:0]
 	for _, ns := range d.neighbors {
-		if ns.Filter != nil && ns.Filter.Test(obj) {
+		if ns.Filter != nil && ns.Filter.TestHash(h1, h2) {
 			out = append(out, ns.DirID)
 		}
 	}
+	d.neighborScratch = out
 	return out
 }
 
 // BuildSummary produces the Bloom summary of the directory index (the
-// summary sent to neighbouring directory peers).
+// summary sent to neighbouring directory peers), probing precomputed
+// hashes in ascending canonical order.
 func (d *Directory) BuildSummary() *bloom.Filter {
 	f := bloom.NewForCapacity(d.summaryCapacity)
-	objs := make([]string, 0, len(d.holders))
-	for obj := range d.holders {
-		objs = append(objs, obj)
-	}
-	sort.Strings(objs)
-	for _, obj := range objs {
-		f.Add(obj)
+	for i, hs := range d.holders {
+		if len(hs) == 0 {
+			continue
+		}
+		h1, h2 := d.in.Hashes(d.base + model.ObjectRef(i))
+		f.AddHash(h1, h2)
 	}
 	return f
 }
@@ -370,7 +425,7 @@ func (d *Directory) BuildSummary() *bloom.Filter {
 // publish when the fraction of object identifiers not yet reflected in the
 // last published summary reaches the threshold (or on the first objects).
 func (d *Directory) ShouldPublishSummary() bool {
-	if len(d.knownObjects) == 0 {
+	if d.knownObjects.Count() == 0 {
 		return false
 	}
 	if !d.published {
@@ -386,7 +441,7 @@ func (d *Directory) ShouldPublishSummary() bool {
 // MarkSummaryPublished resets the publication counters.
 func (d *Directory) MarkSummaryPublished() {
 	d.published = true
-	d.objectsAtPublish = len(d.knownObjects)
+	d.objectsAtPublish = d.knownObjects.Count()
 	d.newSincePublish = 0
 }
 
@@ -398,11 +453,7 @@ func (d *Directory) ExportEntries() []IndexEntry {
 	out := make([]IndexEntry, 0, len(d.index))
 	for _, node := range d.Members() {
 		e := d.index[node]
-		cp := IndexEntry{Node: e.Node, Age: e.Age, Objects: make(map[string]struct{}, len(e.Objects))}
-		for o := range e.Objects {
-			cp.Objects[o] = struct{}{}
-		}
-		out = append(out, cp)
+		out = append(out, IndexEntry{Node: e.Node, Age: e.Age, Objects: e.Objects.Clone()})
 	}
 	return out
 }
@@ -410,11 +461,12 @@ func (d *Directory) ExportEntries() []IndexEntry {
 // ImportEntries loads a transferred index (replacing any current content).
 func (d *Directory) ImportEntries(entries []IndexEntry) {
 	d.index = make(map[simnet.NodeID]*IndexEntry, len(entries))
-	d.holders = make(map[string]map[simnet.NodeID]struct{})
+	d.holders = make([][]simnet.NodeID, d.nObj)
+	d.heldDistinct = 0
 	for _, e := range entries {
-		for _, obj := range e.objectKeys() {
-			d.addObject(e.Node, obj)
-		}
+		e.Objects.ForEach(func(i int) {
+			d.addObject(e.Node, d.base+model.ObjectRef(i))
+		})
 		d.entry(e.Node).Age = e.Age
 	}
 }

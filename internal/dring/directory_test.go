@@ -1,7 +1,6 @@
 package dring
 
 import (
-	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -10,21 +9,28 @@ import (
 	"flowercdn/internal/simnet"
 )
 
+// dirIn is the shared interned object space for directory tests: the test
+// site plus a sibling, 64 objects each. Short helpers name the first few
+// objects the old string-keyed tests called "a", "b", ….
+var dirIn = model.NewInterner([]model.SiteID{"ws-001", "ws-002"}, 64)
+
+func dref(num int) model.ObjectRef { return dirIn.RefFor(0, num) }
+
 func newDir() *Directory {
 	ks, _ := NewKeySpec(30, 6, 0)
 	site := model.SiteID("ws-001")
-	return NewDirectory(site, ks.WebsiteID(site), 1, ks.Key(site, 1), 100, 500, 0.1)
+	return NewDirectory(site, ks.WebsiteID(site), 1, ks.Key(site, 1), 100, 500, 0.1, dirIn)
 }
 
 func TestAddOptimisticAndHolders(t *testing.T) {
 	d := newDir()
-	if !d.AddOptimistic(10, "ws-001/obj-00001") {
+	if !d.AddOptimistic(10, dref(1)) {
 		t.Fatal("admission failed")
 	}
-	if !d.AddOptimistic(11, "ws-001/obj-00001") {
+	if !d.AddOptimistic(11, dref(1)) {
 		t.Fatal("admission failed")
 	}
-	hs := d.Holders("ws-001/obj-00001")
+	hs := d.Holders(dref(1))
 	if len(hs) != 2 || hs[0] != 10 || hs[1] != 11 {
 		t.Fatalf("holders = %v", hs)
 	}
@@ -38,40 +44,43 @@ func TestAddOptimisticAndHolders(t *testing.T) {
 
 func TestCapacityLimit(t *testing.T) {
 	ks, _ := NewKeySpec(30, 6, 0)
-	d := NewDirectory("ws-002", ks.WebsiteID("ws-002"), 0, ks.Key("ws-002", 0), 3, 100, 0.1)
+	d := NewDirectory("ws-002", ks.WebsiteID("ws-002"), 0, ks.Key("ws-002", 0), 3, 100, 0.1, dirIn)
+	o1 := dirIn.RefFor(1, 1)
+	o2 := dirIn.RefFor(1, 2)
+	o3 := dirIn.RefFor(1, 3)
 	for i := 0; i < 3; i++ {
-		if !d.AddOptimistic(simnet.NodeID(i), "o1") {
+		if !d.AddOptimistic(simnet.NodeID(i), o1) {
 			t.Fatal("admission failed below capacity")
 		}
 	}
 	if !d.Full() {
 		t.Fatal("directory should be full")
 	}
-	if d.AddOptimistic(99, "o1") {
+	if d.AddOptimistic(99, o1) {
 		t.Fatal("admitted beyond S_co")
 	}
 	// Existing members may still update.
-	if !d.AddOptimistic(1, "o2") {
+	if !d.AddOptimistic(1, o2) {
 		t.Fatal("existing member update refused")
 	}
-	if d.ApplyPush(98, []string{"o3"}, nil) {
+	if d.ApplyPush(98, []model.ObjectRef{o3}, nil) {
 		t.Fatal("push from stranger admitted beyond S_co")
 	}
 }
 
 func TestApplyPushDelta(t *testing.T) {
 	d := newDir()
-	if !d.ApplyPush(5, []string{"a", "b"}, nil) {
+	if !d.ApplyPush(5, []model.ObjectRef{dref(0), dref(1)}, nil) {
 		t.Fatal("push refused")
 	}
 	d.TickAges()
-	if !d.ApplyPush(5, []string{"c"}, []string{"a"}) {
+	if !d.ApplyPush(5, []model.ObjectRef{dref(2)}, []model.ObjectRef{dref(0)}) {
 		t.Fatal("push refused")
 	}
-	if got := d.Holders("a"); len(got) != 0 {
+	if got := d.Holders(dref(0)); len(got) != 0 {
 		t.Fatalf("removed object still held: %v", got)
 	}
-	if got := d.Holders("c"); len(got) != 1 {
+	if got := d.Holders(dref(2)); len(got) != 1 {
 		t.Fatalf("added object missing: %v", got)
 	}
 	// Push resets age to 0; a subsequent eviction pass at limit 1 keeps it.
@@ -82,8 +91,8 @@ func TestApplyPushDelta(t *testing.T) {
 
 func TestAgingAndEviction(t *testing.T) {
 	d := newDir()
-	d.AddOptimistic(1, "x")
-	d.AddOptimistic(2, "x")
+	d.AddOptimistic(1, dref(9))
+	d.AddOptimistic(2, dref(9))
 	d.TickAges()
 	d.TickAges()
 	d.Keepalive(2) // age back to 0
@@ -95,7 +104,7 @@ func TestAgingAndEviction(t *testing.T) {
 	if d.HasPeer(1) || !d.HasPeer(2) {
 		t.Fatal("wrong peer evicted")
 	}
-	if hs := d.Holders("x"); len(hs) != 1 || hs[0] != 2 {
+	if hs := d.Holders(dref(9)); len(hs) != 1 || hs[0] != 2 {
 		t.Fatalf("holders after eviction = %v", hs)
 	}
 }
@@ -110,14 +119,14 @@ func TestKeepaliveUnknownIgnored(t *testing.T) {
 
 func TestRemovePeerCleansHolders(t *testing.T) {
 	d := newDir()
-	d.AddOptimistic(1, "x")
-	d.AddOptimistic(1, "y")
-	d.AddOptimistic(2, "y")
+	d.AddOptimistic(1, dref(9))
+	d.AddOptimistic(1, dref(8))
+	d.AddOptimistic(2, dref(8))
 	d.RemovePeer(1)
-	if len(d.Holders("x")) != 0 {
+	if len(d.Holders(dref(9))) != 0 {
 		t.Fatal("x still held after removal")
 	}
-	if len(d.Holders("y")) != 1 {
+	if len(d.Holders(dref(8))) != 1 {
 		t.Fatal("y holders wrong after removal")
 	}
 	if d.ObjectCount() != 1 {
@@ -127,23 +136,23 @@ func TestRemovePeerCleansHolders(t *testing.T) {
 
 func TestNeighborSummaries(t *testing.T) {
 	d := newDir()
-	f1 := bloomWith("p", "q")
-	f2 := bloomWith("r")
+	f1 := bloomWith(dref(20), dref(21))
+	f2 := bloomWith(dref(22))
 	d.UpdateNeighborSummary(100, 0, f1)
 	d.UpdateNeighborSummary(50, 2, f2)
 	ns := d.NeighborSummaries()
 	if len(ns) != 2 || ns[0].DirID != 50 || ns[1].DirID != 100 {
 		t.Fatalf("summaries not sorted: %+v", ns)
 	}
-	if got := d.NeighborsWithObject("q"); len(got) != 1 || got[0] != 100 {
+	if got := d.NeighborsWithObject(dref(21)); len(got) != 1 || got[0] != 100 {
 		t.Fatalf("NeighborsWithObject = %v", got)
 	}
-	if got := d.NeighborsWithObject("zz-absent"); len(got) != 0 {
+	if got := d.NeighborsWithObject(dref(63)); len(got) != 0 {
 		t.Logf("bloom false positive (tolerable): %v", got)
 	}
 	// Refresh replaces in place.
-	d.UpdateNeighborSummary(100, 0, bloomWith("z"))
-	if got := d.NeighborsWithObject("q"); len(got) != 0 {
+	d.UpdateNeighborSummary(100, 0, bloomWith(dref(23)))
+	if got := d.NeighborsWithObject(dref(21)); len(got) != 0 {
 		t.Fatal("stale summary survived refresh")
 	}
 	d.RemoveNeighborSummary(50)
@@ -152,10 +161,11 @@ func TestNeighborSummaries(t *testing.T) {
 	}
 }
 
-func bloomWith(keys ...string) *bloom.Filter {
+func bloomWith(refs ...model.ObjectRef) *bloom.Filter {
 	f := bloom.NewForCapacity(50)
-	for _, k := range keys {
-		f.Add(k)
+	for _, r := range refs {
+		h1, h2 := dirIn.Hashes(r)
+		f.AddHash(h1, h2)
 	}
 	return f
 }
@@ -165,7 +175,7 @@ func TestSummaryPublicationThreshold(t *testing.T) {
 	if d.ShouldPublishSummary() {
 		t.Fatal("empty directory should not publish")
 	}
-	d.AddOptimistic(1, "o1")
+	d.AddOptimistic(1, dref(1))
 	if !d.ShouldPublishSummary() {
 		t.Fatal("first object should trigger publication")
 	}
@@ -175,13 +185,13 @@ func TestSummaryPublicationThreshold(t *testing.T) {
 	}
 	// Threshold is 0.1: with 1 object at publish, a single new object is
 	// 100% new ⇒ publish.
-	d.AddOptimistic(1, "o2")
+	d.AddOptimistic(1, dref(2))
 	if !d.ShouldPublishSummary() {
 		t.Fatal("100% new objects should trigger")
 	}
 	d.MarkSummaryPublished()
 	// Now 2 at publish; 10% of 2 = 0.2 ⇒ one new object (ratio 0.5) triggers.
-	d.AddOptimistic(2, "o1") // duplicate object: no new identifier
+	d.AddOptimistic(2, dref(1)) // duplicate object: no new identifier
 	if d.ShouldPublishSummary() {
 		t.Fatal("duplicate object must not count as new")
 	}
@@ -190,24 +200,22 @@ func TestSummaryPublicationThreshold(t *testing.T) {
 func TestBuildSummaryCoversIndex(t *testing.T) {
 	d := newDir()
 	for i := 0; i < 50; i++ {
-		d.AddOptimistic(simnet.NodeID(i%5), objKey(i))
+		d.AddOptimistic(simnet.NodeID(i%5), dref(i))
 	}
 	f := d.BuildSummary()
 	for i := 0; i < 50; i++ {
-		if !f.Test(objKey(i)) {
-			t.Fatalf("summary missing %s", objKey(i))
+		if !f.Test(dirIn.Key(dref(i))) {
+			t.Fatalf("summary missing %s", dirIn.Key(dref(i)))
 		}
 	}
 }
 
-func objKey(i int) string { return fmt.Sprintf("ws-001/obj-%05d", i) }
-
 func TestExportImportEntries(t *testing.T) {
 	d := newDir()
-	d.AddOptimistic(1, "a")
-	d.AddOptimistic(2, "b")
+	d.AddOptimistic(1, dref(0))
+	d.AddOptimistic(2, dref(1))
 	d.TickAges()
-	d.AddOptimistic(3, "a")
+	d.AddOptimistic(3, dref(0))
 	entries := d.ExportEntries()
 	if len(entries) != 3 {
 		t.Fatalf("exported %d entries", len(entries))
@@ -217,7 +225,7 @@ func TestExportImportEntries(t *testing.T) {
 	if d2.Size() != 3 || d2.ObjectCount() != 2 {
 		t.Fatalf("import size=%d objects=%d", d2.Size(), d2.ObjectCount())
 	}
-	if hs := d2.Holders("a"); len(hs) != 2 {
+	if hs := d2.Holders(dref(0)); len(hs) != 2 {
 		t.Fatalf("imported holders = %v", hs)
 	}
 	// Ages preserved.
@@ -238,32 +246,37 @@ func TestQuickHoldersConsistency(t *testing.T) {
 		d := newDir()
 		for _, op := range ops {
 			node := simnet.NodeID(op % 7)
-			obj := objKey(int(op/7) % 9)
+			obj := dref(int(op/7) % 9)
 			switch op % 3 {
 			case 0:
 				d.AddOptimistic(node, obj)
 			case 1:
-				d.ApplyPush(node, []string{obj}, nil)
+				d.ApplyPush(node, []model.ObjectRef{obj}, nil)
 			case 2:
 				d.RemovePeer(node)
 			}
 		}
 		// Verify: every entry object appears in holders and vice versa.
 		for _, e := range d.ExportEntries() {
-			for obj := range e.Objects {
-				ok := false
-				for _, h := range d.Holders(obj) {
-					if h == e.Node {
-						ok = true
+			ok := true
+			node := e.Node
+			e.Objects.ForEach(func(i int) {
+				found := false
+				for _, h := range d.Holders(dref(i)) {
+					if h == node {
+						found = true
 					}
 				}
-				if !ok {
-					return false
+				if !found {
+					ok = false
 				}
+			})
+			if !ok {
+				return false
 			}
 		}
 		for i := 0; i < 9; i++ {
-			for _, h := range d.Holders(objKey(i)) {
+			for _, h := range d.Holders(dref(i)) {
 				if !d.HasPeer(h) {
 					return false
 				}
@@ -279,7 +292,7 @@ func TestQuickHoldersConsistency(t *testing.T) {
 func TestMembersSorted(t *testing.T) {
 	d := newDir()
 	for _, n := range []simnet.NodeID{9, 3, 7, 1} {
-		d.AddOptimistic(n, "o")
+		d.AddOptimistic(n, dref(0))
 	}
 	m := d.Members()
 	for i := 1; i < len(m); i++ {
@@ -291,44 +304,78 @@ func TestMembersSorted(t *testing.T) {
 
 func TestPopularityTracking(t *testing.T) {
 	d := newDir()
-	d.AddOptimistic(1, "a")
-	d.AddOptimistic(2, "b")
+	d.AddOptimistic(1, dref(0))
+	d.AddOptimistic(2, dref(1))
 	for i := 0; i < 5; i++ {
-		d.NoteRequest("a")
+		d.NoteRequest(dref(0))
 	}
-	d.NoteRequest("b")
-	d.NoteRequest("c") // requested but never held
-	if d.Popularity("a") != 5 || d.Popularity("b") != 1 {
-		t.Fatalf("popularity wrong: a=%d b=%d", d.Popularity("a"), d.Popularity("b"))
+	d.NoteRequest(dref(1))
+	d.NoteRequest(dref(2)) // requested but never held
+	if d.Popularity(dref(0)) != 5 || d.Popularity(dref(1)) != 1 {
+		t.Fatalf("popularity wrong: a=%d b=%d", d.Popularity(dref(0)), d.Popularity(dref(1)))
 	}
 	top := d.TopObjects(10)
-	if len(top) != 2 || top[0] != "a" || top[1] != "b" {
+	if len(top) != 2 || top[0] != dref(0) || top[1] != dref(1) {
 		t.Fatalf("TopObjects = %v (holder-less objects must be skipped)", top)
 	}
-	if got := d.TopObjects(1); len(got) != 1 || got[0] != "a" {
+	if got := d.TopObjects(1); len(got) != 1 || got[0] != dref(0) {
 		t.Fatalf("TopObjects(1) = %v", got)
 	}
 }
 
 func TestTopObjectsTieBreak(t *testing.T) {
 	d := newDir()
-	d.AddOptimistic(1, "x")
-	d.AddOptimistic(1, "y")
-	d.NoteRequest("x")
-	d.NoteRequest("y") // equal counts → lexicographic order
+	d.AddOptimistic(1, dref(9))
+	d.AddOptimistic(1, dref(8))
+	d.NoteRequest(dref(9))
+	d.NoteRequest(dref(8)) // equal counts → ascending canonical (ref) order
 	top := d.TopObjects(2)
-	if len(top) != 2 || top[0] != "x" || top[1] != "y" {
+	if len(top) != 2 || top[0] != dref(8) || top[1] != dref(9) {
 		t.Fatalf("tie break wrong: %v", top)
 	}
 }
 
 func TestTopObjectsDropsEvictedHolders(t *testing.T) {
 	d := newDir()
-	d.AddOptimistic(1, "a")
-	d.NoteRequest("a")
+	d.AddOptimistic(1, dref(0))
+	d.NoteRequest(dref(0))
 	d.RemovePeer(1)
 	if got := d.TopObjects(5); len(got) != 0 {
 		t.Fatalf("object without holders offered for replication: %v", got)
+	}
+}
+
+// TestForeignSiteRefsGraceful pins the severe-churn contract: D-ring
+// routing can deliver a query for website A to a directory of website B
+// (TTL expiry, successor of a missing key). Every ref accessor must treat
+// the foreign ref as not-indexed — never panic, never corrupt state —
+// matching the old string-keyed maps, which simply missed.
+func TestForeignSiteRefsGraceful(t *testing.T) {
+	d := newDir() // serves ws-001 (interner site 0)
+	foreign := dirIn.RefFor(1, 5)
+	if got := d.Holders(foreign); got != nil {
+		t.Fatalf("foreign Holders = %v, want nil", got)
+	}
+	d.NoteRequest(foreign)
+	if d.Popularity(foreign) != 0 {
+		t.Fatal("foreign popularity recorded")
+	}
+	if !d.AddOptimistic(7, foreign) {
+		t.Fatal("peer admission must still succeed for a foreign ref")
+	}
+	if !d.HasPeer(7) || d.ObjectCount() != 0 {
+		t.Fatalf("foreign AddOptimistic: peer=%v objects=%d", d.HasPeer(7), d.ObjectCount())
+	}
+	if !d.ApplyPush(7, []model.ObjectRef{foreign}, []model.ObjectRef{foreign}) {
+		t.Fatal("push with foreign refs must still be accepted")
+	}
+	if d.ObjectCount() != 0 || len(d.TopObjects(5)) != 0 {
+		t.Fatal("foreign refs leaked into the index")
+	}
+	// Off-the-end of the whole interner space must be equally safe.
+	huge := model.ObjectRef(1 << 30)
+	if d.Holders(huge) != nil {
+		t.Fatal("out-of-universe ref not handled")
 	}
 }
 

@@ -52,8 +52,9 @@ type View struct {
 	capacity int
 	entries  []Entry // kept sorted by (Age, Node) — "most recent" first
 
-	scratch []Entry // Merge's build buffer, swapped with entries each call
-	idx     []int32 // SelectSubset's reusable index buffer
+	scratch []Entry         // Merge's build buffer, swapped with entries each call
+	idx     []int32         // SelectSubset's reusable index buffer
+	match   []simnet.NodeID // MatchingSummaries' reusable result buffer
 }
 
 // NewView creates an empty view with the given capacity (V_gossip).
@@ -289,14 +290,18 @@ func (v *View) Refresh(node simnet.NodeID, summary *bloom.Filter) {
 }
 
 // MatchingSummaries returns the nodes whose summary tests positive for
-// key, freshest entries first — the candidate set for a content-overlay
-// lookup (§4.1).
-func (v *View) MatchingSummaries(key string) []simnet.NodeID {
-	var out []simnet.NodeID
+// the key with precomputed hash pair (h1, h2) — see bloom.HashKey —
+// freshest entries first: the candidate set for a content-overlay lookup
+// (§4.1). The probes do zero hashing and the returned slice is the view's
+// reusable scratch buffer: it is valid until the next call and must not
+// be retained (copy it to keep it).
+func (v *View) MatchingSummaries(h1, h2 uint64) []simnet.NodeID {
+	out := v.match[:0]
 	for _, e := range v.entries {
-		if e.Summary != nil && e.Summary.Test(key) {
+		if e.Summary != nil && e.Summary.TestHash(h1, h2) {
 			out = append(out, e.Node)
 		}
 	}
+	v.match = out
 	return out
 }

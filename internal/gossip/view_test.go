@@ -204,15 +204,23 @@ func TestMatchingSummaries(t *testing.T) {
 	v.Insert(Entry{Node: 1, Age: 0, Summary: mk("a", "b")})
 	v.Insert(Entry{Node: 2, Age: 1, Summary: mk("b")})
 	v.Insert(Entry{Node: 3, Age: 2, Summary: nil})
-	got := v.MatchingSummaries("b")
+	h1, h2 := bloom.HashKey("b")
+	got := v.MatchingSummaries(h1, h2)
 	if len(got) != 2 {
 		t.Fatalf("matches = %v, want two", got)
 	}
 	if got[0] != 1 {
 		t.Fatalf("freshest match should come first, got %v", got)
 	}
-	if len(v.MatchingSummaries("zzz")) != 0 {
+	// The returned slice is scratch: copy before the next call.
+	first := append([]simnet.NodeID(nil), got...)
+	z1, z2 := bloom.HashKey("zzz")
+	if len(v.MatchingSummaries(z1, z2)) != 0 {
 		t.Log("false positive (acceptable for a bloom filter)")
+	}
+	again := v.MatchingSummaries(h1, h2)
+	if len(again) != len(first) || again[0] != first[0] {
+		t.Fatalf("scratch reuse changed results: %v vs %v", again, first)
 	}
 }
 

@@ -221,6 +221,7 @@ func (p Params) CoreConfig(pools [][]int) core.Config {
 func (p Params) SquirrelConfig(pools [][]int) squirrel.Config {
 	cfg := squirrel.DefaultConfig(p.Seed)
 	cfg.Sites = model.MakeSites(p.Websites)[:p.ActiveSites]
+	cfg.ObjectsPerSite = p.ObjectsPerSite
 	cfg.PoolSizes = pools
 	cfg.ExtraPerLocality = p.Websites
 	cfg.MaxDirEntries = p.SquirrelDirEntries

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"flowercdn/internal/core"
 	"flowercdn/internal/metrics"
@@ -51,7 +52,12 @@ func RunFlowerTraced(p Params, traceCapacity int) (Result, *trace.Buffer, error)
 		return Result{}, nil, err
 	}
 	mets := metrics.New(metrics.Config{BucketWidth: p.BucketWidth, Horizon: p.Duration})
-	deps := core.Deps{Kernel: kernel, Topo: topo, Metrics: mets}
+	// One interner serves both the system and the workload generator, and
+	// is shared across campaign points: the dense object space (and its
+	// precomputed keys and Bloom hash streams) is a pure function of
+	// (websites, objects-per-site) and read-only after construction.
+	in := sharedInterner(p.Websites, p.ObjectsPerSite)
+	deps := core.Deps{Kernel: kernel, Topo: topo, Metrics: mets, Interner: in}
 	var buf *trace.Buffer
 	if traceCapacity > 0 {
 		buf = trace.NewBuffer(traceCapacity)
@@ -61,7 +67,7 @@ func RunFlowerTraced(p Params, traceCapacity int) (Result, *trace.Buffer, error)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	gen, err := newGenerator(p, pools)
+	gen, err := newGenerator(p, pools, in)
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -101,7 +107,7 @@ func RunSquirrel(p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	gen, err := newGenerator(p, pools)
+	gen, err := newGenerator(p, pools, nil)
 	if err != nil {
 		return Result{}, err
 	}
@@ -119,7 +125,24 @@ func RunSquirrel(p Params) (Result, error) {
 	}, nil
 }
 
-func newGenerator(p Params, pools [][]int) (*workload.Generator, error) {
+// internerCache memoises interners per (websites, objectsPerSite) shape.
+// Harness sites are always MakeSites(websites), so the shape fully
+// determines the interner; campaign workers share instances concurrently,
+// which is safe because interners are immutable after construction.
+var internerCache sync.Map // internerShape → *model.Interner
+
+type internerShape struct{ websites, objectsPerSite int }
+
+func sharedInterner(websites, objectsPerSite int) *model.Interner {
+	shape := internerShape{websites, objectsPerSite}
+	if in, ok := internerCache.Load(shape); ok {
+		return in.(*model.Interner)
+	}
+	in, _ := internerCache.LoadOrStore(shape, model.NewInterner(model.MakeSites(websites), objectsPerSite))
+	return in.(*model.Interner)
+}
+
+func newGenerator(p Params, pools [][]int, in *model.Interner) (*workload.Generator, error) {
 	return workload.New(workload.Config{
 		Seed:           p.Seed + 1,
 		Sites:          model.MakeSites(p.Websites)[:p.ActiveSites],
@@ -128,6 +151,7 @@ func newGenerator(p Params, pools [][]int) (*workload.Generator, error) {
 		QueryRate:      p.QueryRate,
 		Poisson:        p.Poisson,
 		PoolSizes:      pools,
+		Interner:       in,
 	})
 }
 
@@ -168,6 +192,13 @@ func RunFlowerReplay(p Params, queries []workload.Query) (Result, error) {
 			return Result{}, fmt.Errorf("harness: replay record %d: member %d outside pool %d",
 				i, q.Member, pools[q.SiteIdx][q.Locality])
 		}
+		// The interned object space is fixed at ObjectsPerSite; an
+		// out-of-universe object number would alias into another site's
+		// dense refs.
+		if q.Object.Num < 0 || q.Object.Num >= p.ObjectsPerSite {
+			return Result{}, fmt.Errorf("harness: replay record %d: object %d outside universe of %d",
+				i, q.Object.Num, p.ObjectsPerSite)
+		}
 	}
 	replayer, err := workload.NewReplayer(queries)
 	if err != nil {
@@ -179,7 +210,10 @@ func RunFlowerReplay(p Params, queries []workload.Query) (Result, error) {
 		return Result{}, err
 	}
 	mets := metrics.New(metrics.Config{BucketWidth: p.BucketWidth, Horizon: p.Duration})
-	sys, err := core.New(p.CoreConfig(pools), core.Deps{Kernel: kernel, Topo: topo, Metrics: mets})
+	sys, err := core.New(p.CoreConfig(pools), core.Deps{
+		Kernel: kernel, Topo: topo, Metrics: mets,
+		Interner: sharedInterner(p.Websites, p.ObjectsPerSite),
+	})
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,117 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"flowercdn/internal/bloom"
+)
+
+// fnvRef is an independent FNV-1a reference implementation mirroring the
+// documented hash (seeded offset basis), so the interner's precomputed
+// streams are pinned to the algorithm and not just to bloom's internals.
+func fnvRef(seed uint64, s string) uint64 {
+	h := uint64(14695981039346656037) ^ (seed * 0x9E3779B97F4A7C15)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// TestInternerProperties drives randomized site/object shapes through the
+// round-trip, stability and hash-equivalence properties.
+func TestInternerProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		nSites := 1 + rng.Intn(8)
+		perSite := 1 + rng.Intn(40)
+		sites := MakeSites(nSites)
+		in := NewInterner(sites, perSite)
+		if in.Count() != nSites*perSite || in.ObjectsPerSite() != perSite {
+			t.Fatalf("trial %d: count=%d perSite=%d", trial, in.Count(), in.ObjectsPerSite())
+		}
+
+		// Stable refs across identical builds.
+		in2 := NewInterner(sites, perSite)
+
+		for probe := 0; probe < 50; probe++ {
+			si := rng.Intn(nSites)
+			num := rng.Intn(perSite)
+			o := ObjectID{Site: sites[si], Num: num}
+			r := in.Ref(o)
+			if r == NoRef {
+				t.Fatalf("trial %d: Ref(%v) = NoRef", trial, o)
+			}
+			// Round trip, arithmetic accessors and the cached key.
+			if in.Object(r) != o {
+				t.Fatalf("trial %d: Object(Ref(%v)) = %v", trial, o, in.Object(r))
+			}
+			if in.RefFor(si, num) != r || in.SiteBase(si)+ObjectRef(num) != r {
+				t.Fatalf("trial %d: RefFor/SiteBase disagree with Ref for %v", trial, o)
+			}
+			if in.Site(r) != o.Site || in.Local(r) != num || in.SiteIndex(o.Site) != si {
+				t.Fatalf("trial %d: site accessors wrong for %v", trial, o)
+			}
+			if in.Key(r) != o.Key() {
+				t.Fatalf("trial %d: Key(%d) = %q want %q", trial, r, in.Key(r), o.Key())
+			}
+			if in2.Ref(o) != r {
+				t.Fatalf("trial %d: refs unstable across identical builds", trial)
+			}
+			// Precomputed hashes equal FNV-1a over Key().
+			h1, h2 := in.Hashes(r)
+			if h1 != fnvRef(0, o.Key()) || h2 != fnvRef(1, o.Key()) {
+				t.Fatalf("trial %d: precomputed hashes diverge from fnv1a64(Key())", trial)
+			}
+		}
+	}
+}
+
+// TestInternerBloomEquivalence asserts the contract the query path relies
+// on: a filter built via AddHash over precomputed hashes is bit-identical
+// to one built via the string API, and TestHash agrees with Test.
+func TestInternerBloomEquivalence(t *testing.T) {
+	in := NewInterner(MakeSites(3), 50)
+	viaString := bloom.NewForCapacity(150)
+	viaHash := bloom.NewForCapacity(150)
+	for r := 0; r < in.Count(); r += 3 {
+		ref := ObjectRef(r)
+		viaString.Add(in.Key(ref))
+		h1, h2 := in.Hashes(ref)
+		viaHash.AddHash(h1, h2)
+	}
+	bs, err := viaString.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, err := viaHash.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bs, bh) {
+		t.Fatal("AddHash-built filter differs from Add-built filter")
+	}
+	for r := 0; r < in.Count(); r++ {
+		ref := ObjectRef(r)
+		h1, h2 := in.Hashes(ref)
+		if viaString.TestHash(h1, h2) != viaString.Test(in.Key(ref)) {
+			t.Fatalf("TestHash disagrees with Test for ref %d", r)
+		}
+	}
+}
+
+func TestInternerUnknown(t *testing.T) {
+	in := NewInterner(MakeSites(2), 10)
+	if in.Ref(ObjectID{Site: "nope", Num: 0}) != NoRef {
+		t.Fatal("unknown site must return NoRef")
+	}
+	if in.Ref(ObjectID{Site: "ws-000", Num: 10}) != NoRef ||
+		in.Ref(ObjectID{Site: "ws-000", Num: -1}) != NoRef {
+		t.Fatal("out-of-range num must return NoRef")
+	}
+	if in.SiteIndex("nope") != -1 {
+		t.Fatal("unknown site index must be -1")
+	}
+}

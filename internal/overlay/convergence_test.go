@@ -1,7 +1,6 @@
 package overlay
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 
@@ -40,8 +39,8 @@ func buildPopulation(n int) ([]*ContentPeer, map[simnet.NodeID]*ContentPeer) {
 	peers := make([]*ContentPeer, n)
 	byAddr := map[simnet.NodeID]*ContentPeer{}
 	for i := range peers {
-		peers[i] = New(simnet.NodeID(i+1), "ws-000", 0, cfg, 0)
-		peers[i].AddObject(fmt.Sprintf("obj-of-%d", i+1))
+		peers[i] = New(simnet.NodeID(i+1), "ws-000", 0, cfg, 0, testIn)
+		peers[i].AddObject(ref((i + 1) % testIn.ObjectsPerSite()))
 		byAddr[peers[i].Addr()] = peers[i]
 	}
 	// Seed views as a ring: each knows only its predecessor — the weakest
@@ -84,7 +83,7 @@ func TestEpidemicSummaryDissemination(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	const n = 40
 	peers, byAddr := buildPopulation(n)
-	special := "hot-object"
+	special := ref(63) // no other peer holds it
 	peers[0].AddObject(special)
 	canFind := func() int {
 		found := 0

@@ -8,12 +8,18 @@
 // consumes protocol messages as values, and the core system moves them
 // across the simulated network. That separation keeps every protocol rule
 // unit-testable without a simulator.
+//
+// Content identity is interned (model.ObjectRef): a peer serves one
+// website, whose ObjectsPerSite objects map to a dense local index, so
+// stored content is a bitset, un-pushed deltas are a dense []int8 and
+// summary rebuilds probe precomputed hashes instead of hashing URL
+// strings.
 package overlay
 
 import (
 	"math/rand"
-	"sort"
 
+	"flowercdn/internal/bitset"
 	"flowercdn/internal/bloom"
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/model"
@@ -71,11 +77,11 @@ func (m GossipMsg) WireBytes() int {
 	return n
 }
 
-// PushMsg is the ∆list push of Algorithm 5.
+// PushMsg is the ∆list push of Algorithm 5, carrying interned refs.
 type PushMsg struct {
 	From    simnet.NodeID
-	Added   []string
-	Removed []string
+	Added   []model.ObjectRef
+	Removed []model.ObjectRef
 }
 
 // WireBytes: 20-byte header + 8 bytes per object identifier.
@@ -88,13 +94,18 @@ type ContentPeer struct {
 	loc  int
 	cfg  Config
 
-	content      map[string]struct{}
+	in   *model.Interner
+	base model.ObjectRef // first ref of the peer's site
+
+	content      bitset.Set    // stored objects, by local index
 	summary      *bloom.Filter // immutable snapshot; rebuilt when dirty
 	summaryDirty bool
 
-	// Net un-pushed changes: +1 added, -1 removed. Tracking the *net*
-	// effect (not an append log) keeps ∆lists replayable in any order.
-	pending map[string]int8
+	// Net un-pushed changes by local index: +1 added, -1 removed, 0 none.
+	// Tracking the *net* effect (not an append log) keeps ∆lists
+	// replayable in any order; pendingCount counts the nonzero entries.
+	pending      []int8
+	pendingCount int
 
 	view *gossip.View
 	dir  DirInfo
@@ -106,21 +117,29 @@ type ContentPeer struct {
 	joinedAt simkernel.Time
 }
 
-// New creates a content peer that joined at the given time.
-func New(addr simnet.NodeID, site model.SiteID, loc int, cfg Config, joinedAt simkernel.Time) *ContentPeer {
+// New creates a content peer that joined at the given time. The interner
+// must cover the peer's site; it defines the dense object space all
+// content state is indexed by.
+func New(addr simnet.NodeID, site model.SiteID, loc int, cfg Config, joinedAt simkernel.Time, in *model.Interner) *ContentPeer {
 	if cfg.ViewSize <= 0 {
 		cfg.ViewSize = 1
 	}
 	if cfg.SummaryCapacity <= 0 {
 		cfg.SummaryCapacity = 1
 	}
+	si := in.SiteIndex(site)
+	if si < 0 {
+		panic("overlay: site not covered by interner")
+	}
 	return &ContentPeer{
 		addr:     addr,
 		site:     site,
 		loc:      loc,
 		cfg:      cfg,
-		content:  make(map[string]struct{}),
-		pending:  make(map[string]int8),
+		in:       in,
+		base:     in.SiteBase(si),
+		content:  bitset.New(in.ObjectsPerSite()),
+		pending:  make([]int8, in.ObjectsPerSite()),
 		view:     gossip.NewView(addr, cfg.ViewSize),
 		joinedAt: joinedAt,
 	}
@@ -143,66 +162,89 @@ func (c *ContentPeer) JoinedAt() simkernel.Time { return c.joinedAt }
 // protocol methods).
 func (c *ContentPeer) View() *gossip.View { return c.view }
 
+// local maps a ref to the peer's per-site dense index. Refs of other
+// sites map outside [0, ObjectsPerSite); like dring.Directory, the
+// content API treats them as not-stored no-ops rather than panicking —
+// mis-routed messages must degrade the way the string-keyed maps did.
+func (c *ContentPeer) local(ref model.ObjectRef) int { return int(ref) - int(c.base) }
+
+func (c *ContentPeer) inRange(ref model.ObjectRef) bool {
+	i := c.local(ref)
+	return i >= 0 && i < c.content.Cap()
+}
+
 // --- Content management (§4.1) ------------------------------------------
 
-// Has reports whether the peer stores obj.
-func (c *ContentPeer) Has(obj string) bool {
-	_, ok := c.content[obj]
-	return ok
+// Has reports whether the peer stores ref. Refs of other sites are never
+// stored and report false.
+func (c *ContentPeer) Has(ref model.ObjectRef) bool {
+	return c.content.Has(c.local(ref))
 }
 
 // ContentSize returns the number of stored objects.
-func (c *ContentPeer) ContentSize() int { return len(c.content) }
+func (c *ContentPeer) ContentSize() int { return c.content.Count() }
 
-// Objects returns the stored object identifiers, sorted.
-func (c *ContentPeer) Objects() []string {
-	out := make([]string, 0, len(c.content))
-	for o := range c.content {
-		out = append(out, o)
-	}
-	sort.Strings(out)
+// Objects returns the stored object refs in ascending (canonical key)
+// order.
+func (c *ContentPeer) Objects() []model.ObjectRef {
+	out := make([]model.ObjectRef, 0, c.content.Count())
+	c.content.ForEach(func(i int) {
+		out = append(out, c.base+model.ObjectRef(i))
+	})
 	return out
 }
 
 // AddObject stores a retrieved object ("peers keep the web-pages they
 // retrieve") and records the change for the next push.
-func (c *ContentPeer) AddObject(obj string) {
-	if _, dup := c.content[obj]; dup {
-		return
+func (c *ContentPeer) AddObject(ref model.ObjectRef) {
+	if !c.inRange(ref) {
+		return // foreign-site ref: this peer cannot store it
 	}
-	c.content[obj] = struct{}{}
-	if c.pending[obj] == -1 {
-		delete(c.pending, obj) // remove+add within one window cancels out
+	i := c.local(ref)
+	if !c.content.Set(i) {
+		return // duplicate
+	}
+	if c.pending[i] == -1 {
+		c.pending[i] = 0 // remove+add within one window cancels out
+		c.pendingCount--
 	} else {
-		c.pending[obj] = 1
+		c.pending[i] = 1
+		c.pendingCount++
 	}
 	c.summaryDirty = true
 }
 
 // RemoveObject evicts an object (cache replacement is out of the paper's
 // scope but the ∆list protocol supports deletions, §4.2).
-func (c *ContentPeer) RemoveObject(obj string) {
-	if _, ok := c.content[obj]; !ok {
-		return
+func (c *ContentPeer) RemoveObject(ref model.ObjectRef) {
+	if !c.inRange(ref) {
+		return // foreign-site ref: never stored
 	}
-	delete(c.content, obj)
-	if c.pending[obj] == 1 {
-		delete(c.pending, obj)
+	i := c.local(ref)
+	if !c.content.Clear(i) {
+		return // absent
+	}
+	if c.pending[i] == 1 {
+		c.pending[i] = 0
+		c.pendingCount--
 	} else {
-		c.pending[obj] = -1
+		c.pending[i] = -1
+		c.pendingCount++
 	}
 	c.summaryDirty = true
 }
 
 // Summary returns the current content summary (Bloom over the content
 // list). The returned filter is an immutable snapshot: a new instance is
-// built after every content change.
+// built after every content change. Rebuilds probe precomputed hashes —
+// zero string hashing.
 func (c *ContentPeer) Summary() *bloom.Filter {
 	if c.summary == nil || c.summaryDirty {
 		f := bloom.NewForCapacity(c.cfg.SummaryCapacity)
-		for _, o := range c.Objects() {
-			f.Add(o)
-		}
+		c.content.ForEach(func(i int) {
+			h1, h2 := c.in.Hashes(c.base + model.ObjectRef(i))
+			f.AddHash(h1, h2)
+		})
 		c.summary = f
 		c.summaryDirty = false
 	}
@@ -214,11 +256,11 @@ func (c *ContentPeer) Summary() *bloom.Filter {
 // NeedPush reports whether the fraction of un-pushed changes reached the
 // push threshold.
 func (c *ContentPeer) NeedPush() bool {
-	changes := len(c.pending)
+	changes := c.pendingCount
 	if changes == 0 {
 		return false
 	}
-	base := len(c.content)
+	base := c.content.Count()
 	if base < 1 {
 		base = 1
 	}
@@ -226,27 +268,30 @@ func (c *ContentPeer) NeedPush() bool {
 }
 
 // TakePush extracts the ∆list and resets the change counter (Algorithm 5's
-// extract_changes). Returns ok=false when there is nothing to push.
+// extract_changes). Returns ok=false when there is nothing to push. The
+// lists come out in ascending canonical order.
 func (c *ContentPeer) TakePush() (PushMsg, bool) {
-	if len(c.pending) == 0 {
+	if c.pendingCount == 0 {
 		return PushMsg{}, false
 	}
 	msg := PushMsg{From: c.addr}
-	for obj, delta := range c.pending {
-		if delta > 0 {
-			msg.Added = append(msg.Added, obj)
-		} else {
-			msg.Removed = append(msg.Removed, obj)
+	for i, delta := range c.pending {
+		if delta == 0 {
+			continue
 		}
+		if delta > 0 {
+			msg.Added = append(msg.Added, c.base+model.ObjectRef(i))
+		} else {
+			msg.Removed = append(msg.Removed, c.base+model.ObjectRef(i))
+		}
+		c.pending[i] = 0
 	}
-	sort.Strings(msg.Added)
-	sort.Strings(msg.Removed)
-	c.pending = make(map[string]int8)
+	c.pendingCount = 0
 	return msg, true
 }
 
 // PendingChanges reports the number of un-pushed content changes.
-func (c *ContentPeer) PendingChanges() int { return len(c.pending) }
+func (c *ContentPeer) PendingChanges() int { return c.pendingCount }
 
 // --- Directory entry management (§4.2.1, §5.2) ---------------------------
 
@@ -353,13 +398,22 @@ func (c *ContentPeer) DropOldContacts(ageLimit int) []simnet.NodeID {
 	return c.view.DropOlderThan(ageLimit)
 }
 
-// CandidatesFor returns contacts whose summaries test positive for obj, in
+// CandidatesFor returns contacts whose summaries test positive for ref, in
 // a load-spreading random order (§4.1: replicas of popular objects spread
-// the load across holders).
-func (c *ContentPeer) CandidatesFor(obj string, rng *rand.Rand) []simnet.NodeID {
-	cands := c.view.MatchingSummaries(obj)
+// the load across holders). The probes use the ref's precomputed hashes.
+// The returned slice is freshly allocated (it typically outlives the call,
+// travelling with the query); View.MatchingSummaries(h1, h2) is the
+// allocation-free variant when the result is consumed immediately.
+func (c *ContentPeer) CandidatesFor(ref model.ObjectRef, rng *rand.Rand) []simnet.NodeID {
+	h1, h2 := c.in.Hashes(ref)
+	cands := c.view.MatchingSummaries(h1, h2)
 	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
-	return cands
+	if len(cands) == 0 {
+		return nil
+	}
+	out := make([]simnet.NodeID, len(cands))
+	copy(out, cands)
+	return out
 }
 
 // ViewSeedFor produces the view subset handed to a newly joined peer that

@@ -7,50 +7,61 @@ import (
 	"testing/quick"
 
 	"flowercdn/internal/gossip"
+	"flowercdn/internal/model"
 	"flowercdn/internal/simnet"
 )
+
+// testIn is the shared dense object space for peer tests: one site, 64
+// objects. Tests refer to objects by their ref (testIn.SiteBase(0)+i = i).
+var testIn = model.NewInterner([]model.SiteID{"ws-000"}, 64)
+
+// ref interns object num of the test site.
+func ref(num int) model.ObjectRef { return testIn.RefFor(0, num) }
+
+// testHash probes a filter for object num via its precomputed hashes.
+func testHas(p *ContentPeer, num int) bool { return p.Has(ref(num)) }
 
 func newPeer(addr simnet.NodeID) *ContentPeer {
 	cfg := DefaultConfig()
 	cfg.SummaryCapacity = 100
-	return New(addr, "ws-000", 2, cfg, 0)
+	return New(addr, "ws-000", 2, cfg, 0, testIn)
 }
 
 func TestContentManagement(t *testing.T) {
 	p := newPeer(1)
-	p.AddObject("b")
-	p.AddObject("a")
-	p.AddObject("a") // duplicate ignored
-	if p.ContentSize() != 2 || !p.Has("a") || p.Has("z") {
+	p.AddObject(ref(1))
+	p.AddObject(ref(0))
+	p.AddObject(ref(0)) // duplicate ignored
+	if p.ContentSize() != 2 || !testHas(p, 0) || testHas(p, 25) {
 		t.Fatal("content bookkeeping wrong")
 	}
 	objs := p.Objects()
-	if len(objs) != 2 || objs[0] != "a" || objs[1] != "b" {
+	if len(objs) != 2 || objs[0] != ref(0) || objs[1] != ref(1) {
 		t.Fatalf("Objects() = %v", objs)
 	}
-	p.RemoveObject("a")
-	p.RemoveObject("zz") // absent: no-op
-	if p.Has("a") || p.ContentSize() != 1 {
+	p.RemoveObject(ref(0))
+	p.RemoveObject(ref(60)) // absent: no-op
+	if testHas(p, 0) || p.ContentSize() != 1 {
 		t.Fatal("removal wrong")
 	}
 }
 
 func TestSummarySnapshotImmutable(t *testing.T) {
 	p := newPeer(1)
-	p.AddObject("x")
+	p.AddObject(ref(10))
 	s1 := p.Summary()
-	if !s1.Test("x") {
+	if !s1.Test(testIn.Key(ref(10))) {
 		t.Fatal("summary missing content")
 	}
-	p.AddObject("y")
+	p.AddObject(ref(11))
 	s2 := p.Summary()
 	if s1 == s2 {
 		t.Fatal("summary not rebuilt after change")
 	}
-	if s1.Test("y") {
+	if s1.Test(testIn.Key(ref(11))) {
 		t.Fatal("old snapshot mutated")
 	}
-	if !s2.Test("y") || !s2.Test("x") {
+	if !s2.Test(testIn.Key(ref(11))) || !s2.Test(testIn.Key(ref(10))) {
 		t.Fatal("new summary incomplete")
 	}
 	if p.Summary() != s2 {
@@ -63,12 +74,12 @@ func TestPushThreshold(t *testing.T) {
 	if p.NeedPush() {
 		t.Fatal("no changes should mean no push")
 	}
-	p.AddObject("o1") // 1 change / list size 1 = 100% ≥ 10%
+	p.AddObject(ref(0)) // 1 change / list size 1 = 100% ≥ 10%
 	if !p.NeedPush() {
 		t.Fatal("first object must trigger a push")
 	}
 	msg, ok := p.TakePush()
-	if !ok || len(msg.Added) != 1 || msg.Added[0] != "o1" || msg.From != 1 {
+	if !ok || len(msg.Added) != 1 || msg.Added[0] != ref(0) || msg.From != 1 {
 		t.Fatalf("TakePush = %+v", msg)
 	}
 	if p.NeedPush() || p.PendingChanges() != 0 {
@@ -76,19 +87,19 @@ func TestPushThreshold(t *testing.T) {
 	}
 	// Build a 20-object list; threshold 0.1 ⇒ 2 new changes trigger.
 	for i := 0; i < 19; i++ {
-		p.AddObject(fmt.Sprintf("bulk-%d", i))
+		p.AddObject(ref(20 + i))
 	}
 	p.TakePush()
-	p.AddObject("n1")
+	p.AddObject(ref(1))
 	if p.NeedPush() { // 1/20 = 5% < 10%
 		t.Fatal("below threshold should not push")
 	}
-	p.AddObject("n2")
+	p.AddObject(ref(2))
 	if !p.NeedPush() { // 2/22 ≈ 9.1%... list is now 22: recompute
 		// 2 changes / 22 objects = 9.09% < 10% — actually still below.
 		t.Log("2/22 below threshold as computed against current list")
 	}
-	p.AddObject("n3")
+	p.AddObject(ref(3))
 	if !p.NeedPush() { // 3/23 ≈ 13% ≥ 10%
 		t.Fatal("threshold crossing not detected")
 	}
@@ -100,11 +111,11 @@ func TestPushThreshold(t *testing.T) {
 
 func TestPushIncludesRemovals(t *testing.T) {
 	p := newPeer(1)
-	p.AddObject("a")
+	p.AddObject(ref(0))
 	p.TakePush()
-	p.RemoveObject("a")
+	p.RemoveObject(ref(0))
 	msg, ok := p.TakePush()
-	if !ok || len(msg.Removed) != 1 || msg.Removed[0] != "a" {
+	if !ok || len(msg.Removed) != 1 || msg.Removed[0] != ref(0) {
 		t.Fatalf("removal delta wrong: %+v", msg)
 	}
 	if _, ok := p.TakePush(); ok {
@@ -154,15 +165,15 @@ func TestDirEntryLifecycle(t *testing.T) {
 func TestGossipRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	a, b := newPeer(1), newPeer(2)
-	a.AddObject("on-a")
-	b.AddObject("on-b")
+	a.AddObject(ref(1))
+	b.AddObject(ref(2))
 	a.SetDir(99)
 	a.SeedView([]gossip.Entry{{Node: 2, Age: 3}})
 	target, msg, ok := a.MakeGossip(rng)
 	if !ok || target != 2 {
 		t.Fatalf("MakeGossip target = %d ok=%v", target, ok)
 	}
-	if msg.Summary == nil || !msg.Summary.Test("on-a") {
+	if msg.Summary == nil || !msg.Summary.Test(testIn.Key(ref(1))) {
 		t.Fatal("gossip message missing sender summary")
 	}
 	reply := b.AcceptGossip(msg, rng)
@@ -171,7 +182,7 @@ func TestGossipRoundTrip(t *testing.T) {
 	}
 	// b must now know a, fresh, with a's summary; and a's directory.
 	e, found := b.View().Get(1)
-	if !found || e.Age != 0 || e.Summary == nil || !e.Summary.Test("on-a") {
+	if !found || e.Age != 0 || e.Summary == nil || !e.Summary.Test(testIn.Key(ref(1))) {
 		t.Fatalf("b's entry for a: %+v found=%v", e, found)
 	}
 	if d := b.Dir(); !d.Known || d.Addr != 99 {
@@ -179,7 +190,7 @@ func TestGossipRoundTrip(t *testing.T) {
 	}
 	a.ApplyGossipReply(reply)
 	e, found = a.View().Get(2)
-	if !found || e.Age != 0 || e.Summary == nil || !e.Summary.Test("on-b") {
+	if !found || e.Age != 0 || e.Summary == nil || !e.Summary.Test(testIn.Key(ref(2))) {
 		t.Fatalf("a's entry for b: %+v found=%v", e, found)
 	}
 }
@@ -196,14 +207,14 @@ func TestCandidatesForUsesSummaries(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	p := newPeer(1)
 	holder := newPeer(2)
-	holder.AddObject("wanted")
+	holder.AddObject(ref(30))
 	other := newPeer(3)
-	other.AddObject("unrelated")
+	other.AddObject(ref(31))
 	p.SeedView([]gossip.Entry{
 		{Node: 2, Age: 0, Summary: holder.Summary()},
 		{Node: 3, Age: 0, Summary: other.Summary()},
 	})
-	cands := p.CandidatesFor("wanted", rng)
+	cands := p.CandidatesFor(ref(30), rng)
 	if len(cands) != 1 || cands[0] != 2 {
 		t.Fatalf("candidates = %v, want [2]", cands)
 	}
@@ -217,16 +228,16 @@ func TestCandidatesShuffled(t *testing.T) {
 	var entries []gossip.Entry
 	for i := 2; i < 12; i++ {
 		h := newPeer(simnet.NodeID(i))
-		h.AddObject("popular")
+		h.AddObject(ref(40))
 		holders = append(holders, h)
 		entries = append(entries, gossip.Entry{Node: h.Addr(), Age: 0, Summary: h.Summary()})
 	}
 	p.SeedView(entries)
 	rng := rand.New(rand.NewSource(3))
-	first := fmt.Sprint(p.CandidatesFor("popular", rng))
+	first := fmt.Sprint(p.CandidatesFor(ref(40), rng))
 	varied := false
 	for i := 0; i < 10; i++ {
-		if fmt.Sprint(p.CandidatesFor("popular", rng)) != first {
+		if fmt.Sprint(p.CandidatesFor(ref(40), rng)) != first {
 			varied = true
 			break
 		}
@@ -239,14 +250,14 @@ func TestCandidatesShuffled(t *testing.T) {
 func TestViewSeedForIncludesSelf(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	p := newPeer(7)
-	p.AddObject("x")
+	p.AddObject(ref(5))
 	p.SeedView([]gossip.Entry{{Node: 2, Age: 1}, {Node: 3, Age: 2}})
 	seed := p.ViewSeedFor(rng)
 	foundSelf := false
 	for _, e := range seed {
 		if e.Node == 7 {
 			foundSelf = true
-			if e.Age != 0 || e.Summary == nil || !e.Summary.Test("x") {
+			if e.Age != 0 || e.Summary == nil || !e.Summary.Test(testIn.Key(ref(5))) {
 				t.Fatalf("self entry malformed: %+v", e)
 			}
 		}
@@ -275,7 +286,7 @@ func TestDropOldContacts(t *testing.T) {
 
 func TestGossipWireBytes(t *testing.T) {
 	p := newPeer(1)
-	p.AddObject("x")
+	p.AddObject(ref(0))
 	p.SetDir(9)
 	p.SeedView([]gossip.Entry{{Node: 2, Age: 0, Summary: p.Summary()}})
 	rng := rand.New(rand.NewSource(5))
@@ -288,7 +299,7 @@ func TestGossipWireBytes(t *testing.T) {
 	if msg.WireBytes() != want {
 		t.Fatalf("WireBytes = %d, want %d", msg.WireBytes(), want)
 	}
-	push := PushMsg{From: 1, Added: []string{"a", "b"}, Removed: []string{"c"}}
+	push := PushMsg{From: 1, Added: []model.ObjectRef{ref(0), ref(1)}, Removed: []model.ObjectRef{ref(2)}}
 	if push.WireBytes() != 20+24 {
 		t.Fatalf("push bytes = %d, want 44", push.WireBytes())
 	}
@@ -300,7 +311,7 @@ func TestGossipWireBytes(t *testing.T) {
 func TestQuickContentPushConsistency(t *testing.T) {
 	prop := func(ops []uint8) bool {
 		p := newPeer(1)
-		replay := map[string]struct{}{}
+		replay := map[model.ObjectRef]struct{}{}
 		apply := func(msg PushMsg) {
 			for _, o := range msg.Added {
 				replay[o] = struct{}{}
@@ -310,7 +321,7 @@ func TestQuickContentPushConsistency(t *testing.T) {
 			}
 		}
 		for _, op := range ops {
-			obj := fmt.Sprintf("o-%d", op%17)
+			obj := ref(int(op) % 17)
 			if op%3 == 2 {
 				p.RemoveObject(obj)
 			} else {
@@ -333,7 +344,7 @@ func TestQuickContentPushConsistency(t *testing.T) {
 			if _, ok := replay[o]; !ok {
 				return false
 			}
-			if !sum.Test(o) {
+			if !sum.Test(testIn.Key(o)) {
 				return false
 			}
 		}
@@ -345,7 +356,8 @@ func TestQuickContentPushConsistency(t *testing.T) {
 }
 
 func TestAccessors(t *testing.T) {
-	p := New(5, "ws-009", 3, DefaultConfig(), 1234)
+	in := model.NewInterner([]model.SiteID{"ws-009"}, 8)
+	p := New(5, "ws-009", 3, DefaultConfig(), 1234, in)
 	if p.Addr() != 5 || p.Site() != "ws-009" || p.Locality() != 3 || p.JoinedAt() != 1234 {
 		t.Fatal("accessors wrong")
 	}

@@ -2,6 +2,7 @@ package squirrel
 
 import (
 	"flowercdn/internal/metrics"
+	"flowercdn/internal/model"
 	"flowercdn/internal/simnet"
 )
 
@@ -52,7 +53,7 @@ func (s *System) routeStep(h *host, m routedMsg) {
 func (s *System) homeProcess(h *host, q *query) {
 	q.home = h.addr
 	if s.cfg.Strategy == StrategyHomeStore {
-		if _, ok := h.cache[q.obj]; ok {
+		if h.cache.Has(int(q.ref)) {
 			s.serve(h, q, true)
 			return
 		}
@@ -63,7 +64,7 @@ func (s *System) homeProcess(h *host, q *query) {
 	}
 	// Directory strategy: redirect to a recent downloader.
 	tried := 0
-	for _, cand := range h.dir[q.obj] {
+	for _, cand := range h.dir[q.ref] {
 		if q.tried[cand] || cand == q.origin {
 			continue
 		}
@@ -76,7 +77,7 @@ func (s *System) homeProcess(h *host, q *query) {
 			// Dead downloader: drop the pointer and retry (the paper's
 			// §5.1-style redirection-failure handling applies here too).
 			s.mets.RecordRedirectFailure()
-			h.removePointer(q.obj, cand)
+			h.removePointer(q.ref, cand)
 			s.homeProcess(h, q)
 		})
 		return
@@ -85,8 +86,8 @@ func (s *System) homeProcess(h *host, q *query) {
 	s.net.Send(h.addr, s.servers[q.site], simnet.CatQuery, bytesQueryCtl, redirectMsg{Q: q, FromHome: h.addr})
 }
 
-func (h *host) removePointer(obj string, cand simnet.NodeID) {
-	list := h.dir[obj]
+func (h *host) removePointer(ref model.ObjectRef, cand simnet.NodeID) {
+	list := h.dir[ref]
 	out := list[:0]
 	for _, c := range list {
 		if c != cand {
@@ -94,16 +95,16 @@ func (h *host) removePointer(obj string, cand simnet.NodeID) {
 		}
 	}
 	if len(out) == 0 {
-		delete(h.dir, obj)
+		delete(h.dir, ref)
 	} else {
-		h.dir[obj] = out
+		h.dir[ref] = out
 	}
 }
 
 // addPointer records a fresh downloader, keeping at most MaxDirEntries
 // (most recent last).
-func (h *host) addPointer(obj string, from simnet.NodeID) {
-	list := h.dir[obj]
+func (h *host) addPointer(ref model.ObjectRef, from simnet.NodeID) {
+	list := h.dir[ref]
 	for i, c := range list {
 		if c == from {
 			list = append(list[:i], list[i+1:]...)
@@ -114,7 +115,7 @@ func (h *host) addPointer(obj string, from simnet.NodeID) {
 	if len(list) > h.sys.cfg.MaxDirEntries {
 		list = list[len(list)-h.sys.cfg.MaxDirEntries:]
 	}
-	h.dir[obj] = list
+	h.dir[ref] = list
 }
 
 func (s *System) handleRedirect(h *host, m redirectMsg) {
@@ -124,7 +125,7 @@ func (s *System) handleRedirect(h *host, m redirectMsg) {
 		return
 	}
 	s.net.Send(h.addr, m.FromHome, simnet.CatQuery, bytesQueryCtl, redirectAckMsg{Q: q})
-	if _, ok := h.cache[q.obj]; ok {
+	if h.cache.Has(int(q.ref)) {
 		s.serve(h, q, true)
 		return
 	}
@@ -134,7 +135,7 @@ func (s *System) handleRedirect(h *host, m redirectMsg) {
 func (s *System) handleRedirectFail(h *host, m redirectFailMsg) {
 	q := m.Q
 	q.settle()
-	h.removePointer(q.obj, m.From)
+	h.removePointer(q.ref, m.From)
 	s.homeProcess(h, q)
 }
 
@@ -163,9 +164,9 @@ func (s *System) handleServe(h *host, m serveMsg) {
 		return
 	}
 	q.finished = true
-	h.cache[q.obj] = struct{}{}
+	h.cache.Set(int(q.ref))
 	if s.cfg.Strategy == StrategyDirectory && q.home != 0 {
-		s.net.Send(h.addr, q.home, simnet.CatQuery, bytesQueryCtl, updateMsg{Obj: q.obj, From: h.addr})
+		s.net.Send(h.addr, q.home, simnet.CatQuery, bytesQueryCtl, updateMsg{Ref: q.ref, From: h.addr})
 	}
 }
 
@@ -173,7 +174,7 @@ func (s *System) handleUpdate(h *host, m updateMsg) {
 	if h.node == nil {
 		return
 	}
-	h.addPointer(m.Obj, m.From)
+	h.addPointer(m.Ref, m.From)
 }
 
 // handleHomeFetch runs at the origin server for a home-store miss.
@@ -191,7 +192,7 @@ func (s *System) handleHomeFetch(h *host, m homeFetchMsg) {
 // handleHomeServe runs at the home node: store and forward to the client.
 func (s *System) handleHomeServe(h *host, m homeServeMsg) {
 	q := m.Q
-	h.cache[q.obj] = struct{}{}
+	h.cache.Set(int(q.ref))
 	s.net.Send(h.addr, q.origin, simnet.CatTransfer, bytesServeHdr+s.cfg.ObjectBytes,
 		serveMsg{Q: q, Provider: h.addr, FromPeer: true})
 }

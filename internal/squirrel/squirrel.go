@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"flowercdn/internal/bitset"
 	"flowercdn/internal/chord"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/model"
@@ -52,6 +53,7 @@ func (st Strategy) String() string {
 type Config struct {
 	Seed             int64
 	Sites            []model.SiteID // queried websites
+	ObjectsPerSite   int            // nb-ob: sizes the interned object space
 	PoolSizes        [][]int        // [siteIdx][locality] client pools (mirrors Flower-CDN's)
 	ExtraPerLocality int            // passive DHT members (Flower's directory-peer budget)
 	Bits             uint           // DHT identifier width
@@ -90,6 +92,9 @@ func (c *Config) Validate() error {
 	if c.RetryLimit <= 0 {
 		c.RetryLimit = 3
 	}
+	if c.ObjectsPerSite <= 0 {
+		return fmt.Errorf("squirrel: objects per site must be positive")
+	}
 	return nil
 }
 
@@ -104,9 +109,9 @@ type host struct {
 	addr simnet.NodeID
 	node *chord.Node
 
-	cache map[string]struct{}
-	// home directory: object → recent downloaders, most recent last.
-	dir map[string][]simnet.NodeID
+	cache bitset.Set // stored objects over the interned ref space
+	// home directory: object ref → recent downloaders, most recent last.
+	dir map[model.ObjectRef][]simnet.NodeID
 
 	isServer   bool
 	serverSite model.SiteID
@@ -117,7 +122,7 @@ type query struct {
 	id       uint64
 	origin   simnet.NodeID
 	site     model.SiteID
-	obj      string
+	ref      model.ObjectRef
 	start    simkernel.Time
 	token    uint64
 	recorded bool
@@ -156,7 +161,7 @@ type serveMsg struct {
 
 // updateMsg registers the requester as a fresh downloader at the home node.
 type updateMsg struct {
-	Obj  string
+	Ref  model.ObjectRef
 	From simnet.NodeID
 }
 
@@ -179,6 +184,12 @@ type System struct {
 	servers map[model.SiteID]simnet.NodeID
 	pools   [][][]simnet.NodeID
 
+	// in interns the queried object universe; homeKeys precomputes each
+	// ref's DHT key (hash of the canonical URL) so routing a query does no
+	// string hashing. Both are built once at construction.
+	in       *model.Interner
+	homeKeys []chord.ID
+
 	rng *rand.Rand
 	qid uint64
 }
@@ -198,7 +209,12 @@ func New(cfg Config, kernel *simkernel.Kernel, topo *topology.Topology, mets *me
 		ring:    chord.NewRing(chord.Config{Bits: cfg.Bits, SuccessorList: 8}),
 		hosts:   make([]*host, topo.NumNodes()),
 		servers: make(map[model.SiteID]simnet.NodeID),
+		in:      model.NewInterner(cfg.Sites, cfg.ObjectsPerSite),
 		rng:     kernel.DeriveRNG("squirrel"),
+	}
+	s.homeKeys = make([]chord.ID, s.in.Count())
+	for r := range s.homeKeys {
+		s.homeKeys[r] = s.ring.Space().HashString(s.in.Key(model.ObjectRef(r)))
 	}
 	s.net.SetSink(mets)
 
@@ -237,8 +253,8 @@ func New(cfg Config, kernel *simkernel.Kernel, topo *topology.Topology, mets *me
 		}
 		h := &host{
 			sys: s, addr: addr, node: node,
-			cache: make(map[string]struct{}),
-			dir:   make(map[string][]simnet.NodeID),
+			cache: bitset.New(s.in.Count()),
+			dir:   make(map[model.ObjectRef][]simnet.NodeID),
 		}
 		s.hosts[addr] = h
 		s.net.Register(addr, h)
@@ -290,9 +306,12 @@ func (s *System) PoolNode(siteIdx, loc, member int) simnet.NodeID {
 	return s.pools[siteIdx][loc][member]
 }
 
+// Interner exposes the interned object space (tests intern probes with it).
+func (s *System) Interner() *model.Interner { return s.in }
+
 // HomeOf returns the home node responsible for an object.
-func (s *System) HomeOf(obj string) simnet.NodeID {
-	n := s.ring.SuccessorOfKey(s.ring.Space().HashString(obj))
+func (s *System) HomeOf(ref model.ObjectRef) simnet.NodeID {
+	n := s.ring.SuccessorOfKey(s.homeKeys[ref])
 	return n.Addr()
 }
 
@@ -316,21 +335,28 @@ func (s *System) Submit(wq workload.Query) {
 	if h == nil || !s.net.Alive(origin) {
 		return
 	}
+	if wq.Object.Num < 0 || wq.Object.Num >= s.cfg.ObjectsPerSite {
+		return // outside the fixed object universe: nothing can hold it
+	}
 	s.qid++
+	// As in core.Submit, the ref is recomputed arithmetically: the
+	// workload's site index is the interner's site index here (the
+	// interner is built over exactly the queried sites).
+	ref := s.in.RefFor(wq.SiteIdx, wq.Object.Num)
 	q := &query{
 		id:     s.qid,
 		origin: origin,
 		site:   wq.Site,
-		obj:    wq.Object.Key(),
+		ref:    ref,
 		start:  s.k.Now(),
 		tried:  make(map[simnet.NodeID]bool),
 	}
-	if _, ok := h.cache[q.obj]; ok {
+	if h.cache.Has(int(q.ref)) {
 		s.mets.RecordQuery(s.k.Now(), metrics.SourceLocal, 0, 0)
 		return
 	}
 	// Every non-local query navigates the DHT, starting at the client.
-	key := s.ring.Space().HashString(q.obj)
+	key := s.homeKeys[q.ref]
 	s.routeStep(h, routedMsg{Key: key, TTL: 4*int(s.cfg.Bits) + 16, Q: q})
 	s.await(q, 10*simkernel.Second, func() {
 		// Lost in a broken ring (churn): fall back to the origin server.

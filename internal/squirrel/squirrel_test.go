@@ -31,6 +31,7 @@ func newEnv(t *testing.T, seed int64, mod func(*Config)) *env {
 	}
 	cfg := DefaultConfig(seed)
 	cfg.Sites = model.MakeSites(2)
+	cfg.ObjectsPerSite = 20
 	cfg.PoolSizes = [][]int{{5, 5, 5}, {5, 5, 5}}
 	cfg.ExtraPerLocality = 10
 	if mod != nil {
@@ -118,7 +119,7 @@ func TestDirectoryLRUCap(t *testing.T) {
 		e.submitAt(simkernel.Time(m+1)*simkernel.Minute, 0, m%3, m, 9)
 	}
 	e.k.Run(10 * simkernel.Minute)
-	obj := model.ObjectID{Site: e.cfg.Sites[0], Num: 9}.Key()
+	obj := e.sys.Interner().RefFor(0, 9)
 	home := e.sys.HomeOf(obj)
 	hh := e.sys.hosts[home]
 	if len(hh.dir[obj]) > 2 {
@@ -156,9 +157,9 @@ func TestHomeStoreStrategy(t *testing.T) {
 	if r.BySource["server"] != 1 || r.BySource["peer"] != 1 {
 		t.Fatalf("sources: %v", r.BySource)
 	}
-	obj := model.ObjectID{Site: e.cfg.Sites[0], Num: 4}.Key()
+	obj := e.sys.Interner().RefFor(0, 4)
 	home := e.sys.HomeOf(obj)
-	if _, ok := e.sys.hosts[home].cache[obj]; !ok {
+	if !e.sys.hosts[home].cache.Has(int(obj)) {
 		t.Fatal("home-store home node did not cache the object")
 	}
 }
@@ -185,7 +186,7 @@ func TestHomeDirectoryUpdatesAfterDownload(t *testing.T) {
 		e.submitAt(simkernel.Time(m+1)*simkernel.Minute, 0, m%3, m, 6)
 	}
 	e.k.Run(10 * simkernel.Minute)
-	obj := model.ObjectID{Site: e.cfg.Sites[0], Num: 6}.Key()
+	obj := e.sys.Interner().RefFor(0, 6)
 	home := e.sys.HomeOf(obj)
 	list := e.sys.hosts[home].dir[obj]
 	if len(list) != 3 {
@@ -195,13 +196,13 @@ func TestHomeDirectoryUpdatesAfterDownload(t *testing.T) {
 
 func TestHomeOfDeterministic(t *testing.T) {
 	e := newEnv(t, 9, nil)
-	obj := model.ObjectID{Site: e.cfg.Sites[0], Num: 1}.Key()
+	obj := e.sys.Interner().RefFor(0, 1)
 	a := e.sys.HomeOf(obj)
 	b := e.sys.HomeOf(obj)
 	if a != b {
 		t.Fatal("home node not stable")
 	}
-	other := model.ObjectID{Site: e.cfg.Sites[0], Num: 2}.Key()
+	other := e.sys.Interner().RefFor(0, 2)
 	// Different objects usually hash to different homes; at minimum the
 	// call must not fail.
 	_ = e.sys.HomeOf(other)
@@ -250,6 +251,10 @@ func TestValidation(t *testing.T) {
 	bad.PoolSizes = [][]int{{1}}
 	if err := bad.Validate(); err == nil {
 		t.Fatal("pool mismatch accepted")
+	}
+	bad.PoolSizes = [][]int{{1}, {1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing objects-per-site accepted")
 	}
 	if StrategyDirectory.String() == StrategyHomeStore.String() {
 		t.Fatal("strategy names collide")

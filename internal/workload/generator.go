@@ -21,11 +21,21 @@ type Config struct {
 	// weighted by pool size, reproducing the non-uniform locality
 	// population of §6.1.
 	PoolSizes [][]int
+	// Interner, when set, lets the generator stamp each query with the
+	// interned ObjectRef (Sites must be a prefix of the interner's site
+	// list, which holds for the harness wiring: active sites lead the full
+	// site list). When nil, Ref is model.NoRef and consumers intern.
+	Interner *model.Interner
 }
 
 // Query is one generated request: the member'th pool client of Site in
 // Locality asks for Object at time At. The harness maps (site, locality,
-// member) to a concrete simulated node.
+// member) to a concrete simulated node. Ref is the interned form of
+// Object (model.NoRef when the generator had no interner) for stream
+// consumers and tooling; the simulated systems deliberately re-intern
+// from (SiteIdx, Object.Num) — two integer ops — so hand-built or
+// replayed queries can never smuggle a ref from a different object
+// universe.
 type Query struct {
 	At       simkernel.Time
 	Site     model.SiteID
@@ -33,6 +43,7 @@ type Query struct {
 	Locality int
 	Member   int
 	Object   model.ObjectID
+	Ref      model.ObjectRef
 }
 
 // Generator produces the deterministic query stream.
@@ -65,6 +76,17 @@ func New(cfg Config) (*Generator, error) {
 	z, err := NewZipf(cfg.ObjectsPerSite, cfg.ZipfAlpha)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Interner != nil {
+		if cfg.Interner.ObjectsPerSite() != cfg.ObjectsPerSite {
+			return nil, fmt.Errorf("workload: interner has %d objects per site, config %d",
+				cfg.Interner.ObjectsPerSite(), cfg.ObjectsPerSite)
+		}
+		for si, site := range cfg.Sites {
+			if cfg.Interner.SiteIndex(site) != si {
+				return nil, fmt.Errorf("workload: site %q is not at interner index %d", site, si)
+			}
+		}
 	}
 	g := &Generator{
 		cfg:  cfg,
@@ -128,6 +150,10 @@ func (g *Generator) Next() Query {
 	rank := g.zipf.Sample(g.rng)
 	obj := g.objPerm[si][rank]
 	g.count++
+	ref := model.NoRef
+	if g.cfg.Interner != nil {
+		ref = g.cfg.Interner.RefFor(si, obj)
+	}
 	return Query{
 		At:       simkernel.Time(g.nextAt),
 		Site:     g.cfg.Sites[si],
@@ -135,5 +161,6 @@ func (g *Generator) Next() Query {
 		Locality: loc,
 		Member:   member,
 		Object:   model.ObjectID{Site: g.cfg.Sites[si], Num: obj},
+		Ref:      ref,
 	}
 }

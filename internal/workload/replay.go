@@ -103,6 +103,7 @@ func ParseTrace(r io.Reader, sites []model.SiteID) ([]Query, error) {
 			Locality: int(vals[2]),
 			Member:   int(vals[3]),
 			Object:   model.ObjectID{Site: sites[si], Num: int(vals[4])},
+			Ref:      model.NoRef, // consumers intern from (SiteIdx, Num)
 		})
 	}
 	if err := sc.Err(); err != nil {

@@ -253,3 +253,47 @@ func TestPerSitePopularityIndependent(t *testing.T) {
 		t.Fatalf("all sites share the same hottest object %d — permutations broken", best[0])
 	}
 }
+
+func TestGeneratorEmitsInternedRefs(t *testing.T) {
+	// With an interner configured, every emitted query carries the interned
+	// ref of its Object — identical streams with and without the interner
+	// apart from that stamp (same rng draws).
+	cfg := genCfg(9)
+	in := model.NewInterner(model.MakeSites(5), cfg.ObjectsPerSite) // superset; actives lead
+	withRefs := cfg
+	withRefs.Interner = in
+	g1, err := New(withRefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := New(cfg)
+	for i := 0; i < 500; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Ref == model.NoRef {
+			t.Fatal("interner configured but Ref unset")
+		}
+		if a.Ref != in.Ref(a.Object) {
+			t.Fatalf("Ref %d does not intern %v", a.Ref, a.Object)
+		}
+		if b.Ref != model.NoRef {
+			t.Fatal("no interner but Ref set")
+		}
+		a.Ref, b.Ref = 0, 0
+		if a != b {
+			t.Fatalf("interner changed the stream: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestGeneratorRejectsMismatchedInterner(t *testing.T) {
+	cfg := genCfg(9)
+	cfg.Interner = model.NewInterner(model.MakeSites(3), cfg.ObjectsPerSite+1)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("objects-per-site mismatch accepted")
+	}
+	cfg = genCfg(9)
+	cfg.Interner = model.NewInterner([]model.SiteID{"zz-other", "ws-000", "ws-001"}, cfg.ObjectsPerSite)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("site-index mismatch accepted")
+	}
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs the repo's core benchmarks and writes BENCH_<n>.json with ns/op,
+# B/op and allocs/op per benchmark, so the perf trajectory across PRs is
+# machine-readable. Usage:
+#
+#   scripts/bench.sh <pr-number> [benchtime]
+#
+# e.g. `scripts/bench.sh 3` writes BENCH_3.json at the repo root.
+set -euo pipefail
+
+n=${1:?usage: scripts/bench.sh <pr-number> [benchtime]}
+benchtime=${2:-3x}
+root=$(cd "$(dirname "$0")/.." && pwd)
+out="$root/BENCH_${n}.json"
+
+run() { # run <benchtime> <pattern> <packages...>
+  local bt=$1 pat=$2
+  shift 2
+  (cd "$root" && go test -run xxx -bench "$pat" -benchmem -benchtime "$bt" "$@" 2>/dev/null) |
+    grep -E '^Benchmark'
+}
+
+{
+  # Simulation-level benchmarks: each iteration is a full campaign/run, so
+  # a small fixed count keeps the script fast while staying comparable.
+  run "$benchtime" 'CampaignSequential$' .
+  # Substrate micro-benchmarks: hot-path costs, higher iteration counts.
+  run 1000x 'QueryPath$' ./internal/core
+  run 10000x 'KernelSchedule$' ./internal/simkernel
+  run 10000x 'NetworkSend$' ./internal/simnet
+  run 10000x 'GossipRound$' ./internal/gossip
+} | awk -v pr="$n" '
+  BEGIN { printf "{\n  \"pr\": %s,\n  \"benchmarks\": [\n", pr; first = 1 }
+  {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+      if ($(i+1) == "ns/op") ns = $i
+      if ($(i+1) == "B/op") bytes = $i
+      if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+      name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+  }
+  END { printf "\n  ]\n}\n" }
+' >"$out"
+
+echo "wrote $out"
+cat "$out"
