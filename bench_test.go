@@ -15,6 +15,7 @@
 package flowercdn
 
 import (
+	"fmt"
 	"testing"
 
 	"flowercdn/internal/harness"
@@ -357,6 +358,37 @@ func benchCampaign(b *testing.B, parallel int) {
 
 func BenchmarkCampaignSequential(b *testing.B) { benchCampaign(b, 1) }
 func BenchmarkCampaignParallel(b *testing.B)   { benchCampaign(b, 4) }
+
+// --- Population scale: events/sec vs peer population ------------------------
+// The shrunk 100k-preset shape (sparse views, sparse directory seeding) at
+// growing client populations; each iteration is a full simulation. The
+// events/sec metric lands in BENCH_<pr>.json via scripts/bench.sh, charting
+// simulator throughput against population; the full 100,000-client preset is
+// `flowersim -exp massive`.
+
+func BenchmarkPopulationScale(b *testing.B) {
+	for _, pop := range []int{1000, 5000, 20000} {
+		b.Run(fmt.Sprintf("pop=%d", pop), func(b *testing.B) {
+			var events uint64
+			var wall float64
+			var joins int
+			for i := 0; i < b.N; i++ {
+				res, err := RunFlower(PopulationParams(int64(i)+1, pop))
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+				wall += res.WallSeconds
+				joins += res.Stats.Joins
+			}
+			if wall > 0 {
+				b.ReportMetric(float64(events)/wall, "events/sec")
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+			b.ReportMetric(float64(joins)/float64(b.N), "joins/run")
+		})
+	}
+}
 
 // --- Substrate micro-benchmarks --------------------------------------------
 

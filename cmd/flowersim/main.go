@@ -13,7 +13,10 @@
 //	flowersim -list                        # enumerate experiments
 //
 // Experiments: table2a table2b table2c fig5 fig6 fig7 fig8 headline
-// push-threshold query-policy churn home-store conditional-routing sweep all.
+// push-threshold query-policy churn home-store conditional-routing sweep all,
+// plus the scale experiments "population" (events/sec-vs-population chart)
+// and "massive" (the 100,000-client stress preset) — both outside "all"
+// because they measure the simulator, not the paper.
 //
 // Sweep-style experiments run one full simulation per point; -parallel N
 // executes points on N workers (results are identical to the sequential
@@ -52,6 +55,8 @@ var experiments = map[string]func(w *writer, p flowercdn.Params) error{
 	"scale-up":            runScaleUp,
 	"sweep":               runSweep,
 	"trace":               runTrace,
+	"population":          runPopulation,
+	"massive":             runMassive,
 }
 
 func main() {
@@ -468,6 +473,48 @@ func runTrace(w *writer, p flowercdn.Params) error {
 	printQueryOfKind("First access through D-ring", "new-client")
 	printQueryOfKind("Member lookup through the content overlay", "member")
 	w.printf("run summary: %s", res.Report.String())
+	return nil
+}
+
+func runPopulation(w *writer, p flowercdn.Params) error {
+	// Populations by scale: the paper flag (-scale paper) climbs to the
+	// full 100k, the small flag stays laptop-quick.
+	pops := []int{1000, 2000, 5000, 10000}
+	if paperScale(p) {
+		pops = []int{1000, 10000, 50000, 100000}
+	}
+	points, err := flowercdn.PopulationSweep(p.Seed, pops)
+	if err != nil {
+		return err
+	}
+	w.printf("Scale chart — simulator throughput vs peer population (shrunk 100k-preset shape)")
+	w.printf("%-12s %-12s %-12s %-14s %-10s %-8s", "clients", "events", "wall(s)", "events/sec", "hit", "joins")
+	for _, pt := range points {
+		w.printf("%-12d %-12d %-12.2f %-14.0f %-10.3f %-8d",
+			pt.Clients, pt.Events, pt.WallSeconds, pt.EventsPerSec, pt.HitRatio, pt.Joins)
+	}
+	return nil
+}
+
+// paperScale detects the full-scale parameter set (ScaledParams shrinks
+// the topology below the paper's 5000 nodes).
+func paperScale(p flowercdn.Params) bool { return p.TopoNodes >= 5000 }
+
+func runMassive(w *writer, p flowercdn.Params) error {
+	mp := flowercdn.Massive100kParams(p.Seed)
+	if p.Duration != flowercdn.DefaultParams(p.Seed).Duration {
+		mp.Duration = p.Duration // honour -hours
+	}
+	w.notef("massive: 100,000 potential clients, %s simulated — this is the stress preset, not a figure", mp.Duration)
+	res, err := flowercdn.RunFlower(mp)
+	if err != nil {
+		return err
+	}
+	w.printf("100k-client preset (%s simulated)", mp.Duration)
+	w.printf("clients joined: %d   queries: %d   hit ratio: %.3f", res.Stats.Joins, res.Report.TotalQueries, res.Report.HitRatio)
+	w.printf("kernel events: %d   wall: %.2fs   throughput: %.0f events/sec",
+		res.Events, res.WallSeconds, res.EventsPerSecond())
+	w.printf("avg lookup: %.0f ms   background: %.1f bps/peer", res.Report.AvgLookupMs, res.Report.BackgroundBps)
 	return nil
 }
 

@@ -129,6 +129,17 @@ func buildFixture(t *testing.T) string {
 	sb.WriteString("trace:\n")
 	sb.WriteString(FormatTrace(buf.Events()))
 
+	// Eighth scenario: the 100k-preset's shrunk variant — sparse gossip
+	// views, O(L_gossip) directory view seeding (SparseSeeds), compact
+	// object universe — so refactors of the scale code paths are pinned
+	// exactly like the dense ones.
+	mres, err := RunFlower(ShrunkMassiveParams(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatReport(&sb, "flower shrunk-massive seed=6", mres.Report)
+	formatStats(&sb, mres)
+
 	return sb.String()
 }
 

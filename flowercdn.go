@@ -105,6 +105,33 @@ func DefaultParams(seed int64) Params { return harness.DefaultParams(seed) }
 // (finishes in seconds).
 func ScaledParams(seed int64) Params { return harness.ScaledParams(seed) }
 
+// Massive100kParams returns the 100,000-client stress preset: sparse
+// gossip views, O(L_gossip) directory view seeding and a compact object
+// universe, aimed at the control-plane scale wall rather than a paper
+// figure.
+func Massive100kParams(seed int64) Params { return harness.Massive100kParams(seed) }
+
+// ShrunkMassiveParams is the CI-runnable shrunk variant of
+// Massive100kParams (5,000 clients, 30 simulated minutes, same knobs).
+func ShrunkMassiveParams(seed int64) Params { return harness.ShrunkMassiveParams(seed) }
+
+// PopulationParams scales the shrunk 100k-preset shape to a total client
+// population (pools, overlay capacity and topology budget grow linearly;
+// protocol knobs stay fixed).
+func PopulationParams(seed int64, clients int) Params {
+	return harness.PopulationParams(seed, clients)
+}
+
+// PopulationPoint is one cell of the events/sec-vs-population chart.
+type PopulationPoint = harness.PopulationPoint
+
+// PopulationSweep measures simulator throughput (kernel events per
+// wall-clock second) at each requested total client population (nil =
+// 1k/2k/5k/10k). Cells run sequentially so wall-clock numbers are honest.
+func PopulationSweep(seed int64, populations []int) ([]PopulationPoint, error) {
+	return harness.PopulationSweep(seed, populations)
+}
+
 // RunFlower simulates Flower-CDN under the given parameters.
 func RunFlower(p Params) (Result, error) { return harness.RunFlower(p) }
 

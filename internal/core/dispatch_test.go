@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"flowercdn/internal/simkernel"
+)
+
+// dispatchEnv builds a small system with a two-member content overlay in
+// steady state: both members hold content, gossip regularly, and send
+// keepalives to their directory. This is the state the control-plane
+// dispatch loop spends a simulated day in.
+func dispatchEnv(t testing.TB) (e *testEnv, member *host) {
+	e = newTestEnv(t, 88, nil)
+	e.submitAt(simkernel.Second, 0, 0, 0, 3)
+	e.submitAt(2*simkernel.Second, 0, 0, 1, 5)
+	// Several gossip/keepalive periods (2 min each) so views, summaries and
+	// the directory index settle.
+	e.k.Run(20 * simkernel.Minute)
+	member = e.sys.host(e.sys.PoolNode(0, 0, 0))
+	if member.cp == nil {
+		t.Fatal("member did not join")
+	}
+	if member.cp.View().Len() == 0 {
+		t.Fatal("member view empty; gossip cannot run")
+	}
+	if !member.cp.Dir().Known || member.cp.Dir().Addr == member.addr {
+		t.Fatal("member has no remote directory; keepalive cannot run")
+	}
+	return e, member
+}
+
+// dispatchRound drives one full keepalive round (probe → ack) and one full
+// gossip round (request → reply → merge) through the simulated network,
+// including every timer armed and cancelled along the way.
+func dispatchRound(e *testEnv, member *host) {
+	e.sys.keepaliveTick(member)
+	e.sys.gossipTick(member)
+	// 2 simulated seconds cover both round trips (intra-locality RTTs are
+	// tens of milliseconds); other hosts' tickers landing in the window run
+	// the same steady-state paths.
+	e.k.Run(e.k.Now() + 2*simkernel.Second)
+}
+
+// TestDispatchLoopAllocs is the alloc gate for the SoA control plane: at
+// steady state a complete keepalive round and a complete gossip exchange —
+// ticker fire, SoA token/timeout bookkeeping, AfterArg failure-detection
+// arming, pooled envelopes and subset buffers, pre-boxed probe payloads,
+// delivery, merge, ack — allocate nothing.
+func TestDispatchLoopAllocs(t *testing.T) {
+	e, member := dispatchEnv(t)
+	// Warm the pools: envelopes, subset buffers, timer slots and the
+	// network's message slab reach their steady-state capacity.
+	for i := 0; i < 8; i++ {
+		dispatchRound(e, member)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dispatchRound(e, member)
+	})
+	if allocs != 0 {
+		t.Fatalf("dispatch loop allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDispatchLoop measures one steady-state keepalive+gossip round
+// through the simulated network (the per-period control-plane cost of one
+// content peer).
+func BenchmarkDispatchLoop(b *testing.B) {
+	e, member := dispatchEnv(b)
+	for i := 0; i < 8; i++ {
+		dispatchRound(e, member)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dispatchRound(e, member)
+	}
+}

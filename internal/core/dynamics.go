@@ -17,17 +17,17 @@ import (
 // lost. Other peers discover the failure through their own timeouts.
 func (s *System) FailPeer(addr simnet.NodeID) {
 	h := s.hosts[addr]
-	if h == nil || h.isServer {
+	if h == nil || s.hs.has(addr, hfServer) {
 		return
 	}
 	s.net.Fail(addr)
-	h.stopTickers()
+	s.hs.stopTimers(addr)
 	if h.dirNode != nil {
 		s.ring.Fail(h.dirNode)
 	}
-	if h.accounted {
+	if s.hs.has(addr, hfAccounted) {
 		s.mets.PeerLeft(s.k.Now())
-		h.accounted = false
+		s.hs.clearFlag(addr, hfAccounted)
 	}
 }
 
@@ -37,7 +37,7 @@ func (s *System) FailPeer(addr simnet.NodeID) {
 // be revived this way (their position is re-filled by §5.2 replacement).
 func (s *System) RevivePeer(addr simnet.NodeID) bool {
 	h := s.hosts[addr]
-	if h == nil || h.isServer || h.dir != nil || h.dirNode != nil {
+	if h == nil || s.hs.has(addr, hfServer) || h.dir != nil || h.dirNode != nil {
 		return false
 	}
 	if s.net.Alive(addr) {
@@ -45,10 +45,12 @@ func (s *System) RevivePeer(addr simnet.NodeID) bool {
 	}
 	s.net.Recover(addr)
 	h.cp = nil
-	h.stash = nil
-	h.joinInFlight = false
-	h.gossipTicker, h.kaTicker = nil, nil
-	h.gossipTimeout, h.kaTimeout, h.joinTimer = simkernel.TimerHandle{}, simkernel.TimerHandle{}, simkernel.TimerHandle{}
+	s.hs.stash[addr] = nil
+	s.hs.clearFlag(addr, hfJoinInFlight)
+	s.hs.gossipTicker[addr], s.hs.kaTicker[addr] = nil, nil
+	s.hs.gossipTimeout[addr] = simkernel.TimerHandle{}
+	s.hs.kaTimeout[addr] = simkernel.TimerHandle{}
+	s.hs.joinTimer[addr] = simkernel.TimerHandle{}
 	return true
 }
 
@@ -80,10 +82,10 @@ func (s *System) onDirectoryUnreachable(h *host) {
 // D-ring; whoever is closest to the key decides whether the position is
 // already taken.
 func (s *System) attemptDirJoin(h *host, site model.SiteID, loc int) {
-	if h.joinInFlight || h.dir != nil || !s.net.Alive(h.addr) {
+	if s.hs.has(h.addr, hfJoinInFlight) || h.dir != nil || !s.net.Alive(h.addr) {
 		return
 	}
-	key := s.ks.KeyForWebsiteID(s.widBySite[site], loc, h.dirInstance)
+	key := s.ks.KeyForWebsiteID(s.widBySite[site], loc, int(s.hs.dirInstance[h.addr]))
 	if n := s.ring.Lookup(key); n != nil && n.Up() {
 		// Someone already replaced it: adopt.
 		if h.cp != nil {
@@ -96,13 +98,13 @@ func (s *System) attemptDirJoin(h *host, site model.SiteID, loc int) {
 	if !ok {
 		return
 	}
-	h.joinInFlight = true
+	s.hs.set(h.addr, hfJoinInFlight)
 	s.net.Send(h.addr, entry, simnet.CatMaintenance, bytesJoinCtl,
 		routedMsg{Key: key, TTL: dring.RouteTTL(s.ks.Space), Inner: innerDirJoin{Candidate: h.addr}})
 	// Clear the in-flight latch if the request is lost in a broken ring;
 	// an answer cancels the timer.
-	h.joinTimer.Cancel()
-	h.joinTimer = s.k.After(15*simkernel.Second, func() { h.joinInFlight = false })
+	s.hs.joinTimer[h.addr].Cancel()
+	s.hs.joinTimer[h.addr] = s.k.AfterArg(15*simkernel.Second, s.joinLatchFn, uint64(uint32(h.addr)))
 }
 
 // handleDirJoinRequest runs at the D-ring node that received the routed
@@ -122,8 +124,8 @@ func (s *System) handleDirJoinRequest(h *host, key chord.ID, m innerDirJoin) {
 // directory and make sure it indexes our content ("the content peer gets
 // acquainted with its new directory peer", §5.2).
 func (s *System) handleDirJoinTaken(h *host, m dirJoinTakenMsg) {
-	h.joinInFlight = false
-	h.joinTimer.Cancel()
+	s.hs.clearFlag(h.addr, hfJoinInFlight)
+	s.hs.joinTimer[h.addr].Cancel()
 	if h.cp == nil {
 		return
 	}
@@ -135,8 +137,8 @@ func (s *System) handleDirJoinTaken(h *host, m dirJoinTakenMsg) {
 // common key, become the directory, and rebuild the index from pushes
 // while answering early queries from our own store and view (§5.2).
 func (s *System) handleDirJoinAccept(h *host, m dirJoinAcceptMsg) {
-	h.joinInFlight = false
-	h.joinTimer.Cancel()
+	s.hs.clearFlag(h.addr, hfJoinInFlight)
+	s.hs.joinTimer[h.addr].Cancel()
 	if h.cp == nil || h.dir != nil || !s.net.Alive(h.addr) {
 		return
 	}
@@ -182,11 +184,11 @@ func (s *System) installDirectory(h *host, node *chord.Node, site model.SiteID, 
 	s.dirByKey[key] = h.addr
 	s.dirAddrs = append(s.dirAddrs, h.addr)
 	offset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TGossip)))
-	h.dirTicker = s.k.Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
+	s.hs.dirTicker[h.addr] = s.k.Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
 	s.startReplicationTicker(h)
-	if s.cfg.MaintenancePeriod > 0 && h.stabTicker == nil {
+	if s.cfg.MaintenancePeriod > 0 && s.hs.stabTicker[h.addr] == nil {
 		mo := simkernel.Time(s.rng.Int63n(int64(s.cfg.MaintenancePeriod)))
-		h.stabTicker = s.k.Every(mo, s.cfg.MaintenancePeriod, func() { s.maintainNode(h) })
+		s.hs.stabTicker[h.addr] = s.k.Every(mo, s.cfg.MaintenancePeriod, func() { s.maintainNode(h) })
 	}
 }
 
@@ -245,11 +247,11 @@ func (s *System) DirectoryLeave(site model.SiteID, loc int) bool {
 	// The old directory departs.
 	old.dir = nil
 	old.dirNode = nil
-	old.stopTickers()
+	s.hs.stopTimers(old.addr)
 	s.net.Fail(old.addr)
-	if old.accounted {
+	if s.hs.has(old.addr, hfAccounted) {
 		s.mets.PeerLeft(s.k.Now())
-		old.accounted = false
+		s.hs.clearFlag(old.addr, hfAccounted)
 	}
 	s.stats.DirReplacements++
 	s.traceDirHandoff(old.addr, best.addr, site, loc)
@@ -263,27 +265,27 @@ func (s *System) DirectoryLeave(site model.SiteID, loc int) bool {
 // content to the new directory.
 func (s *System) ChangeLocality(addr simnet.NodeID, newLoc int) bool {
 	h := s.hosts[addr]
-	if h == nil || h.isServer || h.dir != nil {
+	if h == nil || s.hs.has(addr, hfServer) || h.dir != nil {
 		return false
 	}
 	if newLoc < 0 || newLoc >= s.cfg.Localities {
 		return false
 	}
-	h.assignedLoc = newLoc
-	h.locOverridden = true
+	s.hs.assignedLoc[addr] = int32(newLoc)
+	s.hs.set(addr, hfLocOverride)
 	if h.cp != nil {
-		h.stash = h.cp.Objects()
+		s.hs.stash[addr] = h.cp.Objects()
 		h.cp = nil
-		if h.gossipTicker != nil {
-			h.gossipTicker.Stop()
-			h.gossipTicker = nil
+		if t := s.hs.gossipTicker[addr]; t != nil {
+			t.Stop()
+			s.hs.gossipTicker[addr] = nil
 		}
-		if h.kaTicker != nil {
-			h.kaTicker.Stop()
-			h.kaTicker = nil
+		if t := s.hs.kaTicker[addr]; t != nil {
+			t.Stop()
+			s.hs.kaTicker[addr] = nil
 		}
-		h.gossipTimeout.Cancel()
-		h.kaTimeout.Cancel()
+		s.hs.gossipTimeout[addr].Cancel()
+		s.hs.kaTimeout[addr].Cancel()
 		// Still an accounted participant; it rejoins on its next query.
 	}
 	return true

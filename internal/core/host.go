@@ -12,79 +12,25 @@ import (
 // host is one simulated process. A host can play several roles over its
 // lifetime: origin server, directory peer, content peer — and, after a
 // §5.2 replacement, directory and content peer at once.
+//
+// Only the cold, pointer-shaped protocol state lives here; the hot
+// per-host control fields (tickers, await tokens, timeout handles, role
+// bits, locality, stash) live in System.hs, a struct-of-arrays indexed by
+// addr — see hoststate.go.
 type host struct {
 	sys  *System
 	addr simnet.NodeID
-	loc  int // measured (landmark) locality
-
-	// assignedLoc overrides loc after a §5.4 locality change; 0-value
-	// means "use loc".
-	assignedLoc   int
-	locOverridden bool
 
 	// Roles.
-	isServer   bool
 	serverSite model.SiteID
 	cp         *overlay.ContentPeer
 	dir        *dring.Directory
 	dirNode    *chord.Node
-
-	// Content stashed across a locality change (§5.4): the peer keeps its
-	// objects and re-pushes them after rejoining.
-	stash []model.ObjectRef
-
-	// Tickers.
-	dirTicker    *simkernel.Ticker
-	gossipTicker *simkernel.Ticker
-	kaTicker     *simkernel.Ticker
-	stabTicker   *simkernel.Ticker
-	replTicker   *simkernel.Ticker
-
-	// Await tokens and their armed failure-detection timers. The handles
-	// let replies revoke the timeout outright; the tokens stay as a guard
-	// against replies racing a new round at the same instant.
-	gossipToken   uint64
-	gossipTimeout simkernel.TimerHandle
-	kaToken       uint64
-	kaTimeout     simkernel.TimerHandle
-	joinInFlight  bool
-	joinTimer     simkernel.TimerHandle
-
-	// dirInstance records which §5.3 directory instance this content peer
-	// belongs to (always 0 in the basic scheme).
-	dirInstance int
-
-	// Pre-boxed keepalive payloads: boxing a keepaliveMsg value into the
-	// network's `any` payload heap-allocates, so each host boxes its two
-	// constant probe messages once (lazily) and resends the same interface
-	// value every period.
-	kaPayload    any
-	kaAckPayload any
-
-	// accounted marks the host as a participant in the per-peer traffic
-	// average (joined content peers and active-site directories).
-	accounted bool
 }
 
-func (h *host) overlayLocality() int {
-	if h.locOverridden {
-		return h.assignedLoc
-	}
-	return h.loc
-}
+func (h *host) isServer() bool { return h.sys.hs.has(h.addr, hfServer) }
 
-// stopTickers cancels every periodic behaviour and armed one-shot timer
-// (on failure/leave), so a dead host leaves nothing in the event queue.
-func (h *host) stopTickers() {
-	for _, t := range []*simkernel.Ticker{h.dirTicker, h.gossipTicker, h.kaTicker, h.stabTicker, h.replTicker} {
-		if t != nil {
-			t.Stop()
-		}
-	}
-	h.gossipTimeout.Cancel()
-	h.kaTimeout.Cancel()
-	h.joinTimer.Cancel()
-}
+func (h *host) overlayLocality() int { return h.sys.hs.overlayLocality(h.addr) }
 
 // HandleMessage dispatches simulated datagrams to the protocol engines.
 func (h *host) HandleMessage(msg simnet.Message) {

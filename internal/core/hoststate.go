@@ -1,0 +1,167 @@
+package core
+
+import (
+	"flowercdn/internal/model"
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
+)
+
+// This file holds the per-host hot control-plane state as struct-of-arrays
+// owned by System, indexed by simnet.NodeID — the same dense-index layout
+// the content plane uses for interned objects. The dispatch loop and the
+// keepalive/gossip scans touch these flat slices instead of chasing a
+// pointer into a fat per-host struct: the fields a tick actually reads
+// (token, timeout handle, flags) sit contiguously across hosts, and the
+// cold protocol state (*overlay.ContentPeer, *dring.Directory) stays
+// behind the host pointer where only role transitions need it.
+
+// hostFlag packs the per-host role and latch bits.
+type hostFlag uint8
+
+const (
+	// hfServer marks an origin-server host (never fails, never joins).
+	hfServer hostFlag = 1 << iota
+	// hfLocOverride marks a §5.4 locality change: assignedLoc replaces the
+	// measured locality.
+	hfLocOverride
+	// hfAccounted marks a participant of the per-peer traffic average.
+	hfAccounted
+	// hfJoinInFlight latches an outstanding §5.2 directory-join request.
+	hfJoinInFlight
+)
+
+// hostSoA carries one entry per underlay node in every slice; a host's
+// state lives at index host.addr across all of them.
+type hostSoA struct {
+	flags       []hostFlag
+	loc         []int32 // measured (landmark) locality
+	assignedLoc []int32 // §5.4 override, valid when hfLocOverride is set
+	dirInstance []int32 // §5.3 directory instance this content peer belongs to
+
+	// Await tokens, their armed failure-detection timers, and the pending
+	// gossip partner. The handles let replies revoke the timeout outright;
+	// the tokens stay as a guard against replies racing a new round at the
+	// same instant. Storing the gossip target here lets the timeout fire
+	// through a long-lived bound callback (no per-tick closure).
+	gossipToken   []uint32
+	gossipTarget  []simnet.NodeID
+	gossipTimeout []simkernel.TimerHandle
+	kaToken       []uint32
+	kaTimeout     []simkernel.TimerHandle
+	joinTimer     []simkernel.TimerHandle
+
+	// Tickers (periodic behaviours), armed per role.
+	dirTicker    []*simkernel.Ticker
+	gossipTicker []*simkernel.Ticker
+	kaTicker     []*simkernel.Ticker
+	stabTicker   []*simkernel.Ticker
+	replTicker   []*simkernel.Ticker
+
+	// Pre-boxed keepalive payloads: boxing a keepaliveMsg value into the
+	// network's `any` payload heap-allocates, so each host boxes its two
+	// constant probe messages once (lazily) and resends the same interface
+	// value every period.
+	kaPayload    []any
+	kaAckPayload []any
+
+	// Content stashed across a locality change (§5.4): the peer keeps its
+	// objects and re-pushes them after rejoining.
+	stash [][]model.ObjectRef
+}
+
+func newHostSoA(n int) hostSoA {
+	return hostSoA{
+		flags:         make([]hostFlag, n),
+		loc:           make([]int32, n),
+		assignedLoc:   make([]int32, n),
+		dirInstance:   make([]int32, n),
+		gossipToken:   make([]uint32, n),
+		gossipTarget:  make([]simnet.NodeID, n),
+		gossipTimeout: make([]simkernel.TimerHandle, n),
+		kaToken:       make([]uint32, n),
+		kaTimeout:     make([]simkernel.TimerHandle, n),
+		joinTimer:     make([]simkernel.TimerHandle, n),
+		dirTicker:     make([]*simkernel.Ticker, n),
+		gossipTicker:  make([]*simkernel.Ticker, n),
+		kaTicker:      make([]*simkernel.Ticker, n),
+		stabTicker:    make([]*simkernel.Ticker, n),
+		replTicker:    make([]*simkernel.Ticker, n),
+		kaPayload:     make([]any, n),
+		kaAckPayload:  make([]any, n),
+		stash:         make([][]model.ObjectRef, n),
+	}
+}
+
+func (hs *hostSoA) has(a simnet.NodeID, f hostFlag) bool { return hs.flags[a]&f != 0 }
+func (hs *hostSoA) set(a simnet.NodeID, f hostFlag)      { hs.flags[a] |= f }
+func (hs *hostSoA) clearFlag(a simnet.NodeID, f hostFlag) {
+	hs.flags[a] &^= f
+}
+
+// overlayLocality resolves the effective locality of a host: the measured
+// one, unless a §5.4 change overrode it.
+func (hs *hostSoA) overlayLocality(a simnet.NodeID) int {
+	if hs.has(a, hfLocOverride) {
+		return int(hs.assignedLoc[a])
+	}
+	return int(hs.loc[a])
+}
+
+// stopTimers cancels every periodic behaviour and armed one-shot timer of
+// a host (on failure/leave), so a dead host leaves nothing in the event
+// queue.
+func (hs *hostSoA) stopTimers(a simnet.NodeID) {
+	for _, t := range [...]*simkernel.Ticker{
+		hs.dirTicker[a], hs.gossipTicker[a], hs.kaTicker[a], hs.stabTicker[a], hs.replTicker[a],
+	} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	hs.gossipTimeout[a].Cancel()
+	hs.kaTimeout[a].Cancel()
+	hs.joinTimer[a].Cancel()
+}
+
+// packAddrTok encodes (host address, await token) into the uint64 argument
+// of an AfterArg-scheduled failure-detection timeout: low 32 bits the
+// address, high 32 the token the timeout was armed with.
+func packAddrTok(a simnet.NodeID, tok uint32) uint64 {
+	return uint64(uint32(a)) | uint64(tok)<<32
+}
+
+func unpackAddrTok(arg uint64) (simnet.NodeID, uint32) {
+	return simnet.NodeID(uint32(arg)), uint32(arg >> 32)
+}
+
+// onGossipTimeout fires when a gossip partner stayed silent past the
+// failure-detection deadline: drop the contact (§5.1). A reply or reject
+// cancels the armed timer; the token comparison is the second line of
+// defence for same-instant races.
+func (s *System) onGossipTimeout(arg uint64) {
+	addr, tok := unpackAddrTok(arg)
+	if s.hs.gossipToken[addr] != tok {
+		return
+	}
+	if h := s.hosts[addr]; h != nil && h.cp != nil {
+		h.cp.RemoveContact(s.hs.gossipTarget[addr])
+	}
+}
+
+// onKaTimeout fires when the directory ignored a keepalive probe: start
+// the §5.2 replacement protocol.
+func (s *System) onKaTimeout(arg uint64) {
+	addr, tok := unpackAddrTok(arg)
+	if s.hs.kaToken[addr] != tok {
+		return
+	}
+	if h := s.hosts[addr]; h != nil && h.cp != nil {
+		s.onDirectoryUnreachable(h)
+	}
+}
+
+// onJoinLatchExpired clears the in-flight directory-join latch when the
+// request was lost in a broken ring; an answer cancels this timer.
+func (s *System) onJoinLatchExpired(arg uint64) {
+	s.hs.clearFlag(simnet.NodeID(uint32(arg)), hfJoinInFlight)
+}

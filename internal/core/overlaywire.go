@@ -23,19 +23,25 @@ func overlayPush(from simnet.NodeID, added []model.ObjectRef) overlay.PushMsg {
 // (§5.1). Phases are randomised so overlays do not synchronise.
 func (s *System) startContentPeerTickers(h *host) {
 	gOffset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TGossip)))
-	h.gossipTicker = s.k.Every(gOffset, s.cfg.TGossip, func() { s.gossipTick(h) })
+	s.hs.gossipTicker[h.addr] = s.k.Every(gOffset, s.cfg.TGossip, func() { s.gossipTick(h) })
 	kOffset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TKeepalive)))
-	h.kaTicker = s.k.Every(kOffset, s.cfg.TKeepalive, func() { s.keepaliveTick(h) })
+	s.hs.kaTicker[h.addr] = s.k.Every(kOffset, s.cfg.TKeepalive, func() { s.keepaliveTick(h) })
 }
 
-// gossipTick is the active behaviour of Algorithm 4.
+// gossipTick is the active behaviour of Algorithm 4. In steady state it
+// allocates nothing: the envelope and its view-subset buffer come from the
+// System pools, and the failure-detection timeout is armed through the
+// kernel's AfterArg path with a callback bound once at construction.
 func (s *System) gossipTick(h *host) {
 	if h.cp == nil || !s.net.Alive(h.addr) {
 		return
 	}
 	h.cp.TickAges()
 	h.cp.DropOldContacts(s.cfg.TDead)
-	target, m, ok := h.cp.MakeGossip(s.rng)
+	if h.cp.View().Len() == 0 {
+		return // nobody to gossip with (and no subset buffer to waste)
+	}
+	target, m, ok := h.cp.MakeGossip(s.rng, s.takeSubsetBuf())
 	if !ok {
 		return
 	}
@@ -43,25 +49,23 @@ func (s *System) gossipTick(h *host) {
 	s.net.Send(h.addr, target, simnet.CatGossip, bytesGossipHdr+m.WireBytes(), wrapped)
 	// Failure detection: no answer within the deadline ⇒ drop the contact.
 	// The reply (or a reject) cancels the armed timer.
-	h.gossipToken++
-	tok := h.gossipToken
-	h.gossipTimeout.Cancel()
-	h.gossipTimeout = s.k.After(s.timeout(h.addr, target), func() {
-		if h.gossipToken == tok && h.cp != nil {
-			h.cp.RemoveContact(target)
-		}
-	})
+	s.hs.gossipToken[h.addr]++
+	s.hs.gossipTarget[h.addr] = target
+	s.hs.gossipTimeout[h.addr].Cancel()
+	s.hs.gossipTimeout[h.addr] = s.k.AfterArg(s.timeout(h.addr, target),
+		s.gossipTimeoutFn, packAddrTok(h.addr, s.hs.gossipToken[h.addr]))
 }
 
-// handleGossip covers both directions of an exchange. The envelope is
-// recycled to the pool on every path out, so it must not be touched after
-// this function returns (the overlay copies what it keeps during merge).
+// handleGossip covers both directions of an exchange. The envelope (and
+// the subset buffer inside it) is recycled to the pools on every path out,
+// so it must not be touched after this function returns (the overlay
+// copies what it keeps during merge).
 func (s *System) handleGossip(h *host, wrapped *gossipMsg) {
 	m := wrapped.M
 	if m.IsReply {
 		// Completion of our active round: disarm failure detection.
-		h.gossipToken++
-		h.gossipTimeout.Cancel()
+		s.hs.gossipToken[h.addr]++
+		s.hs.gossipTimeout[h.addr].Cancel()
 		if h.cp != nil && h.cp.Site() == wrapped.Site && h.cp.Locality() == wrapped.Loc {
 			h.cp.ApplyGossipReply(m)
 		}
@@ -76,15 +80,15 @@ func (s *System) handleGossip(h *host, wrapped *gossipMsg) {
 		s.net.Send(h.addr, m.From, simnet.CatGossip, bytesKeepalive, gossipRejectMsg{From: h.addr})
 		return
 	}
-	reply := h.cp.AcceptGossip(m, s.rng)
+	reply := h.cp.AcceptGossip(m, s.rng, s.takeSubsetBuf())
 	rw := s.newGossipMsg(wrapped.Site, wrapped.Loc, reply)
 	s.putGossipMsg(wrapped)
 	s.net.Send(h.addr, m.From, simnet.CatGossip, bytesGossipHdr+reply.WireBytes(), rw)
 }
 
 func (s *System) handleGossipReject(h *host, m gossipRejectMsg) {
-	h.gossipToken++
-	h.gossipTimeout.Cancel()
+	s.hs.gossipToken[h.addr]++
+	s.hs.gossipTimeout[h.addr].Cancel()
 	if h.cp != nil {
 		h.cp.RemoveContact(m.From)
 	}
@@ -126,7 +130,8 @@ func (s *System) handlePush(h *host, m pushMsg) {
 
 // keepaliveTick sends the §5.1 liveness probe to the directory and arms
 // failure detection (§5.2: failures are noticed "while sending keepalive
-// or push messages").
+// or push messages"). Allocation-free in steady state: the probe payload
+// is pre-boxed per host and the timeout rides AfterArg.
 func (s *System) keepaliveTick(h *host) {
 	if h.cp == nil || !s.net.Alive(h.addr) {
 		return
@@ -135,18 +140,14 @@ func (s *System) keepaliveTick(h *host) {
 	if !d.Known || d.Addr == h.addr {
 		return
 	}
-	if h.kaPayload == nil {
-		h.kaPayload = keepaliveMsg{From: h.addr}
+	if s.hs.kaPayload[h.addr] == nil {
+		s.hs.kaPayload[h.addr] = keepaliveMsg{From: h.addr}
 	}
-	s.net.Send(h.addr, d.Addr, simnet.CatKeepalive, bytesKeepalive, h.kaPayload)
-	h.kaToken++
-	tok := h.kaToken
-	h.kaTimeout.Cancel()
-	h.kaTimeout = s.k.After(s.timeout(h.addr, d.Addr), func() {
-		if h.kaToken == tok && h.cp != nil {
-			s.onDirectoryUnreachable(h)
-		}
-	})
+	s.net.Send(h.addr, d.Addr, simnet.CatKeepalive, bytesKeepalive, s.hs.kaPayload[h.addr])
+	s.hs.kaToken[h.addr]++
+	s.hs.kaTimeout[h.addr].Cancel()
+	s.hs.kaTimeout[h.addr] = s.k.AfterArg(s.timeout(h.addr, d.Addr),
+		s.kaTimeoutFn, packAddrTok(h.addr, s.hs.kaToken[h.addr]))
 }
 
 func (s *System) handleKeepalive(h *host, m keepaliveMsg) {
@@ -154,15 +155,15 @@ func (s *System) handleKeepalive(h *host, m keepaliveMsg) {
 		return // not a directory (any more): silence triggers replacement
 	}
 	h.dir.Keepalive(m.From)
-	if h.kaAckPayload == nil {
-		h.kaAckPayload = keepaliveAckMsg{From: h.addr}
+	if s.hs.kaAckPayload[h.addr] == nil {
+		s.hs.kaAckPayload[h.addr] = keepaliveAckMsg{From: h.addr}
 	}
-	s.net.Send(h.addr, m.From, simnet.CatKeepalive, bytesKeepalive, h.kaAckPayload)
+	s.net.Send(h.addr, m.From, simnet.CatKeepalive, bytesKeepalive, s.hs.kaAckPayload[h.addr])
 }
 
 func (s *System) handleKeepaliveAck(h *host, m keepaliveAckMsg) {
-	h.kaToken++
-	h.kaTimeout.Cancel()
+	s.hs.kaToken[h.addr]++
+	s.hs.kaTimeout[h.addr].Cancel()
 	if h.cp != nil {
 		h.cp.RefreshDir()
 	}

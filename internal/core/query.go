@@ -283,7 +283,7 @@ func (s *System) dirRedirect(h *host, q *Query, holder simnet.NodeID, forwarded 
 // handleRedirect runs at the believed holder (content peer or server).
 func (s *System) handleRedirect(h *host, m redirectMsg) {
 	q := m.Q
-	if h.isServer {
+	if h.isServer() {
 		s.serveQuery(h, q, q.atRemote, false)
 		return
 	}
@@ -423,16 +423,16 @@ func (s *System) handleServe(h *host, m serveMsg) {
 func (s *System) joinFounder(h *host, q *Query) {
 	now := s.k.Now()
 	h.cp = newContentPeerFor(h, q.Site, q.OriginLoc, s.cfg.Gossip, now)
-	h.dirInstance = q.targetInstance
-	if len(h.stash) > 0 {
-		for _, obj := range h.stash {
+	s.hs.dirInstance[h.addr] = int32(q.targetInstance)
+	if stash := s.hs.stash[h.addr]; len(stash) > 0 {
+		for _, obj := range stash {
 			h.cp.AddObject(obj)
 		}
-		h.stash = nil
+		s.hs.stash[h.addr] = nil
 	}
-	if !h.accounted {
+	if !s.hs.has(h.addr, hfAccounted) {
 		s.mets.PeerJoined(now)
-		h.accounted = true
+		s.hs.set(h.addr, hfAccounted)
 	}
 	s.stats.Joins++
 	s.traceJoined(q, h, -1, true)
@@ -445,7 +445,7 @@ func (s *System) joinOverlay(h *host, q *Query, m serveMsg) {
 	now := s.k.Now()
 	h.cp = newContentPeerFor(h, q.Site, q.OriginLoc, s.cfg.Gossip, now)
 	h.cp.SetDir(q.handlerDir)
-	h.dirInstance = q.targetInstance
+	s.hs.dirInstance[h.addr] = int32(q.targetInstance)
 	if len(m.ViewSeed) > 0 {
 		h.cp.SeedView(m.ViewSeed)
 	} else if len(q.dirSeed) > 0 {
@@ -453,15 +453,15 @@ func (s *System) joinOverlay(h *host, q *Query, m serveMsg) {
 		// index, without summaries (§4.2).
 		h.cp.SeedView(q.dirSeed)
 	}
-	if len(h.stash) > 0 {
-		for _, obj := range h.stash {
+	if stash := s.hs.stash[h.addr]; len(stash) > 0 {
+		for _, obj := range stash {
 			h.cp.AddObject(obj)
 		}
-		h.stash = nil
+		s.hs.stash[h.addr] = nil
 	}
-	if !h.accounted {
+	if !s.hs.has(h.addr, hfAccounted) {
 		s.mets.PeerJoined(now)
-		h.accounted = true
+		s.hs.set(h.addr, hfAccounted)
 	}
 	s.stats.Joins++
 	s.traceJoined(q, h, q.handlerDir, false)
@@ -472,6 +472,9 @@ func (s *System) joinOverlay(h *host, q *Query, m serveMsg) {
 // but cannot have served locally: random index members, ages included,
 // summaries absent (§4.2).
 func (s *System) dirViewSeed(h *host, exclude simnet.NodeID) []gossip.Entry {
+	if s.cfg.SparseSeeds {
+		return s.sparseDirViewSeed(h, exclude)
+	}
 	members := h.dir.Members()
 	s.rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
 	var seed []gossip.Entry
@@ -483,6 +486,37 @@ func (s *System) dirViewSeed(h *host, exclude simnet.NodeID) []gossip.Entry {
 		if len(seed) >= s.cfg.Gossip.GossipLen {
 			break
 		}
+	}
+	return seed
+}
+
+// sparseDirViewSeed is the Config.SparseSeeds variant: up to L_gossip
+// distinct members sampled with O(L_gossip) bounded draws against the
+// directory's member list — no membership snapshot, no full shuffle. The
+// oversampling bound keeps the cost constant even when the index is
+// smaller than the requested seed or dominated by the excluded client.
+func (s *System) sparseDirViewSeed(h *host, exclude simnet.NodeID) []gossip.Entry {
+	n := h.dir.MemberCount()
+	if n == 0 {
+		return nil
+	}
+	want := s.cfg.Gossip.GossipLen
+	if want > n {
+		want = n
+	}
+	var seed []gossip.Entry
+draws:
+	for tries := 0; tries < 4*want && len(seed) < want; tries++ {
+		m := h.dir.MemberAt(s.rng.Intn(n))
+		if m == exclude {
+			continue
+		}
+		for _, e := range seed {
+			if e.Node == m {
+				continue draws
+			}
+		}
+		seed = append(seed, gossip.Entry{Node: m, Age: 0})
 	}
 	return seed
 }

@@ -20,11 +20,11 @@ import (
 // startReplicationTicker arms the periodic offer behaviour on a directory
 // host (called from system construction and directory installation).
 func (s *System) startReplicationTicker(h *host) {
-	if s.cfg.ReplicationTopK <= 0 || h.replTicker != nil {
+	if s.cfg.ReplicationTopK <= 0 || s.hs.replTicker[h.addr] != nil {
 		return
 	}
 	offset := simkernel.Time(s.rng.Int63n(int64(s.cfg.ReplicationPeriod)))
-	h.replTicker = s.k.Every(offset, s.cfg.ReplicationPeriod, func() { s.replicationTick(h) })
+	s.hs.replTicker[h.addr] = s.k.Every(offset, s.cfg.ReplicationPeriod, func() { s.replicationTick(h) })
 }
 
 // replicationTick runs at a directory: offer the top-K requested objects

@@ -6,6 +6,7 @@ import (
 
 	"flowercdn/internal/chord"
 	"flowercdn/internal/dring"
+	"flowercdn/internal/gossip"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/model"
 	"flowercdn/internal/overlay"
@@ -42,7 +43,12 @@ type System struct {
 	ks   dring.KeySpec
 	ring *chord.Ring
 
-	hosts     []*host // indexed by simnet.NodeID; nil = not part of the system
+	hosts []*host // indexed by simnet.NodeID; nil = not part of the system
+	// hs is the per-host hot control-plane state, struct-of-arrays indexed
+	// by simnet.NodeID (see hoststate.go): the dispatch loop and the
+	// keepalive/gossip scans walk these flat slices instead of chasing
+	// per-host pointers.
+	hs        hostSoA
 	dirAddrs  []simnet.NodeID
 	dirByKey  map[chord.ID]simnet.NodeID
 	widBySite map[model.SiteID]uint64
@@ -58,6 +64,16 @@ type System struct {
 	// reuse records instead of allocating. Envelopes lost to dead receivers
 	// simply never come back — the pool refills on the next allocation.
 	gossipPool []*gossipMsg
+	// subsetPool recycles the view-subset slices travelling inside gossip
+	// envelopes, reclaimed together with their envelope.
+	subsetPool [][]gossip.Entry
+
+	// Long-lived bound callbacks for the AfterArg-scheduled
+	// failure-detection timeouts (see hoststate.go): bound once here so
+	// arming a timeout never builds a closure.
+	gossipTimeoutFn func(uint64)
+	kaTimeoutFn     func(uint64)
+	joinLatchFn     func(uint64)
 
 	tracer trace.Tracer
 	stats  Stats
@@ -77,11 +93,30 @@ func (s *System) newGossipMsg(site model.SiteID, loc int, m overlay.GossipMsg) *
 	return g
 }
 
-// putGossipMsg returns a fully-handled envelope to the pool. The handler
-// must not retain any reference to it or its M field afterwards.
+// putGossipMsg returns a fully-handled envelope — and the view-subset
+// buffer travelling inside it — to their pools. The handler must not
+// retain any reference to the envelope or its M field afterwards.
 func (s *System) putGossipMsg(g *gossipMsg) {
+	if sub := g.M.ViewSubset; cap(sub) > 0 {
+		for i := range sub {
+			sub[i] = gossip.Entry{} // do not pin summaries while pooled
+		}
+		s.subsetPool = append(s.subsetPool, sub[:0])
+	}
 	*g = gossipMsg{} // release the view-subset slice and summary pointers
 	s.gossipPool = append(s.gossipPool, g)
+}
+
+// takeSubsetBuf takes an empty view-subset buffer from the pool (nil when
+// the pool is dry: the subset builder then allocates one that will join
+// the pool once its exchange completes).
+func (s *System) takeSubsetBuf() []gossip.Entry {
+	if n := len(s.subsetPool); n > 0 {
+		b := s.subsetPool[n-1]
+		s.subsetPool = s.subsetPool[:n-1]
+		return b
+	}
+	return nil
 }
 
 // trace emits a protocol event when tracing is enabled.
@@ -135,6 +170,7 @@ func New(cfg Config, deps Deps) (*System, error) {
 		ks:        ks,
 		ring:      chord.NewRing(chord.Config{Bits: cfg.DRingBits, SuccessorList: 8}),
 		hosts:     make([]*host, deps.Topo.NumNodes()),
+		hs:        newHostSoA(deps.Topo.NumNodes()),
 		dirByKey:  make(map[chord.ID]simnet.NodeID),
 		widBySite: make(map[model.SiteID]uint64),
 		servers:   make(map[model.SiteID]simnet.NodeID),
@@ -142,6 +178,9 @@ func New(cfg Config, deps Deps) (*System, error) {
 		tracer:    deps.Tracer,
 	}
 	s.net.SetSink(deps.Metrics)
+	s.gossipTimeoutFn = s.onGossipTimeout
+	s.kaTimeoutFn = s.onKaTimeout
+	s.joinLatchFn = s.onJoinLatchExpired
 
 	if err := s.assignWebsiteIDs(); err != nil {
 		return nil, err
@@ -188,7 +227,9 @@ func (s *System) placeServers() error {
 	for i, site := range s.cfg.Sites {
 		addr := uniform[i]
 		s.servers[site] = addr
-		h := &host{sys: s, addr: addr, loc: s.topo.LocalityOf(addr), serverSite: site, isServer: true}
+		h := &host{sys: s, addr: addr, serverSite: site}
+		s.hs.loc[addr] = int32(s.topo.LocalityOf(addr))
+		s.hs.set(addr, hfServer)
 		s.hosts[addr] = h
 		s.net.Register(addr, h)
 	}
@@ -235,12 +276,13 @@ func (s *System) placeDirectoriesAndPools() error {
 				if err != nil {
 					return fmt.Errorf("core: directory key collision for %s/%d: %w", site, loc, err)
 				}
-				h := &host{sys: s, addr: addr, loc: loc, dirNode: node}
+				h := &host{sys: s, addr: addr, dirNode: node}
+				s.hs.loc[addr] = int32(loc)
 				h.dir = dring.NewDirectory(site, wid, loc, key,
 					s.cfg.MaxOverlaySize, s.cfg.ObjectsPerSite, s.cfg.DirSummaryThreshold, s.in)
 				if active[site] {
 					// Active-site directories are accounted participants from t=0.
-					h.accounted = true
+					s.hs.set(addr, hfAccounted)
 					s.mets.PeerJoined(s.k.Now())
 				}
 				s.hosts[addr] = h
@@ -261,7 +303,8 @@ func (s *System) placeDirectoriesAndPools() error {
 				if err != nil {
 					return err
 				}
-				h := &host{sys: s, addr: addr, loc: loc}
+				h := &host{sys: s, addr: addr}
+				s.hs.loc[addr] = int32(loc)
 				s.hosts[addr] = h
 				s.net.Register(addr, h)
 				s.pools[si][loc] = append(s.pools[si][loc], addr)
@@ -275,7 +318,7 @@ func (s *System) startDirectoryTickers() {
 	for _, addr := range s.dirAddrs {
 		h := s.hosts[addr]
 		offset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TGossip)))
-		h.dirTicker = s.k.Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
+		s.hs.dirTicker[addr] = s.k.Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
 		s.startReplicationTicker(h)
 	}
 }
@@ -286,7 +329,7 @@ func (s *System) startMaintenance(period simkernel.Time) {
 	for _, addr := range s.dirAddrs {
 		h := s.hosts[addr]
 		offset := simkernel.Time(s.rng.Int63n(int64(period)))
-		h.stabTicker = s.k.Every(offset, period, func() { s.maintainNode(h) })
+		s.hs.stabTicker[addr] = s.k.Every(offset, period, func() { s.maintainNode(h) })
 	}
 }
 

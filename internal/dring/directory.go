@@ -17,6 +17,10 @@ type IndexEntry struct {
 	Node    simnet.NodeID
 	Age     int
 	Objects bitset.Set
+
+	// pos is the entry's slot in the directory's member list (maintained by
+	// entry/RemovePeer; meaningless on exported snapshots).
+	pos int
 }
 
 // Directory is the state of one directory peer d(ws,loc): the complete
@@ -41,6 +45,10 @@ type Directory struct {
 	maxOverlay int // S_co: directory refuses new members beyond this
 
 	index map[simnet.NodeID]*IndexEntry
+	// memberList mirrors the index keys in admission order (swap-removed on
+	// eviction): O(1) membership sampling for the sparse view-seed path and
+	// a map-free Members snapshot. Entries carry their list position.
+	memberList []simnet.NodeID
 
 	// holders[i] lists the indexed peers holding local object i, kept
 	// sorted ascending so lookups need no sort and stay allocation-free.
@@ -130,13 +138,19 @@ func (d *Directory) HasPeer(node simnet.NodeID) bool {
 
 // Members returns the indexed content peers in ascending node order.
 func (d *Directory) Members() []simnet.NodeID {
-	out := make([]simnet.NodeID, 0, len(d.index))
-	for n := range d.index {
-		out = append(out, n)
-	}
+	out := make([]simnet.NodeID, len(d.memberList))
+	copy(out, d.memberList)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// MemberCount returns the number of indexed content peers (= Size).
+func (d *Directory) MemberCount() int { return len(d.memberList) }
+
+// MemberAt returns the i'th member in admission order (positions shift on
+// removal): with MemberCount, the O(1) access the sparse view-seed sampler
+// draws from instead of materialising and shuffling the whole membership.
+func (d *Directory) MemberAt(i int) simnet.NodeID { return d.memberList[i] }
 
 // local maps a ref to the site's dense index. Refs of other sites map
 // outside [0, nObj); callers treat them as not-indexed (the string-keyed
@@ -154,8 +168,9 @@ func (d *Directory) inRange(ref model.ObjectRef) bool {
 func (d *Directory) entry(node simnet.NodeID) *IndexEntry {
 	e, ok := d.index[node]
 	if !ok {
-		e = &IndexEntry{Node: node, Objects: bitset.New(d.nObj)}
+		e = &IndexEntry{Node: node, Objects: bitset.New(d.nObj), pos: len(d.memberList)}
 		d.index[node] = e
+		d.memberList = append(d.memberList, node)
 	}
 	return e
 }
@@ -263,6 +278,12 @@ func (d *Directory) RemovePeer(node simnet.NodeID) {
 		return
 	}
 	e.Objects.ForEach(func(i int) { d.removeHolder(i, node) })
+	// Swap-remove from the member list, patching the moved entry's position.
+	last := len(d.memberList) - 1
+	moved := d.memberList[last]
+	d.memberList[e.pos] = moved
+	d.index[moved].pos = e.pos
+	d.memberList = d.memberList[:last]
 	delete(d.index, node)
 }
 
@@ -461,6 +482,7 @@ func (d *Directory) ExportEntries() []IndexEntry {
 // ImportEntries loads a transferred index (replacing any current content).
 func (d *Directory) ImportEntries(entries []IndexEntry) {
 	d.index = make(map[simnet.NodeID]*IndexEntry, len(entries))
+	d.memberList = d.memberList[:0]
 	d.holders = make([][]simnet.NodeID, d.nObj)
 	d.heldDistinct = 0
 	for _, e := range entries {

@@ -140,17 +140,40 @@ func (v *View) SelectOldest() (Entry, bool) {
 }
 
 // SelectSubset returns up to l random distinct entries (the view subset of
-// length L_gossip exchanged each round). Selection is a partial
-// Fisher–Yates over a reusable index buffer — l draws from rng instead of
-// rng.Perm's n fresh ints — so only the returned slice is allocated (it
-// escapes into the outgoing gossip message and cannot be pooled here).
+// length L_gossip exchanged each round) in a fresh slice. It is
+// SelectSubsetAppend without a reuse buffer; callers on the gossip hot
+// path (whose subset escapes into an outgoing message they later get
+// back) pool their buffers through the append variant instead.
 func (v *View) SelectSubset(rng *rand.Rand, l int) []Entry {
 	if l <= 0 || len(v.entries) == 0 {
 		return nil
 	}
+	return v.SelectSubsetAppend(rng, l, nil)
+}
+
+// SelectSubsetAppend appends up to l random distinct entries to dst and
+// returns the extended slice (allocation-free once dst has capacity).
+// Selection is a partial Fisher–Yates over a reusable index buffer — l
+// draws from rng instead of rng.Perm's n fresh ints — and draws exactly
+// the same rng sequence as SelectSubset for any given view.
+func (v *View) SelectSubsetAppend(rng *rand.Rand, l int, dst []Entry) []Entry {
+	if l <= 0 || len(v.entries) == 0 {
+		return dst
+	}
 	n := len(v.entries)
+	want := l
+	if want > n {
+		want = n
+	}
+	// One right-sized growth when dst is short (e.g. nil from the
+	// compatibility wrapper) instead of append's doubling crawl.
+	if cap(dst)-len(dst) < want {
+		grown := make([]Entry, len(dst), len(dst)+want)
+		copy(grown, dst)
+		dst = grown
+	}
 	if l >= n {
-		return v.Entries()
+		return append(dst, v.entries...)
 	}
 	if cap(v.idx) < n {
 		v.idx = make([]int32, n)
@@ -175,11 +198,10 @@ func (v *View) SelectSubset(rng *rand.Rand, l int) []Entry {
 		}
 		sel[j+1] = x
 	}
-	out := make([]Entry, 0, l)
 	for _, i := range sel {
-		out = append(out, v.entries[i])
+		dst = append(dst, v.entries[i])
 	}
-	return out
+	return dst
 }
 
 // Insert adds or refreshes a single entry, keeping the freshest instance,

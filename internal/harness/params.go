@@ -50,6 +50,11 @@ type Params struct {
 	// Protocol variants.
 	QueryPolicy  core.QueryPolicy
 	InstanceBits uint // §5.3 scale-up
+	// SparseSeeds switches the directory view seed to O(L_gossip) sampling
+	// (core.Config.SparseSeeds): constant per-join work instead of a scan
+	// and shuffle of the whole overlay membership. Different RNG draws than
+	// the dense path, so only the 100k-scale presets turn it on.
+	SparseSeeds bool
 	// Active replication (§8 extension): top-K popular objects offered to
 	// sibling overlays each gossip period. 0 = off (the paper's tables).
 	ReplicationTopK int
@@ -134,6 +139,58 @@ func ScaledParams(seed int64) Params {
 	return p
 }
 
+// Massive100kParams returns the 100,000-client stress preset: an order of
+// magnitude past the paper's §6 evaluation (5000 nodes), aimed at the
+// control-plane scale wall rather than at reproducing a figure. The shape
+// trades per-peer state for population: sparse gossip views (V_gossip=8,
+// L_gossip=3), lazily rebuilt summaries over a compact object universe,
+// S_co sized so whole pools can join, and O(L_gossip) directory view
+// seeding (SparseSeeds) so admissions stay constant-work as overlays grow
+// to thousands of members. Topology generation and system construction
+// are O(population); nothing touches an all-pairs structure.
+func Massive100kParams(seed int64) Params {
+	p := DefaultParams(seed)
+	p.Duration = 2 * simkernel.Hour
+	p.QueryRate = 100
+	p.Localities = 10
+	p.Websites = 20
+	p.ActiveSites = 10
+	p.ObjectsPerSite = 100
+	p.MaxOverlaySize = 2100 // above the largest per-(site,loc) pool: all may join
+	p.ClientsPerSite = 10000
+	p.TopoNodes = 102000
+	p.UniformNodes = 500
+	p.TGossip = 30 * simkernel.Minute
+	p.TKeepalive = 30 * simkernel.Minute
+	p.ViewSize = 8 // sparse views: per-peer gossip state stays tiny
+	p.GossipLen = 3
+	p.BucketWidth = 30 * simkernel.Minute
+	p.SparseSeeds = true
+	return p
+}
+
+// ShrunkMassiveParams is the CI-runnable shrunk variant of
+// Massive100kParams: the same shape and knobs (sparse views, sparse
+// seeding, compact object universe) at 5,000 clients and 30 simulated
+// minutes, so the preset's code paths are exercised — and pinned by the
+// equivalence fixture — in seconds.
+func ShrunkMassiveParams(seed int64) Params {
+	p := Massive100kParams(seed)
+	p.Duration = 30 * simkernel.Minute
+	p.QueryRate = 30
+	p.Localities = 5
+	p.Websites = 10
+	p.ActiveSites = 5
+	p.ClientsPerSite = 1000
+	p.MaxOverlaySize = 300
+	p.TopoNodes = 5800
+	p.UniformNodes = 200
+	p.TGossip = 5 * simkernel.Minute
+	p.TKeepalive = 5 * simkernel.Minute
+	p.BucketWidth = 10 * simkernel.Minute
+	return p
+}
+
 // BuildPools apportions each active website's potential clients over the
 // localities by weight, capping each pool at S_co. This reproduces §6.1:
 // "content overlays of a given website evolve at different rhythms and
@@ -207,6 +264,7 @@ func (p Params) CoreConfig(pools [][]int) core.Config {
 	cfg.TKeepalive = p.TKeepalive
 	cfg.TDead = p.TDead
 	cfg.QueryPolicy = p.QueryPolicy
+	cfg.SparseSeeds = p.SparseSeeds
 	cfg.ReplicationTopK = p.ReplicationTopK
 	if p.ChurnPerHour > 0 {
 		cfg.MaintenancePeriod = p.MaintenancePeriod

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"flowercdn/internal/core"
 	"flowercdn/internal/metrics"
@@ -31,6 +32,30 @@ type Result struct {
 	Report metrics.Report
 	Stats  core.Stats // zero for Squirrel
 	Params Params
+
+	// Events counts the kernel events processed by the run (deterministic
+	// per seed); WallSeconds is the wall-clock time Kernel.Run took (not
+	// deterministic — excluded from the equivalence fixture). Their ratio
+	// is the simulator-throughput datapoint charted against population.
+	Events      uint64
+	WallSeconds float64
+}
+
+// EventsPerSecond returns the simulator throughput of the run (kernel
+// events per wall-clock second); 0 when the run was too fast to time.
+func (r Result) EventsPerSecond() float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.WallSeconds
+}
+
+// timedRun drives the kernel for the configured duration, returning the
+// processed-event count and wall-clock seconds.
+func timedRun(k *simkernel.Kernel, d simkernel.Time) (uint64, float64) {
+	start := time.Now()
+	events := k.Run(d)
+	return events, time.Since(start).Seconds()
 }
 
 // RunFlower executes a full Flower-CDN experiment.
@@ -81,12 +106,14 @@ func RunFlowerTraced(p Params, traceCapacity int) (Result, *trace.Buffer, error)
 			}
 		})
 	}
-	kernel.Run(p.Duration)
+	events, wall := timedRun(kernel, p.Duration)
 	return Result{
-		Kind:   KindFlower,
-		Report: mets.Snapshot(p.Duration),
-		Stats:  sys.Stats(),
-		Params: p,
+		Kind:        KindFlower,
+		Report:      mets.Snapshot(p.Duration),
+		Stats:       sys.Stats(),
+		Params:      p,
+		Events:      events,
+		WallSeconds: wall,
 	}, buf, nil
 }
 
@@ -117,11 +144,13 @@ func RunSquirrel(p Params) (Result, error) {
 			failRandomSquirrelPeer(sys, p, pools, rng)
 		})
 	}
-	kernel.Run(p.Duration)
+	events, wall := timedRun(kernel, p.Duration)
 	return Result{
-		Kind:   KindSquirrel,
-		Report: mets.Snapshot(p.Duration),
-		Params: p,
+		Kind:        KindSquirrel,
+		Report:      mets.Snapshot(p.Duration),
+		Params:      p,
+		Events:      events,
+		WallSeconds: wall,
 	}, nil
 }
 
@@ -218,12 +247,14 @@ func RunFlowerReplay(p Params, queries []workload.Query) (Result, error) {
 		return Result{}, err
 	}
 	pumpQueries(kernel, p.Duration, replayer, sys.Submit)
-	kernel.Run(p.Duration)
+	events, wall := timedRun(kernel, p.Duration)
 	return Result{
-		Kind:   KindFlower,
-		Report: mets.Snapshot(p.Duration),
-		Stats:  sys.Stats(),
-		Params: p,
+		Kind:        KindFlower,
+		Report:      mets.Snapshot(p.Duration),
+		Stats:       sys.Stats(),
+		Params:      p,
+		Events:      events,
+		WallSeconds: wall,
 	}, nil
 }
 

@@ -1,0 +1,66 @@
+package harness
+
+// This file holds the population-scale experiments: the
+// events/sec-vs-population chart behind the 100k-client preset. Unlike
+// the paper-reproduction presets these do not model a figure; they
+// measure how simulator throughput holds up as the peer population
+// grows, which is the repository's scale north-star.
+
+import "fmt"
+
+// PopulationPoint is one cell of the events/sec-vs-population chart: the
+// shrunk 100k-preset shape run at a given total client population.
+type PopulationPoint struct {
+	Clients      int // total potential clients across active sites
+	Events       uint64
+	WallSeconds  float64
+	EventsPerSec float64
+	HitRatio     float64
+	Joins        int
+}
+
+// PopulationParams scales the shrunk 100k-preset shape to a total client
+// population: the per-site pools, overlay capacity and topology budget
+// grow linearly with the population while every protocol knob (sparse
+// views, sparse seeding, gossip cadence) stays fixed, so a sweep varies
+// exactly one thing.
+func PopulationParams(seed int64, clients int) Params {
+	p := ShrunkMassiveParams(seed)
+	if clients < p.ActiveSites {
+		clients = p.ActiveSites
+	}
+	p.ClientsPerSite = clients / p.ActiveSites
+	// The largest per-locality pool is ~29% of a site's clients under the
+	// default weight skew; 40% headroom keeps every pool admissible.
+	p.MaxOverlaySize = p.ClientsPerSite*2/5 + 8
+	p.TopoNodes = clients + clients/8 + 600
+	p.UniformNodes = 200
+	return p
+}
+
+// PopulationSweep runs PopulationParams at each requested population (nil
+// defaults to 1k/2k/5k/10k) and reports simulator throughput per cell.
+// Cells run strictly sequentially — wall-clock throughput is the
+// measurement, so cells must not contend for cores.
+func PopulationSweep(seed int64, populations []int) ([]PopulationPoint, error) {
+	if len(populations) == 0 {
+		populations = []int{1000, 2000, 5000, 10000}
+	}
+	out := make([]PopulationPoint, 0, len(populations))
+	for i, pop := range populations {
+		p := PopulationParams(PointSeed(seed, i), pop)
+		res, err := RunFlower(p)
+		if err != nil {
+			return nil, fmt.Errorf("population %d: %w", pop, err)
+		}
+		out = append(out, PopulationPoint{
+			Clients:      pop,
+			Events:       res.Events,
+			WallSeconds:  res.WallSeconds,
+			EventsPerSec: res.EventsPerSecond(),
+			HitRatio:     res.Report.HitRatio,
+			Joins:        res.Stats.Joins,
+		})
+	}
+	return out, nil
+}

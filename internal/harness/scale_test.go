@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestShrunkMassivePreset runs the CI-runnable shrunk variant of the 100k
+// preset end to end: 5,000 potential clients with sparse views and sparse
+// directory seeding. It asserts the preset actually exercises scale (an
+// overlay population in the thousands) and stays deterministic.
+func TestShrunkMassivePreset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full shrunk-preset simulation")
+	}
+	res, err := RunFlower(ShrunkMassiveParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.TotalQueries == 0 {
+		t.Fatal("no queries ran")
+	}
+	if res.Stats.Joins < 1000 {
+		t.Fatalf("only %d clients joined; the preset should build thousand-peer overlays", res.Stats.Joins)
+	}
+	if res.Report.HitRatio <= 0 {
+		t.Fatal("no P2P hits at 5k clients")
+	}
+	if res.Events == 0 {
+		t.Fatal("kernel event count not recorded")
+	}
+	t.Logf("shrunk preset: %d clients joined, %d events, %.0f events/sec, hit=%.3f",
+		res.Stats.Joins, res.Events, res.EventsPerSecond(), res.Report.HitRatio)
+
+	// Determinism: the deterministic outputs of a second run are identical
+	// (wall-clock throughput, of course, is not).
+	res2, err := RunFlower(ShrunkMassiveParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.String() != res2.Report.String() || res.Events != res2.Events {
+		t.Fatalf("shrunk preset not deterministic:\n%s\n%s", res.Report.String(), res2.Report.String())
+	}
+}
+
+// TestPopulationSweepShape checks the sweep helper on tiny populations.
+func TestPopulationSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	points, err := PopulationSweep(7, []int{500, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, pt := range points {
+		if pt.Events == 0 || pt.EventsPerSec <= 0 {
+			t.Fatalf("point %d missing throughput: %+v", pt.Clients, pt)
+		}
+	}
+}
+
+// TestPopulationProbe is a manual scale probe, not run in CI:
+//
+//	POPULATION=100000 go test -run TestPopulationProbe -v ./internal/harness -timeout 30m
+//
+// (add -cpuprofile cpu.pprof to go test to find super-linear hotspots).
+func TestPopulationProbe(t *testing.T) {
+	popStr := os.Getenv("POPULATION")
+	if popStr == "" {
+		t.Skip("set POPULATION=<clients> to probe")
+	}
+	var p Params
+	pop := 100000
+	if popStr == "full" {
+		p = Massive100kParams(1) // the real 2-simulated-hour preset
+	} else {
+		n, err := strconv.Atoi(popStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop = n
+		p = PopulationParams(1, pop)
+	}
+	start := time.Now()
+	res, err := RunFlower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pop=%d total_wall=%s kernel_wall=%.2fs events=%d ev/s=%.0f hit=%.3f joins=%d queries=%d",
+		pop, time.Since(start).Round(time.Millisecond), res.WallSeconds, res.Events,
+		res.EventsPerSecond(), res.Report.HitRatio, res.Stats.Joins, res.Report.TotalQueries)
+}

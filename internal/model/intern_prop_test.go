@@ -1,0 +1,86 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowercdn/internal/bloom"
+)
+
+// TestInternerPropertyVsMap drives randomized intern/recover sequences
+// against a map-based reference model, with object coordinates that
+// straddle the interned universe: unknown sites and out-of-range object
+// numbers (the foreign-ref guards) must yield NoRef, and every valid ref
+// must round-trip through Object/Site/Local/Key/Hashes/RefFor exactly.
+func TestInternerPropertyVsMap(t *testing.T) {
+	const perSite = 17
+	sites := MakeSites(5)
+	in := NewInterner(sites[:3], perSite) // 3 interned sites, 2 foreign
+
+	// Reference model: explicit enumeration in site-major order.
+	ref := map[ObjectID]ObjectRef{}
+	next := ObjectRef(0)
+	for _, site := range sites[:3] {
+		for num := 0; num < perSite; num++ {
+			ref[ObjectID{Site: site, Num: num}] = next
+			next++
+		}
+	}
+	if in.Count() != len(ref) {
+		t.Fatalf("Count = %d, reference %d", in.Count(), len(ref))
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		site := sites[rng.Intn(len(sites))]
+		num := rng.Intn(3*perSite) - perSite/2 // below zero and past the universe
+		id := ObjectID{Site: site, Num: num}
+		got := in.Ref(id)
+		want, known := ref[id]
+		if !known {
+			if got != NoRef {
+				t.Fatalf("Ref(%v) = %d for foreign object, want NoRef", id, got)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("Ref(%v) = %d, want %d", id, got, want)
+		}
+		// Round trips through every accessor.
+		if back := in.Object(got); back != id {
+			t.Fatalf("Object(%d) = %v, want %v", got, back, id)
+		}
+		if in.Site(got) != site {
+			t.Fatalf("Site(%d) = %q, want %q", got, in.Site(got), site)
+		}
+		if in.Local(got) != num {
+			t.Fatalf("Local(%d) = %d, want %d", got, in.Local(got), num)
+		}
+		if in.Key(got) != id.Key() {
+			t.Fatalf("Key(%d) = %q, want %q", got, in.Key(got), id.Key())
+		}
+		h1, h2 := in.Hashes(got)
+		w1, w2 := bloom.HashKey(id.Key())
+		if h1 != w1 || h2 != w2 {
+			t.Fatalf("Hashes(%d) = (%d,%d), want (%d,%d)", got, h1, h2, w1, w2)
+		}
+		si := in.SiteIndex(site)
+		if si < 0 || in.RefFor(si, num) != got {
+			t.Fatalf("RefFor(%d,%d) != Ref(%v)", si, num, id)
+		}
+		if in.SiteBase(si)+ObjectRef(num) != got {
+			t.Fatalf("SiteBase(%d)+%d != %d", si, num, got)
+		}
+	}
+
+	// Foreign sites have no index; interned sites keep their given order.
+	for i, site := range sites {
+		wantIdx := -1
+		if i < 3 {
+			wantIdx = i
+		}
+		if got := in.SiteIndex(site); got != wantIdx {
+			t.Fatalf("SiteIndex(%q) = %d, want %d", site, got, wantIdx)
+		}
+	}
+}

@@ -20,7 +20,7 @@ func gossipRound(t *testing.T, peers []*ContentPeer, byAddr map[simnet.NodeID]*C
 	t.Helper()
 	for _, p := range peers {
 		p.TickAges()
-		target, msg, ok := p.MakeGossip(rng)
+		target, msg, ok := p.MakeGossip(rng, nil)
 		if !ok {
 			continue
 		}
@@ -29,7 +29,7 @@ func gossipRound(t *testing.T, peers []*ContentPeer, byAddr map[simnet.NodeID]*C
 			p.RemoveContact(target) // timeout-equivalent
 			continue
 		}
-		reply := partner.AcceptGossip(msg, rng)
+		reply := partner.AcceptGossip(msg, rng, nil)
 		p.ApplyGossipReply(reply)
 	}
 }

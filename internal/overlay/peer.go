@@ -336,8 +336,11 @@ func (c *ContentPeer) TickAges() {
 // MakeGossip performs the sending half of the active behaviour: select the
 // oldest contact as the gossip target and build the message (own current
 // summary + random view subset + directory entry). ok=false when the view
-// is empty.
-func (c *ContentPeer) MakeGossip(rng *rand.Rand) (target simnet.NodeID, msg GossipMsg, ok bool) {
+// is empty. The subset is built by appending into subsetBuf (may be nil),
+// so a caller that gets its message buffers back — like the core system,
+// which pools them alongside gossip envelopes — gossips without
+// allocating.
+func (c *ContentPeer) MakeGossip(rng *rand.Rand, subsetBuf []gossip.Entry) (target simnet.NodeID, msg GossipMsg, ok bool) {
 	oldest, ok := c.view.SelectOldest()
 	if !ok {
 		return 0, GossipMsg{}, false
@@ -345,19 +348,20 @@ func (c *ContentPeer) MakeGossip(rng *rand.Rand) (target simnet.NodeID, msg Goss
 	return oldest.Node, GossipMsg{
 		From:       c.addr,
 		Summary:    c.Summary(),
-		ViewSubset: c.view.SelectSubset(rng, c.cfg.GossipLen),
+		ViewSubset: c.view.SelectSubsetAppend(rng, c.cfg.GossipLen, subsetBuf),
 		Dir:        c.dir,
 	}, true
 }
 
-// AcceptGossip performs the passive behaviour: build the answer message,
+// AcceptGossip performs the passive behaviour: build the answer message
+// (its subset appended into subsetBuf, which may be nil — see MakeGossip),
 // then merge the received information (view subset + a fresh entry for the
 // sender) and consider the gossiped directory entry.
-func (c *ContentPeer) AcceptGossip(msg GossipMsg, rng *rand.Rand) GossipMsg {
+func (c *ContentPeer) AcceptGossip(msg GossipMsg, rng *rand.Rand, subsetBuf []gossip.Entry) GossipMsg {
 	reply := GossipMsg{
 		From:       c.addr,
 		Summary:    c.Summary(),
-		ViewSubset: c.view.SelectSubset(rng, c.cfg.GossipLen),
+		ViewSubset: c.view.SelectSubsetAppend(rng, c.cfg.GossipLen, subsetBuf),
 		Dir:        c.dir,
 		IsReply:    true,
 	}

@@ -169,14 +169,14 @@ func TestGossipRoundTrip(t *testing.T) {
 	b.AddObject(ref(2))
 	a.SetDir(99)
 	a.SeedView([]gossip.Entry{{Node: 2, Age: 3}})
-	target, msg, ok := a.MakeGossip(rng)
+	target, msg, ok := a.MakeGossip(rng, nil)
 	if !ok || target != 2 {
 		t.Fatalf("MakeGossip target = %d ok=%v", target, ok)
 	}
 	if msg.Summary == nil || !msg.Summary.Test(testIn.Key(ref(1))) {
 		t.Fatal("gossip message missing sender summary")
 	}
-	reply := b.AcceptGossip(msg, rng)
+	reply := b.AcceptGossip(msg, rng, nil)
 	if !reply.IsReply || reply.From != 2 {
 		t.Fatalf("reply malformed: %+v", reply)
 	}
@@ -198,7 +198,7 @@ func TestGossipRoundTrip(t *testing.T) {
 func TestMakeGossipEmptyView(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	p := newPeer(1)
-	if _, _, ok := p.MakeGossip(rng); ok {
+	if _, _, ok := p.MakeGossip(rng, nil); ok {
 		t.Fatal("empty view should not gossip")
 	}
 }
@@ -290,7 +290,7 @@ func TestGossipWireBytes(t *testing.T) {
 	p.SetDir(9)
 	p.SeedView([]gossip.Entry{{Node: 2, Age: 0, Summary: p.Summary()}})
 	rng := rand.New(rand.NewSource(5))
-	_, msg, ok := p.MakeGossip(rng)
+	_, msg, ok := p.MakeGossip(rng, nil)
 	if !ok {
 		t.Fatal("gossip failed")
 	}

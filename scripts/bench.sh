@@ -24,6 +24,9 @@ run() { # run <benchtime> <pattern> <packages...>
   # Simulation-level benchmarks: each iteration is a full campaign/run, so
   # a small fixed count keeps the script fast while staying comparable.
   run "$benchtime" 'CampaignSequential$' .
+  # Population-scale chart: the shrunk 100k-preset shape at growing
+  # populations, reporting simulator throughput as events/sec.
+  run "$benchtime" 'PopulationScale' .
   # Substrate micro-benchmarks: hot-path costs, higher iteration counts.
   run 1000x 'QueryPath$' ./internal/core
   run 10000x 'KernelSchedule$' ./internal/simkernel
@@ -33,17 +36,20 @@ run() { # run <benchtime> <pattern> <packages...>
   BEGIN { printf "{\n  \"pr\": %s,\n  \"benchmarks\": [\n", pr; first = 1 }
   {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; eps = ""
     for (i = 2; i <= NF; i++) {
       if ($(i+1) == "ns/op") ns = $i
       if ($(i+1) == "B/op") bytes = $i
       if ($(i+1) == "allocs/op") allocs = $i
+      if ($(i+1) == "events/sec") eps = $i
     }
     if (ns == "") next
     if (!first) printf ",\n"
     first = 0
-    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
       name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+    if (eps != "") printf ", \"events_per_sec\": %s", eps
+    printf "}"
   }
   END { printf "\n  ]\n}\n" }
 ' >"$out"

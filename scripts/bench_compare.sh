@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Bench trajectory comparator: fails when BenchmarkCampaignSequential in
+# the newer BENCH_<n>.json snapshot regresses more than a threshold
+# against the older one. Snapshots are measured on the author's machine
+# when a PR lands (scripts/bench.sh <pr>), so consecutive snapshots are
+# comparable; CI runs the comparator on the two most recent committed
+# snapshots, which is deterministic regardless of runner speed.
+#
+# Usage:
+#   scripts/bench_compare.sh <old.json> <new.json> [max-regress-pct]
+#   scripts/bench_compare.sh --latest [max-regress-pct]
+#
+# --latest picks the two highest-numbered BENCH_<n>.json at the repo root
+# (exits 0 when fewer than two exist). Default threshold: 10 (percent).
+set -euo pipefail
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+bench=BenchmarkCampaignSequential
+
+if [ "${1:-}" = "--latest" ]; then
+  pct=${2:-10}
+  # Sort basenames, not paths: an underscore in the checkout path would
+  # otherwise break the numeric key and scramble the snapshot order.
+  mapfile -t snaps < <(cd "$root" && ls BENCH_*.json 2>/dev/null |
+    grep -E '^BENCH_[0-9]+\.json$' | sort -t_ -k2 -n)
+  if [ "${#snaps[@]}" -lt 2 ]; then
+    echo "bench_compare: fewer than two numbered snapshots; nothing to compare"
+    exit 0
+  fi
+  old=$root/${snaps[-2]}
+  new=$root/${snaps[-1]}
+else
+  old=${1:?usage: scripts/bench_compare.sh <old.json> <new.json> [max-regress-pct]}
+  new=${2:?usage: scripts/bench_compare.sh <old.json> <new.json> [max-regress-pct]}
+  pct=${3:-10}
+fi
+
+# extract <file>: ns_per_op of $bench. Handles both snapshot layouts (one
+# benchmark object per line, or pretty-printed across lines): the value is
+# the first ns_per_op at or after the matching "name" line.
+extract() {
+  awk -v name="$bench" '
+    index($0, "\"name\": \"" name "\"") { found = 1 }
+    found && /"ns_per_op":/ {
+      v = $0
+      sub(/.*"ns_per_op": */, "", v)
+      sub(/[,}].*/, "", v)
+      print v
+      exit
+    }' "$1"
+}
+
+old_ns=$(extract "$old")
+new_ns=$(extract "$new")
+if [ -z "$old_ns" ] || [ -z "$new_ns" ]; then
+  echo "bench_compare: $bench missing from $old or $new" >&2
+  exit 2
+fi
+
+awk -v o="$old_ns" -v n="$new_ns" -v pct="$pct" -v old="$old" -v new="$new" 'BEGIN {
+  delta = (n - o) / o * 100
+  printf "bench_compare: %s: %.0f ns/op (%s) -> %.0f ns/op (%s), %+.1f%%\n", \
+    "'"$bench"'", o, old, n, new, delta
+  if (delta > pct) {
+    printf "bench_compare: FAIL — regression exceeds %s%%\n", pct
+    exit 1
+  }
+  printf "bench_compare: OK (threshold %s%%)\n", pct
+}'
