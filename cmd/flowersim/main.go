@@ -14,9 +14,12 @@
 //
 // Experiments: table2a table2b table2c fig5 fig6 fig7 fig8 headline
 // push-threshold query-policy churn home-store conditional-routing sweep all,
-// plus the scale experiments "population" (events/sec-vs-population chart)
-// and "massive" (the 100,000-client stress preset) — both outside "all"
-// because they measure the simulator, not the paper.
+// plus the scale experiments "population" (events/sec-vs-population chart),
+// "massive" (the 100,000-client stress preset; add -churn to rerun it under
+// the population-scaled failure injector and compare events/sec) and
+// "dirstress" (one ~2100-member overlay on a 1-minute gossip period — the
+// directory-sweep-dominated shape) — all outside "all" because they measure
+// the simulator, not the paper.
 //
 // Sweep-style experiments run one full simulation per point; -parallel N
 // executes points on N workers (results are identical to the sequential
@@ -57,7 +60,19 @@ var experiments = map[string]func(w *writer, p flowercdn.Params) error{
 	"trace":               runTrace,
 	"population":          runPopulation,
 	"massive":             runMassive,
+	"dirstress":           runDirStress,
 }
+
+// massiveChurn is set by the -churn flag: the massive experiment then
+// runs the preset twice — stable and with the population-scaled failure
+// injector — and reports events/sec for both.
+var massiveChurn bool
+
+// hoursOverride carries an explicit -hours value (0 when the flag was
+// not passed) so preset experiments that own their duration (massive,
+// dirstress) honour -hours without guessing it from p.Duration — which
+// would misfire under -scale small.
+var hoursOverride flowercdn.Time
 
 func main() {
 	// The profile defers must run even on failure (os.Exit skips them, and
@@ -73,12 +88,17 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		hours      = flag.Int("hours", 0, "override simulated duration in hours")
 		parallel   = flag.Int("parallel", 1, "sweep workers: 1 = sequential, N>1 = N workers, -1 = one per CPU")
+		churn      = flag.Bool("churn", false, "massive: also run with the population-scaled failure injector")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		quiet      = flag.Bool("quiet", false, "suppress progress notes on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	massiveChurn = *churn
+	if *hours > 0 {
+		hoursOverride = flowercdn.Time(*hours) * flowercdn.Hour
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -129,8 +149,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		return 2
 	}
-	if *hours > 0 {
-		p.Duration = flowercdn.Time(*hours) * flowercdn.Hour
+	if hoursOverride > 0 {
+		p.Duration = hoursOverride
 	}
 	p.Parallel = *parallel
 
@@ -502,8 +522,8 @@ func paperScale(p flowercdn.Params) bool { return p.TopoNodes >= 5000 }
 
 func runMassive(w *writer, p flowercdn.Params) error {
 	mp := flowercdn.Massive100kParams(p.Seed)
-	if p.Duration != flowercdn.DefaultParams(p.Seed).Duration {
-		mp.Duration = p.Duration // honour -hours
+	if hoursOverride > 0 {
+		mp.Duration = hoursOverride
 	}
 	w.notef("massive: 100,000 potential clients, %s simulated — this is the stress preset, not a figure", mp.Duration)
 	res, err := flowercdn.RunFlower(mp)
@@ -515,6 +535,42 @@ func runMassive(w *writer, p flowercdn.Params) error {
 	w.printf("kernel events: %d   wall: %.2fs   throughput: %.0f events/sec",
 		res.Events, res.WallSeconds, res.EventsPerSecond())
 	w.printf("avg lookup: %.0f ms   background: %.1f bps/peer", res.Report.AvgLookupMs, res.Report.BackgroundBps)
+	if !massiveChurn {
+		return nil
+	}
+	// -churn: the same preset under the population-scaled failure model
+	// (§5 recovery at 10^5 peers) — events/sec with failures vs without.
+	cp := flowercdn.WithMassiveChurn(mp)
+	w.notef("massive -churn: %.0f failures/hour (dirs included), 15 min mean rejoin downtime", cp.ChurnPerHour)
+	cres, err := flowercdn.RunFlower(cp)
+	if err != nil {
+		return err
+	}
+	w.printf("with churn: joined: %d   queries: %d   hit ratio: %.3f   redirect failures: %d   dir replacements: %d",
+		cres.Stats.Joins, cres.Report.TotalQueries, cres.Report.HitRatio,
+		cres.Report.RedirectFailures, cres.Stats.DirReplacements)
+	w.printf("with churn: kernel events: %d   wall: %.2fs   throughput: %.0f events/sec",
+		cres.Events, cres.WallSeconds, cres.EventsPerSecond())
+	w.printf("events/sec stable vs churned: %.0f vs %.0f (%+.1f%%)",
+		res.EventsPerSecond(), cres.EventsPerSecond(),
+		100*(cres.EventsPerSecond()-res.EventsPerSecond())/res.EventsPerSecond())
+	return nil
+}
+
+func runDirStress(w *writer, p flowercdn.Params) error {
+	dp := flowercdn.DirStressParams(p.Seed)
+	if hoursOverride > 0 {
+		dp.Duration = hoursOverride
+	}
+	w.notef("dirstress: one %d-member overlay, T_gossip=%s — the dirTick-dominated shape", dp.MaxOverlaySize, dp.TGossip)
+	res, err := flowercdn.RunFlower(dp)
+	if err != nil {
+		return err
+	}
+	w.printf("dirTick-heavy preset (%s simulated, %s gossip period)", dp.Duration, dp.TGossip)
+	w.printf("clients joined: %d   queries: %d   hit ratio: %.3f", res.Stats.Joins, res.Report.TotalQueries, res.Report.HitRatio)
+	w.printf("kernel events: %d   wall: %.2fs   throughput: %.0f events/sec",
+		res.Events, res.WallSeconds, res.EventsPerSecond())
 	return nil
 }
 

@@ -140,6 +140,17 @@ func buildFixture(t *testing.T) string {
 	formatReport(&sb, "flower shrunk-massive seed=6", mres.Report)
 	formatStats(&sb, mres)
 
+	// Ninth scenario: churn at scale — the shrunk massive preset under the
+	// population-scaled failure injector (failures include directories,
+	// rejoins after exponential downtime), pinning the §5 recovery paths
+	// through the slab/sharded directory index.
+	cmres, err := RunFlower(WithMassiveChurn(ShrunkMassiveParams(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatReport(&sb, "flower shrunk-massive-churn seed=7", cmres.Report)
+	formatStats(&sb, cmres)
+
 	return sb.String()
 }
 

@@ -115,6 +115,16 @@ func Massive100kParams(seed int64) Params { return harness.Massive100kParams(see
 // Massive100kParams (5,000 clients, 30 simulated minutes, same knobs).
 func ShrunkMassiveParams(seed int64) Params { return harness.ShrunkMassiveParams(seed) }
 
+// WithMassiveChurn adds the population-scaled failure model (2% of the
+// clients per hour, directories included, 15-minute mean rejoin downtime)
+// to a massive-preset Params: the §5 recovery-cost measurement at scale.
+func WithMassiveChurn(p Params) Params { return harness.WithMassiveChurn(p) }
+
+// DirStressParams is the dirTick-heavy preset: one ~2100-member content
+// overlay on a 1-minute gossip period, so the directory's periodic index
+// sweep dominates simulator cost.
+func DirStressParams(seed int64) Params { return harness.DirStressParams(seed) }
+
 // PopulationParams scales the shrunk 100k-preset shape to a total client
 // population (pools, overlay capacity and topology budget grow linearly;
 // protocol knobs stay fixed).

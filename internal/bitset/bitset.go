@@ -85,6 +85,18 @@ func (s *Set) ForEach(fn func(i int)) {
 	}
 }
 
+// ForEachWord calls fn for every nonzero 64-bit word in ascending word
+// order; word w covers indices [64w, 64w+64). Callers that batch work by
+// index range (e.g. range-sharded inverse indexes) visit exactly the
+// ranges holding set bits.
+func (s *Set) ForEachWord(fn func(w int, word uint64)) {
+	for wi, w := range s.words {
+		if w != 0 {
+			fn(wi, w)
+		}
+	}
+}
+
 // AppendIndices appends the set bit indices to dst in ascending order and
 // returns the extended slice (allocation-free once dst has capacity).
 func (s *Set) AppendIndices(dst []int) []int {

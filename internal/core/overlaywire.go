@@ -171,7 +171,11 @@ func (s *System) handleKeepaliveAck(h *host, m keepaliveAckMsg) {
 
 // dirTick is the directory's periodic behaviour: age the index (Algorithm
 // 6), evict the dead (§5.1), and propagate a refreshed directory summary
-// when enough new content accumulated (§4.2.1).
+// when enough new content accumulated (§4.2.1). The age+evict half is a
+// linear sweep over the directory's entry slab and allocates nothing
+// (EvictOlderThan returns directory-owned scratch, discarded here) — at
+// the 100k preset this tick fires on every directory every T_gossip, so
+// it is the steady-state floor of the control plane.
 func (s *System) dirTick(h *host) {
 	if h.dir == nil || !s.net.Alive(h.addr) {
 		return

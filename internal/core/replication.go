@@ -61,7 +61,7 @@ func (s *System) replicationTick(h *host) {
 		if len(offers) == 0 {
 			continue
 		}
-		bytes := 20 + 14*len(offers) // 8 B object id + 6 B holder each
+		bytes := 20 + 10*len(offers) // 4 B interned object ref + 6 B holder each
 		s.net.Send(h.addr, target.Addr(), simnet.CatReplication, bytes,
 			replicaOfferMsg{FromKey: h.dir.Key(), Offers: offers})
 	}

@@ -1,6 +1,7 @@
 package dring
 
 import (
+	"math"
 	"sort"
 
 	"flowercdn/internal/bitset"
@@ -12,15 +13,13 @@ import (
 
 // IndexEntry is one row of the directory index (§3.3): a content peer, the
 // age of the information, and the objects it holds as a bitset over the
-// site's dense object space (local indices; see model.Interner).
+// site's dense object space (local indices; see model.Interner). Inside a
+// Directory the index lives as parallel slabs (see below); IndexEntry is
+// the boxed row used by snapshots (ExportEntries/ImportEntries).
 type IndexEntry struct {
 	Node    simnet.NodeID
 	Age     int
 	Objects bitset.Set
-
-	// pos is the entry's slot in the directory's member list (maintained by
-	// entry/RemovePeer; meaningless on exported snapshots).
-	pos int
 }
 
 // Directory is the state of one directory peer d(ws,loc): the complete
@@ -31,7 +30,15 @@ type IndexEntry struct {
 // All object state is ref-indexed: the directory serves one website whose
 // ObjectsPerSite objects map to dense local indices, so the inverse index
 // (object → holders), the known-object set and the popularity counters are
-// flat slices instead of string-keyed maps.
+// flat structures instead of string-keyed maps.
+//
+// The member index is a struct-of-arrays slab, like the core host control
+// plane: nodes/ages/objects are parallel arrays in admission order
+// (swap-removed on eviction) and the only map left is the NodeID→slot
+// lookup. The periodic dirTick (age every entry, scan for evictions) is
+// therefore a linear, pointer-free array sweep instead of a walk over
+// map-boxed entries, and it allocates nothing — evicted slots, their
+// bitsets and their holder-list cells are all recycled.
 type Directory struct {
 	site      model.SiteID
 	websiteID uint64
@@ -44,16 +51,21 @@ type Directory struct {
 
 	maxOverlay int // S_co: directory refuses new members beyond this
 
-	index map[simnet.NodeID]*IndexEntry
-	// memberList mirrors the index keys in admission order (swap-removed on
-	// eviction): O(1) membership sampling for the sparse view-seed path and
-	// a map-free Members snapshot. Entries carry their list position.
-	memberList []simnet.NodeID
+	// Member slab: slot is the only pointer-bearing structure; nodes holds
+	// the members in admission order (so it doubles as the member list the
+	// sparse view-seed sampler draws from), ages and objects are parallel.
+	slot    map[simnet.NodeID]int32
+	nodes   []simnet.NodeID
+	ages    []int32
+	objects []bitset.Set
 
-	// holders[i] lists the indexed peers holding local object i, kept
-	// sorted ascending so lookups need no sort and stay allocation-free.
-	holders      [][]simnet.NodeID
-	heldDistinct int // local objects with ≥1 holder
+	// freeSets recycles the bitsets of evicted slots so churn (evict +
+	// readmit) does not allocate per rejoin.
+	freeSets []bitset.Set
+
+	// holders is the inverse index (local object → holder list), sharded
+	// by ref range; see holders.go.
+	holders holdersIndex
 
 	neighbors []NeighborSummary // sorted by DirID
 
@@ -72,8 +84,10 @@ type Directory struct {
 	// towards other overlays of the same website").
 	popularity []int64
 
-	// neighborScratch backs NeighborsWithObject's result between calls.
+	// neighborScratch backs NeighborsWithObject's result between calls;
+	// evictScratch backs EvictOlderThan's.
 	neighborScratch []chord.ID
+	evictScratch    []simnet.NodeID
 }
 
 // NeighborSummary is a directory summary received from another directory
@@ -102,8 +116,8 @@ func NewDirectory(site model.SiteID, websiteID uint64, loc int, key chord.ID,
 		base:             in.SiteBase(si),
 		nObj:             n,
 		maxOverlay:       maxOverlay,
-		index:            make(map[simnet.NodeID]*IndexEntry),
-		holders:          make([][]simnet.NodeID, n),
+		slot:             make(map[simnet.NodeID]int32),
+		holders:          newHoldersIndex(n),
 		knownObjects:     bitset.New(n),
 		summaryThreshold: summaryThreshold,
 		summaryCapacity:  summaryCapacity,
@@ -124,33 +138,33 @@ func (d *Directory) Locality() int { return d.loc }
 func (d *Directory) Key() chord.ID { return d.key }
 
 // Size returns the number of indexed content peers.
-func (d *Directory) Size() int { return len(d.index) }
+func (d *Directory) Size() int { return len(d.nodes) }
 
 // Full reports whether the content overlay reached S_co (§6.1: "when a
 // content overlay reaches its maximum size, no new clients may join").
-func (d *Directory) Full() bool { return d.maxOverlay > 0 && len(d.index) >= d.maxOverlay }
+func (d *Directory) Full() bool { return d.maxOverlay > 0 && len(d.nodes) >= d.maxOverlay }
 
 // HasPeer reports whether node is indexed.
 func (d *Directory) HasPeer(node simnet.NodeID) bool {
-	_, ok := d.index[node]
+	_, ok := d.slot[node]
 	return ok
 }
 
 // Members returns the indexed content peers in ascending node order.
 func (d *Directory) Members() []simnet.NodeID {
-	out := make([]simnet.NodeID, len(d.memberList))
-	copy(out, d.memberList)
+	out := make([]simnet.NodeID, len(d.nodes))
+	copy(out, d.nodes)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // MemberCount returns the number of indexed content peers (= Size).
-func (d *Directory) MemberCount() int { return len(d.memberList) }
+func (d *Directory) MemberCount() int { return len(d.nodes) }
 
 // MemberAt returns the i'th member in admission order (positions shift on
 // removal): with MemberCount, the O(1) access the sparse view-seed sampler
 // draws from instead of materialising and shuffling the whole membership.
-func (d *Directory) MemberAt(i int) simnet.NodeID { return d.memberList[i] }
+func (d *Directory) MemberAt(i int) simnet.NodeID { return d.nodes[i] }
 
 // local maps a ref to the site's dense index. Refs of other sites map
 // outside [0, nObj); callers treat them as not-indexed (the string-keyed
@@ -165,14 +179,26 @@ func (d *Directory) inRange(ref model.ObjectRef) bool {
 	return i >= 0 && i < d.nObj
 }
 
-func (d *Directory) entry(node simnet.NodeID) *IndexEntry {
-	e, ok := d.index[node]
-	if !ok {
-		e = &IndexEntry{Node: node, Objects: bitset.New(d.nObj), pos: len(d.memberList)}
-		d.index[node] = e
-		d.memberList = append(d.memberList, node)
+// slotFor returns node's slab slot, admitting it at age 0 when absent.
+// Freed slots' bitsets are recycled, so readmission after eviction does
+// not allocate once the slab has reached its high-water capacity.
+func (d *Directory) slotFor(node simnet.NodeID) int32 {
+	if s, ok := d.slot[node]; ok {
+		return s
 	}
-	return e
+	s := int32(len(d.nodes))
+	d.slot[node] = s
+	d.nodes = append(d.nodes, node)
+	d.ages = append(d.ages, 0)
+	var set bitset.Set
+	if n := len(d.freeSets); n > 0 {
+		set = d.freeSets[n-1]
+		d.freeSets = d.freeSets[:n-1]
+	} else {
+		set = bitset.New(d.nObj)
+	}
+	d.objects = append(d.objects, set)
+	return s
 }
 
 func (d *Directory) addObject(node simnet.NodeID, ref model.ObjectRef) {
@@ -180,53 +206,26 @@ func (d *Directory) addObject(node simnet.NodeID, ref model.ObjectRef) {
 		return // foreign-site ref: nothing of ours to index
 	}
 	i := d.local(ref)
-	e := d.entry(node)
-	if !e.Objects.Set(i) {
+	s := d.slotFor(node)
+	if !d.objects[s].Set(i) {
 		return // duplicate
 	}
-	hs := d.holders[i]
-	if len(hs) == 0 {
-		d.heldDistinct++
-	}
-	// Insert keeping ascending node order (holder lists are small).
-	pos := len(hs)
-	for pos > 0 && hs[pos-1] > node {
-		pos--
-	}
-	hs = append(hs, 0)
-	copy(hs[pos+1:], hs[pos:])
-	hs[pos] = node
-	d.holders[i] = hs
+	d.holders.add(i, node)
 	if d.knownObjects.Set(i) {
 		d.newSincePublish++
 	}
 }
 
-// removeHolder deletes node from local object i's holder list.
-func (d *Directory) removeHolder(i int, node simnet.NodeID) {
-	hs := d.holders[i]
-	for p, h := range hs {
-		if h == node {
-			copy(hs[p:], hs[p+1:])
-			d.holders[i] = hs[:len(hs)-1]
-			if len(hs) == 1 {
-				d.heldDistinct--
-			}
-			return
-		}
-	}
-}
-
 func (d *Directory) dropObject(node simnet.NodeID, ref model.ObjectRef) {
-	e, ok := d.index[node]
+	s, ok := d.slot[node]
 	if !ok || !d.inRange(ref) {
 		return
 	}
 	i := d.local(ref)
-	if !e.Objects.Clear(i) {
+	if !d.objects[s].Clear(i) {
 		return
 	}
-	d.removeHolder(i, node)
+	d.holders.remove(i, node)
 }
 
 // AddOptimistic records a freshly served client with its requested object
@@ -234,13 +233,14 @@ func (d *Directory) dropObject(node simnet.NodeID, ref model.ObjectRef) {
 // directory index"). It reports whether the peer is (now) a member; false
 // means the overlay is full and the client was not admitted.
 func (d *Directory) AddOptimistic(node simnet.NodeID, ref model.ObjectRef) bool {
-	if _, member := d.index[node]; !member && d.Full() {
+	if _, member := d.slot[node]; !member && d.Full() {
 		return false
 	}
 	d.addObject(node, ref)
-	// entry() rather than index[node]: addObject indexes nothing for a
-	// foreign-site ref, but the peer itself is still admitted at age 0.
-	d.entry(node).Age = 0
+	// slotFor rather than the addObject slot: addObject indexes nothing
+	// for a foreign-site ref, but the peer itself is still admitted at
+	// age 0.
+	d.ages[d.slotFor(node)] = 0
 	return true
 }
 
@@ -250,7 +250,7 @@ func (d *Directory) AddOptimistic(node simnet.NodeID, ref model.ObjectRef) bool 
 // rebuilds its index from pushes, §5.2); the return value reports whether
 // the push was accepted.
 func (d *Directory) ApplyPush(node simnet.NodeID, added, removed []model.ObjectRef) bool {
-	if _, member := d.index[node]; !member && d.Full() {
+	if _, member := d.slot[node]; !member && d.Full() {
 		return false
 	}
 	for _, ref := range added {
@@ -259,55 +259,77 @@ func (d *Directory) ApplyPush(node simnet.NodeID, added, removed []model.ObjectR
 	for _, ref := range removed {
 		d.dropObject(node, ref)
 	}
-	d.entry(node).Age = 0
+	d.ages[d.slotFor(node)] = 0
 	return true
 }
 
 // Keepalive resets a member's age (§5.1); unknown nodes are ignored.
 func (d *Directory) Keepalive(node simnet.NodeID) {
-	if e, ok := d.index[node]; ok {
-		e.Age = 0
+	if s, ok := d.slot[node]; ok {
+		d.ages[s] = 0
 	}
 }
 
 // RemovePeer drops a member and its holdings (dead peer or redirection
-// failure, §5.1).
+// failure, §5.1): the inverse index is updated shard-by-shard for exactly
+// the refs the member held, and the slab slot is swap-removed with its
+// bitset recycled.
 func (d *Directory) RemovePeer(node simnet.NodeID) {
-	e, ok := d.index[node]
+	s, ok := d.slot[node]
 	if !ok {
 		return
 	}
-	e.Objects.ForEach(func(i int) { d.removeHolder(i, node) })
-	// Swap-remove from the member list, patching the moved entry's position.
-	last := len(d.memberList) - 1
-	moved := d.memberList[last]
-	d.memberList[e.pos] = moved
-	d.index[moved].pos = e.pos
-	d.memberList = d.memberList[:last]
-	delete(d.index, node)
+	set := d.objects[s]
+	d.holders.removeBits(&set, node)
+	set.Reset()
+	d.freeSets = append(d.freeSets, set)
+
+	last := int32(len(d.nodes) - 1)
+	moved := d.nodes[last]
+	d.nodes[s] = moved
+	d.ages[s] = d.ages[last]
+	d.objects[s] = d.objects[last]
+	d.slot[moved] = s
+	d.nodes = d.nodes[:last]
+	d.ages = d.ages[:last]
+	d.objects = d.objects[:last]
+	delete(d.slot, node)
 }
 
 // TickAges ages every index entry by one period (Algorithm 6's active
-// behaviour).
+// behaviour): one branch-free sweep over the age slab.
 func (d *Directory) TickAges() {
-	for _, e := range d.index {
-		e.Age++
+	for i := range d.ages {
+		d.ages[i]++
 	}
 }
 
 // EvictOlderThan removes entries whose age reached ageLimit (T_dead) and
-// returns them.
+// returns them in ascending node order. The returned slice is reusable
+// scratch, valid until the next call.
 func (d *Directory) EvictOlderThan(ageLimit int) []simnet.NodeID {
-	var evicted []simnet.NodeID
-	for node, e := range d.index {
-		if e.Age >= ageLimit {
-			evicted = append(evicted, node)
+	evicted := d.evictScratch[:0]
+	if ageLimit <= math.MaxInt32 {
+		limit := int32(ageLimit)
+		for s, age := range d.ages {
+			if age >= limit {
+				evicted = append(evicted, d.nodes[s])
+			}
 		}
 	}
-	sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
+	// Ascending node order (eviction sets are small; insertion sort keeps
+	// the sweep allocation-free). The order is part of the observable
+	// behaviour: removals permute the slab, which the sparse view-seed
+	// sampler draws from.
+	for i := 1; i < len(evicted); i++ {
+		for j := i; j > 0 && evicted[j-1] > evicted[j]; j-- {
+			evicted[j-1], evicted[j] = evicted[j], evicted[j-1]
+		}
+	}
 	for _, node := range evicted {
 		d.RemovePeer(node)
 	}
+	d.evictScratch = evicted
 	return evicted
 }
 
@@ -319,11 +341,21 @@ func (d *Directory) Holders(ref model.ObjectRef) []simnet.NodeID {
 	if !d.inRange(ref) {
 		return nil
 	}
-	return d.holders[d.local(ref)]
+	return d.holders.listAt(d.local(ref))
 }
 
 // ObjectCount returns the number of distinct objects currently indexed.
-func (d *Directory) ObjectCount() int { return d.heldDistinct }
+func (d *Directory) ObjectCount() int { return d.holders.total }
+
+// ShardCount returns the number of ref-range shards of the inverse index
+// (each spans shardSize refs of the site's dense object space).
+func (d *Directory) ShardCount() int { return d.holders.shardCount() }
+
+// ShardHeld returns how many refs in shard s currently have at least one
+// holder. Together with ShardCount it exposes the per-range occupancy a
+// future split of a hot website's index across directory instances would
+// partition on.
+func (d *Directory) ShardHeld(s int) int { return d.holders.shardHeld(s) }
 
 // --- Popularity tracking (active replication, §8) ------------------------
 
@@ -356,7 +388,7 @@ func (d *Directory) TopObjects(k int) []model.ObjectRef {
 	}
 	var list []po
 	for i, count := range d.popularity {
-		if count == 0 || len(d.holders[i]) == 0 {
+		if count == 0 || len(d.holders.listAt(i)) == 0 {
 			continue
 		}
 		list = append(list, po{d.base + model.ObjectRef(i), count})
@@ -429,16 +461,14 @@ func (d *Directory) NeighborsWithObject(ref model.ObjectRef) []chord.ID {
 
 // BuildSummary produces the Bloom summary of the directory index (the
 // summary sent to neighbouring directory peers), probing precomputed
-// hashes in ascending canonical order.
+// hashes in ascending canonical order. Empty ref-range shards are skipped
+// wholesale.
 func (d *Directory) BuildSummary() *bloom.Filter {
 	f := bloom.NewForCapacity(d.summaryCapacity)
-	for i, hs := range d.holders {
-		if len(hs) == 0 {
-			continue
-		}
+	d.holders.forEachHeld(func(i int, _ []simnet.NodeID) {
 		h1, h2 := d.in.Hashes(d.base + model.ObjectRef(i))
 		f.AddHash(h1, h2)
-	}
+	})
 	return f
 }
 
@@ -469,27 +499,35 @@ func (d *Directory) MarkSummaryPublished() {
 // --- Directory transfer (§5.2 voluntary leave) --------------------------
 
 // ExportEntries snapshots the index for transfer to a replacement
-// directory peer.
+// directory peer, in ascending node order. The rows own deep copies of
+// the holdings bitsets, so the snapshot stays valid across later slab
+// mutations.
 func (d *Directory) ExportEntries() []IndexEntry {
-	out := make([]IndexEntry, 0, len(d.index))
+	out := make([]IndexEntry, 0, len(d.nodes))
 	for _, node := range d.Members() {
-		e := d.index[node]
-		out = append(out, IndexEntry{Node: e.Node, Age: e.Age, Objects: e.Objects.Clone()})
+		s := d.slot[node]
+		out = append(out, IndexEntry{Node: node, Age: int(d.ages[s]), Objects: d.objects[s].Clone()})
 	}
 	return out
 }
 
 // ImportEntries loads a transferred index (replacing any current content).
 func (d *Directory) ImportEntries(entries []IndexEntry) {
-	d.index = make(map[simnet.NodeID]*IndexEntry, len(entries))
-	d.memberList = d.memberList[:0]
-	d.holders = make([][]simnet.NodeID, d.nObj)
-	d.heldDistinct = 0
+	for s := range d.objects {
+		d.objects[s].Reset()
+		d.freeSets = append(d.freeSets, d.objects[s])
+	}
+	d.slot = make(map[simnet.NodeID]int32, len(entries))
+	d.nodes = d.nodes[:0]
+	d.ages = d.ages[:0]
+	d.objects = d.objects[:0]
+	d.holders.reset()
 	for _, e := range entries {
+		node := e.Node
 		e.Objects.ForEach(func(i int) {
-			d.addObject(e.Node, d.base+model.ObjectRef(i))
+			d.addObject(node, d.base+model.ObjectRef(i))
 		})
-		d.entry(e.Node).Age = e.Age
+		d.ages[d.slotFor(node)] = int32(e.Age)
 	}
 }
 

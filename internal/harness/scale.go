@@ -6,7 +6,54 @@ package harness
 // measure how simulator throughput holds up as the peer population
 // grows, which is the repository's scale north-star.
 
-import "fmt"
+import (
+	"fmt"
+
+	"flowercdn/internal/simkernel"
+)
+
+// WithMassiveChurn returns p with the §5 failure model wired in at scale:
+// a Poisson failure process sized to the population (2% of the potential
+// clients per hour), directory peers included so §5.2 replacement runs,
+// and exponential rejoins with a 15-minute mean downtime (revived clients
+// return stateless). Apply it to Massive100kParams or ShrunkMassiveParams
+// to measure recovery cost at 10^5 peers: events/sec with failures vs the
+// stable network.
+func WithMassiveChurn(p Params) Params {
+	clients := p.ClientsPerSite * p.ActiveSites
+	p.ChurnPerHour = float64(clients) / 50
+	p.ChurnIncludesDirs = true
+	p.ChurnMeanDowntime = 15 * simkernel.Minute
+	return p
+}
+
+// DirStressParams is the dirTick-heavy preset: a single website whose
+// whole population lands in one ~2100-member content overlay (the 100k
+// preset's largest-overlay shape) with a 1-minute gossip period, so the
+// directory's periodic index sweep — age every entry, scan for evictions
+// — dominates steady-state simulator cost. The preset is the workload
+// behind BenchmarkDirectoryTick's slab-sweep numbers at system level.
+func DirStressParams(seed int64) Params {
+	p := DefaultParams(seed)
+	p.Duration = simkernel.Hour
+	p.QueryRate = 20
+	p.Localities = 2
+	p.Websites = 4
+	p.ActiveSites = 1
+	p.ObjectsPerSite = 100
+	p.MaxOverlaySize = 2100
+	p.ClientsPerSite = 2100
+	p.LocalityWeights = []float64{1, 0} // one overlay takes the whole site
+	p.TopoNodes = 2800
+	p.UniformNodes = 100
+	p.TGossip = simkernel.Minute
+	p.TKeepalive = simkernel.Minute
+	p.ViewSize = 8
+	p.GossipLen = 3
+	p.BucketWidth = 10 * simkernel.Minute
+	p.SparseSeeds = true
+	return p
+}
 
 // PopulationPoint is one cell of the events/sec-vs-population chart: the
 // shrunk 100k-preset shape run at a given total client population.

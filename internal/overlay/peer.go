@@ -84,8 +84,11 @@ type PushMsg struct {
 	Removed []model.ObjectRef
 }
 
-// WireBytes: 20-byte header + 8 bytes per object identifier.
-func (m PushMsg) WireBytes() int { return 20 + 8*(len(m.Added)+len(m.Removed)) }
+// WireBytes: 20-byte header + 4 bytes per object identifier. Since PR 3
+// object identity travels as an interned model.ObjectRef (uint32); the
+// 8-byte charge of the string-keyed era overstated ∆list pushes by
+// 4 bytes per identifier.
+func (m PushMsg) WireBytes() int { return 20 + 4*(len(m.Added)+len(m.Removed)) }
 
 // ContentPeer is the protocol state of one c(ws,loc).
 type ContentPeer struct {

@@ -299,9 +299,10 @@ func TestGossipWireBytes(t *testing.T) {
 	if msg.WireBytes() != want {
 		t.Fatalf("WireBytes = %d, want %d", msg.WireBytes(), want)
 	}
+	// 3 interned refs at 4 B each on top of the 20-byte header.
 	push := PushMsg{From: 1, Added: []model.ObjectRef{ref(0), ref(1)}, Removed: []model.ObjectRef{ref(2)}}
-	if push.WireBytes() != 20+24 {
-		t.Fatalf("push bytes = %d, want 44", push.WireBytes())
+	if push.WireBytes() != 20+12 {
+		t.Fatalf("push bytes = %d, want 32", push.WireBytes())
 	}
 }
 

@@ -29,6 +29,9 @@ run() { # run <benchtime> <pattern> <packages...>
   run "$benchtime" 'PopulationScale' .
   # Substrate micro-benchmarks: hot-path costs, higher iteration counts.
   run 1000x 'QueryPath$' ./internal/core
+  # Directory periodic sweep: the steady-state slab tick and the
+  # evict+readmit churn cycle over a 2000-member index.
+  run 500x 'DirectoryTick' ./internal/dring
   run 10000x 'KernelSchedule$' ./internal/simkernel
   run 10000x 'NetworkSend$' ./internal/simnet
   run 10000x 'GossipRound$' ./internal/gossip

@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# Bench trajectory comparator: fails when BenchmarkCampaignSequential in
-# the newer BENCH_<n>.json snapshot regresses more than a threshold
-# against the older one. Snapshots are measured on the author's machine
-# when a PR lands (scripts/bench.sh <pr>), so consecutive snapshots are
-# comparable; CI runs the comparator on the two most recent committed
-# snapshots, which is deterministic regardless of runner speed.
+# Bench trajectory comparator: fails when the newer BENCH_<n>.json
+# snapshot regresses more than a threshold against the older one on
+# either gated benchmark:
+#
+#   - BenchmarkCampaignSequential ns/op   (higher is worse)
+#   - BenchmarkPopulationScale/pop=* events/sec, every population cell
+#     present in both snapshots        (lower is worse)
+#
+# Snapshots are measured on the author's machine when a PR lands
+# (scripts/bench.sh <pr>), so consecutive snapshots are comparable; CI
+# runs the comparator on the two most recent committed snapshots, which
+# is deterministic regardless of runner speed.
 #
 # Usage:
 #   scripts/bench_compare.sh <old.json> <new.json> [max-regress-pct]
@@ -15,7 +21,6 @@
 set -euo pipefail
 
 root=$(cd "$(dirname "$0")/.." && pwd)
-bench=BenchmarkCampaignSequential
 
 if [ "${1:-}" = "--latest" ]; then
   pct=${2:-10}
@@ -35,35 +40,59 @@ else
   pct=${3:-10}
 fi
 
-# extract <file>: ns_per_op of $bench. Handles both snapshot layouts (one
-# benchmark object per line, or pretty-printed across lines): the value is
-# the first ns_per_op at or after the matching "name" line.
+# extract <file> <name> <field>: the field's value on (or after) the line
+# naming the benchmark, stopping at the next benchmark's "name" line so a
+# missing field reads as absent instead of bleeding the next object's
+# value. Handles both snapshot layouts (one benchmark object per line, or
+# pretty-printed across lines). Empty when absent.
 extract() {
-  awk -v name="$bench" '
+  awk -v name="$2" -v field="$3" '
+    found && index($0, "\"name\":") && !index($0, "\"name\": \"" name "\"") { exit }
     index($0, "\"name\": \"" name "\"") { found = 1 }
-    found && /"ns_per_op":/ {
+    found && index($0, "\"" field "\":") {
       v = $0
-      sub(/.*"ns_per_op": */, "", v)
+      sub(".*\"" field "\": *", "", v)
       sub(/[,}].*/, "", v)
       print v
       exit
     }' "$1"
 }
 
-old_ns=$(extract "$old")
-new_ns=$(extract "$new")
-if [ -z "$old_ns" ] || [ -z "$new_ns" ]; then
-  echo "bench_compare: $bench missing from $old or $new" >&2
-  exit 2
-fi
+fail=0
 
-awk -v o="$old_ns" -v n="$new_ns" -v pct="$pct" -v old="$old" -v new="$new" 'BEGIN {
-  delta = (n - o) / o * 100
-  printf "bench_compare: %s: %.0f ns/op (%s) -> %.0f ns/op (%s), %+.1f%%\n", \
-    "'"$bench"'", o, old, n, new, delta
-  if (delta > pct) {
-    printf "bench_compare: FAIL — regression exceeds %s%%\n", pct
-    exit 1
-  }
-  printf "bench_compare: OK (threshold %s%%)\n", pct
-}'
+# compare <label> <old-val> <new-val> <direction>: direction "up" means a
+# higher new value is a regression (latency), "down" means lower is
+# (throughput). Empty values skip the gate with a note.
+compare() {
+  local label=$1 o=$2 n=$3 dir=$4
+  if [ -z "$o" ] || [ -z "$n" ]; then
+    echo "bench_compare: $label missing from one snapshot; skipped"
+    return
+  fi
+  awk -v o="$o" -v n="$n" -v pct="$pct" -v label="$label" -v dir="$dir" 'BEGIN {
+    unit = (dir == "up") ? "ns/op" : "events/sec"
+    delta = (dir == "up") ? (n - o) / o * 100 : (o - n) / o * 100
+    printf "bench_compare: %s: %.0f -> %.0f %s (regression %+.1f%%)\n", \
+      label, o, n, unit, delta
+    exit delta > pct ? 1 : 0
+  }' || { echo "bench_compare: FAIL — $label regression exceeds $pct%"; fail=1; }
+}
+
+compare BenchmarkCampaignSequential \
+  "$(extract "$old" BenchmarkCampaignSequential ns_per_op)" \
+  "$(extract "$new" BenchmarkCampaignSequential ns_per_op)" up
+
+# Every population cell named in either snapshot is gated on simulator
+# throughput: a cell dropped from the newer snapshot still surfaces as a
+# "missing; skipped" note instead of silently losing its gate.
+while IFS= read -r cell; do
+  compare "$cell" \
+    "$(extract "$old" "$cell" events_per_sec)" \
+    "$(extract "$new" "$cell" events_per_sec)" down
+done < <(grep -oh '"name": "BenchmarkPopulationScale/[^"]*"' "$old" "$new" |
+  sed 's/"name": "//; s/"$//' | sort -u)
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "bench_compare: OK (threshold $pct%)"
