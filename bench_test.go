@@ -16,6 +16,7 @@ package flowercdn
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"flowercdn/internal/harness"
@@ -386,6 +387,40 @@ func BenchmarkPopulationScale(b *testing.B) {
 			}
 			b.ReportMetric(float64(events)/float64(b.N), "events/run")
 			b.ReportMetric(float64(joins)/float64(b.N), "joins/run")
+		})
+	}
+}
+
+// BenchmarkPopulationScaleParallel is BenchmarkPopulationScale on the
+// locality-sharded kernel with one worker per available CPU. The
+// events/sec cells land in BENCH_<pr>.json next to the serial ones
+// (scripts/bench.sh tags every cell with shards and GOMAXPROCS, and
+// bench_compare.sh only compares like-for-like cells); on an 8-core
+// machine the 20k-population cell is expected to clear 4× the serial
+// throughput. Results are byte-identical to a 1-worker sharded run —
+// TestShardedWorkerInvariance pins that — so this measures wall-clock
+// only.
+func BenchmarkPopulationScaleParallel(b *testing.B) {
+	shards := runtime.GOMAXPROCS(0)
+	for _, pop := range []int{1000, 5000, 20000} {
+		b.Run(fmt.Sprintf("pop=%d", pop), func(b *testing.B) {
+			var events uint64
+			var wall float64
+			for i := 0; i < b.N; i++ {
+				p := PopulationParams(int64(i)+1, pop)
+				p.Shards = shards
+				res, err := RunFlower(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+				wall += res.WallSeconds
+			}
+			if wall > 0 {
+				b.ReportMetric(float64(events)/wall, "events/sec")
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+			b.ReportMetric(float64(shards), "shards")
 		})
 	}
 }

@@ -74,6 +74,12 @@ var massiveChurn bool
 // would misfire under -scale small.
 var hoursOverride flowercdn.Time
 
+// shardsOverride carries an explicit -shards value (-1 when the flag was
+// not passed) so preset experiments that set their own shard count
+// (massive defaults to 4) can still be forced onto the classic kernel
+// (-shards 0) or a different worker count.
+var shardsOverride = -1
+
 func main() {
 	// The profile defers must run even on failure (os.Exit skips them, and
 	// a truncated CPU profile is unreadable), so the real work returns an
@@ -88,6 +94,7 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		hours      = flag.Int("hours", 0, "override simulated duration in hours")
 		parallel   = flag.Int("parallel", 1, "sweep workers: 1 = sequential, N>1 = N workers, -1 = one per CPU")
+		shards     = flag.Int("shards", -1, "locality-sharded kernel workers for a single run: 0 = classic kernel, N>0 = N workers, -1 = preset default")
 		churn      = flag.Bool("churn", false, "massive: also run with the population-scaled failure injector")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		quiet      = flag.Bool("quiet", false, "suppress progress notes on stderr")
@@ -99,6 +106,7 @@ func run() int {
 	if *hours > 0 {
 		hoursOverride = flowercdn.Time(*hours) * flowercdn.Hour
 	}
+	shardsOverride = *shards
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -153,6 +161,9 @@ func run() int {
 		p.Duration = hoursOverride
 	}
 	p.Parallel = *parallel
+	if *shards >= 0 {
+		p.Shards = *shards
+	}
 
 	w := &writer{quiet: *quiet}
 	names := []string{*exp}
@@ -508,10 +519,10 @@ func runPopulation(w *writer, p flowercdn.Params) error {
 		return err
 	}
 	w.printf("Scale chart — simulator throughput vs peer population (shrunk 100k-preset shape)")
-	w.printf("%-12s %-12s %-12s %-14s %-10s %-8s", "clients", "events", "wall(s)", "events/sec", "hit", "joins")
+	w.printf("%-12s %-12s %-12s %-14s %-10s %-8s %-12s", "clients", "events", "wall(s)", "events/sec", "hit", "joins", "bytes/client")
 	for _, pt := range points {
-		w.printf("%-12d %-12d %-12.2f %-14.0f %-10.3f %-8d",
-			pt.Clients, pt.Events, pt.WallSeconds, pt.EventsPerSec, pt.HitRatio, pt.Joins)
+		w.printf("%-12d %-12d %-12.2f %-14.0f %-10.3f %-8d %-12.0f",
+			pt.Clients, pt.Events, pt.WallSeconds, pt.EventsPerSec, pt.HitRatio, pt.Joins, pt.BytesPerClient)
 	}
 	return nil
 }
@@ -525,16 +536,23 @@ func runMassive(w *writer, p flowercdn.Params) error {
 	if hoursOverride > 0 {
 		mp.Duration = hoursOverride
 	}
-	w.notef("massive: 100,000 potential clients, %s simulated — this is the stress preset, not a figure", mp.Duration)
+	if shardsOverride >= 0 {
+		mp.Shards = shardsOverride
+	}
+	mp.MeasureMemory = true
+	w.notef("massive: 100,000 potential clients, %s simulated, %d shard workers — this is the stress preset, not a figure",
+		mp.Duration, mp.Shards)
 	res, err := flowercdn.RunFlower(mp)
 	if err != nil {
 		return err
 	}
-	w.printf("100k-client preset (%s simulated)", mp.Duration)
+	w.printf("100k-client preset (%s simulated, shards=%d)", mp.Duration, mp.Shards)
 	w.printf("clients joined: %d   queries: %d   hit ratio: %.3f", res.Stats.Joins, res.Report.TotalQueries, res.Report.HitRatio)
 	w.printf("kernel events: %d   wall: %.2fs   throughput: %.0f events/sec",
 		res.Events, res.WallSeconds, res.EventsPerSecond())
 	w.printf("avg lookup: %.0f ms   background: %.1f bps/peer", res.Report.AvgLookupMs, res.Report.BackgroundBps)
+	w.printf("heap: %.0f bytes/client", res.BytesPerClient)
+	printShardSummary(w, res)
 	if !massiveChurn {
 		return nil
 	}
@@ -554,7 +572,41 @@ func runMassive(w *writer, p flowercdn.Params) error {
 	w.printf("events/sec stable vs churned: %.0f vs %.0f (%+.1f%%)",
 		res.EventsPerSecond(), cres.EventsPerSecond(),
 		100*(cres.EventsPerSecond()-res.EventsPerSecond())/res.EventsPerSecond())
+	printShardSummary(w, cres)
 	return nil
+}
+
+// printShardSummary reports the per-locality event counts and the barrier
+// behaviour of a sharded run: how the work split across cells, how much ran
+// single-threaded at barriers, and how long each worker sat parked waiting
+// for stragglers (the load-imbalance signal).
+func printShardSummary(w *writer, res flowercdn.Result) {
+	if len(res.ShardEvents) == 0 {
+		return
+	}
+	var cells strings.Builder
+	var total uint64
+	for i, n := range res.ShardEvents {
+		if i > 0 {
+			cells.WriteString(" ")
+		}
+		fmt.Fprintf(&cells, "cell%d=%d", i, n)
+		total += n
+	}
+	w.printf("shard events: %s", cells.String())
+	w.printf("barriers: %d epochs   %d coordination events (%.1f%% of %d total)",
+		res.Epochs, res.BarrierEvents,
+		100*float64(res.BarrierEvents)/float64(total+res.BarrierEvents), total+res.BarrierEvents)
+	if len(res.WorkerStallNs) > 0 {
+		var stalls strings.Builder
+		for i, ns := range res.WorkerStallNs {
+			if i > 0 {
+				stalls.WriteString(" ")
+			}
+			fmt.Fprintf(&stalls, "w%d=%.2fs", i, float64(ns)/1e9)
+		}
+		w.printf("barrier stalls: %s", stalls.String())
+	}
 }
 
 func runDirStress(w *writer, p flowercdn.Params) error {

@@ -151,6 +151,21 @@ func buildFixture(t *testing.T) string {
 	formatReport(&sb, "flower shrunk-massive-churn seed=7", cmres.Report)
 	formatStats(&sb, cmres)
 
+	// Tenth scenario: the shrunk massive preset on the locality-sharded
+	// kernel. Shards is a worker knob only (TestShardedWorkerInvariance
+	// pins that); this section pins the sharded decomposition itself — the
+	// per-cell event streams and the epoch-barrier rendezvous order.
+	shp := ShrunkMassiveParams(8)
+	shp.Shards = 2
+	sres, err := RunFlower(shp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatReport(&sb, "flower sharded shrunk-massive seed=8", sres.Report)
+	formatStats(&sb, sres)
+	fmt.Fprintf(&sb, "shard_events=%v barrier_events=%d epochs=%d\n",
+		sres.ShardEvents, sres.BarrierEvents, sres.Epochs)
+
 	return sb.String()
 }
 

@@ -194,4 +194,17 @@ type Deps struct {
 	// to share one instance (and its precomputed hash tables) with the
 	// workload generator and across campaign points.
 	Interner *model.Interner
+
+	// Cells enables the locality-sharded kernel: one kernel per topology
+	// locality, driven by simkernel.Engine between epoch barriers, with
+	// Kernel as the serial coordination kernel. Must have exactly
+	// cfg.Localities entries. Nil selects the classic single-kernel path.
+	Cells []*simkernel.Kernel
+	// CellMetrics holds one collector per cell (required with Cells;
+	// Metrics is ignored then). Each parallel phase writes only its own
+	// cell's collector; the harness merges them after the run.
+	CellMetrics []*metrics.Collector
+	// CellTracers optionally holds one tracer per cell (with Cells). Nil
+	// disables tracing; entries may not be nil when the slice is set.
+	CellTracers []trace.Tracer
 }

@@ -26,7 +26,7 @@ func (s *System) FailPeer(addr simnet.NodeID) {
 		s.ring.Fail(h.dirNode)
 	}
 	if s.hs.has(addr, hfAccounted) {
-		s.mets.PeerLeft(s.k.Now())
+		s.metsAt(addr).PeerLeft(s.k.Now())
 		s.hs.clearFlag(addr, hfAccounted)
 	}
 }
@@ -94,7 +94,7 @@ func (s *System) attemptDirJoin(h *host, site model.SiteID, loc int) {
 		}
 		return
 	}
-	entry, ok := s.randomAliveDir()
+	entry, ok := s.randomAliveDir(s.prand(h.addr))
 	if !ok {
 		return
 	}
@@ -104,7 +104,7 @@ func (s *System) attemptDirJoin(h *host, site model.SiteID, loc int) {
 	// Clear the in-flight latch if the request is lost in a broken ring;
 	// an answer cancels the timer.
 	s.hs.joinTimer[h.addr].Cancel()
-	s.hs.joinTimer[h.addr] = s.k.AfterArg(15*simkernel.Second, s.joinLatchFn, uint64(uint32(h.addr)))
+	s.hs.joinTimer[h.addr] = s.hostKernel(h.addr).AfterArg(15*simkernel.Second, s.joinLatchFn, uint64(uint32(h.addr)))
 }
 
 // handleDirJoinRequest runs at the D-ring node that received the routed
@@ -171,7 +171,7 @@ func (s *System) handleDirJoinAccept(h *host, m dirJoinAcceptMsg) {
 	// their keepalive timeouts and pushes.
 	h.dir.ApplyPush(h.addr, h.cp.Objects(), nil)
 	h.cp.SetDir(h.addr)
-	s.stats.DirReplacements++
+	s.statsAt(h.addr).DirReplacements++
 	s.traceDirReplaced(h)
 }
 
@@ -183,11 +183,12 @@ func (s *System) installDirectory(h *host, node *chord.Node, site model.SiteID, 
 		s.cfg.MaxOverlaySize, s.cfg.ObjectsPerSite, s.cfg.DirSummaryThreshold, s.in)
 	s.dirByKey[key] = h.addr
 	s.dirAddrs = append(s.dirAddrs, h.addr)
-	offset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TGossip)))
-	s.hs.dirTicker[h.addr] = s.k.Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
+	offset := simkernel.Time(s.prand(h.addr).Int63n(int64(s.cfg.TGossip)))
+	s.hs.dirTicker[h.addr] = s.hostKernel(h.addr).Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
 	s.startReplicationTicker(h)
 	if s.cfg.MaintenancePeriod > 0 && s.hs.stabTicker[h.addr] == nil {
-		mo := simkernel.Time(s.rng.Int63n(int64(s.cfg.MaintenancePeriod)))
+		// Stabilization mutates the shared ring: coordination kernel only.
+		mo := simkernel.Time(s.prand(h.addr).Int63n(int64(s.cfg.MaintenancePeriod)))
 		s.hs.stabTicker[h.addr] = s.k.Every(mo, s.cfg.MaintenancePeriod, func() { s.maintainNode(h) })
 	}
 }
@@ -250,10 +251,10 @@ func (s *System) DirectoryLeave(site model.SiteID, loc int) bool {
 	s.hs.stopTimers(old.addr)
 	s.net.Fail(old.addr)
 	if s.hs.has(old.addr, hfAccounted) {
-		s.mets.PeerLeft(s.k.Now())
+		s.metsAt(old.addr).PeerLeft(s.k.Now())
 		s.hs.clearFlag(old.addr, hfAccounted)
 	}
-	s.stats.DirReplacements++
+	s.statsAt(addr).DirReplacements++
 	s.traceDirHandoff(old.addr, best.addr, site, loc)
 	return true
 }

@@ -41,7 +41,7 @@ func (h *host) HandleMessage(msg simnet.Message) {
 	case redirectMsg:
 		s.handleRedirect(h, m)
 	case redirectAckMsg:
-		m.Q.settle()
+		s.settle(m.Q)
 	case redirectFailMsg:
 		s.handleRedirectFail(h, m)
 	case peerQueryMsg:
@@ -94,14 +94,20 @@ func (s *System) timeout(a, b simnet.NodeID) simkernel.Time {
 	return 2*s.net.Latency(a, b) + 50*simkernel.Millisecond
 }
 
-// await arms a cancellable timeout for q; any settle() (on response) or a
+// await arms a cancellable timeout for q; any settle (on response) or a
 // newer await revokes it. At most one timeout per query is armed at a
-// time, so completion leaves no dead events behind.
+// time, so completion leaves no dead events behind. On the sharded path
+// the timer lives on the kernel of the executing context: the origin's
+// cell during parallel phases (handlers touching q always run there, per
+// payloadForeign), the coordination kernel in barrier context.
 func (s *System) await(q *Query, d simkernel.Time, onTimeout func()) {
-	q.token++
+	s.settle(q)
 	tok := q.token
-	q.pending.Cancel()
-	q.pending = s.k.After(d, func() {
+	k := s.k
+	if s.cells != nil && !s.net.InBarrier() {
+		k = s.cells[s.net.CellOf(q.Origin)]
+	}
+	q.pending = k.After(d, func() {
 		if q.token == tok && !q.finished {
 			onTimeout()
 		}

@@ -81,14 +81,6 @@ func (q *Query) triedDir(id chord.ID) bool {
 
 func (q *Query) markTriedDir(id chord.ID) { q.triedDirs = append(q.triedDirs, id) }
 
-// settle cancels any outstanding timeout for the query: the armed kernel
-// timer is revoked (so it never clutters the event queue) and the token is
-// bumped as a second line of defence for exotic interleavings.
-func (q *Query) settle() {
-	q.token++
-	q.pending.Cancel()
-}
-
 // --- D-ring routed envelope ----------------------------------------------
 
 // routedMsg is a message travelling through D-ring key-based routing
@@ -259,4 +251,67 @@ type dirJoinTakenMsg struct {
 type dirJoinAcceptMsg struct {
 	Key       chord.ID
 	Bootstrap simnet.NodeID
+}
+
+// --- Sharded delivery-venue classifiers ------------------------------------
+
+// queryOf extracts the shared *Query a payload carries, if any. Handlers
+// for these payloads read and mutate the query object, whose ownership
+// follows its origin's cell.
+func queryOf(payload any) *Query {
+	switch m := payload.(type) {
+	case peerQueryMsg:
+		return m.Q
+	case nackMsg:
+		return m.Q
+	case fetchMsg:
+		return m.Q
+	case dirQueryMsg:
+		return m.Q
+	case redirectMsg:
+		return m.Q
+	case redirectAckMsg:
+		return m.Q
+	case redirectFailMsg:
+		return m.Q
+	case forwardedQueryMsg:
+		return m.Q
+	case forwardFailMsg:
+		return m.Q
+	case serveMsg:
+		return m.Q
+	case routedMsg:
+		if iq, ok := m.Inner.(innerQuery); ok {
+			return iq.Q
+		}
+	}
+	return nil
+}
+
+// payloadForeign reports whether delivering payload to a node of dstCell
+// would touch state owned by another cell: a query whose origin lives
+// elsewhere must execute on the coordination kernel even when sender and
+// receiver share a cell, because its handler mutates the query object
+// (and may arm/settle the origin-owned timeout). Installed as the sharded
+// network's foreign classifier.
+func (s *System) payloadForeign(payload any, dstCell int) bool {
+	q := queryOf(payload)
+	return q != nil && s.cellIdx(q.Origin) != dstCell
+}
+
+// payloadGlobal reports whether a payload's handler mutates globally
+// shared structures (the D-ring) and therefore always executes on the
+// coordination kernel: the §5.2 replacement-join protocol rewires the
+// ring on accept, and its routed join request walks ring state hop by
+// hop while the ring may be mid-repair. Installed as the sharded
+// network's global classifier.
+func payloadGlobal(payload any) bool {
+	switch m := payload.(type) {
+	case dirJoinAcceptMsg:
+		return true
+	case routedMsg:
+		_, ok := m.Inner.(innerDirJoin)
+		return ok
+	}
+	return false
 }

@@ -22,10 +22,11 @@ func overlayPush(from simnet.NodeID, added []model.ObjectRef) overlay.PushMsg {
 // peer: the active gossip loop (Algorithm 4) and the keepalive loop
 // (§5.1). Phases are randomised so overlays do not synchronise.
 func (s *System) startContentPeerTickers(h *host) {
-	gOffset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TGossip)))
-	s.hs.gossipTicker[h.addr] = s.k.Every(gOffset, s.cfg.TGossip, func() { s.gossipTick(h) })
-	kOffset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TKeepalive)))
-	s.hs.kaTicker[h.addr] = s.k.Every(kOffset, s.cfg.TKeepalive, func() { s.keepaliveTick(h) })
+	k := s.hostKernel(h.addr)
+	gOffset := simkernel.Time(s.prand(h.addr).Int63n(int64(s.cfg.TGossip)))
+	s.hs.gossipTicker[h.addr] = k.Every(gOffset, s.cfg.TGossip, func() { s.gossipTick(h) })
+	kOffset := simkernel.Time(s.prand(h.addr).Int63n(int64(s.cfg.TKeepalive)))
+	s.hs.kaTicker[h.addr] = k.Every(kOffset, s.cfg.TKeepalive, func() { s.keepaliveTick(h) })
 }
 
 // gossipTick is the active behaviour of Algorithm 4. In steady state it
@@ -41,18 +42,19 @@ func (s *System) gossipTick(h *host) {
 	if h.cp.View().Len() == 0 {
 		return // nobody to gossip with (and no subset buffer to waste)
 	}
-	target, m, ok := h.cp.MakeGossip(s.rng, s.takeSubsetBuf())
+	cell := s.cellIdx(h.addr)
+	target, m, ok := h.cp.MakeGossip(s.prand(h.addr), s.takeSubsetBuf(cell))
 	if !ok {
 		return
 	}
-	wrapped := s.newGossipMsg(h.cp.Site(), h.cp.Locality(), m)
+	wrapped := s.newGossipMsg(cell, h.cp.Site(), h.cp.Locality(), m)
 	s.net.Send(h.addr, target, simnet.CatGossip, bytesGossipHdr+m.WireBytes(), wrapped)
 	// Failure detection: no answer within the deadline ⇒ drop the contact.
 	// The reply (or a reject) cancels the armed timer.
 	s.hs.gossipToken[h.addr]++
 	s.hs.gossipTarget[h.addr] = target
 	s.hs.gossipTimeout[h.addr].Cancel()
-	s.hs.gossipTimeout[h.addr] = s.k.AfterArg(s.timeout(h.addr, target),
+	s.hs.gossipTimeout[h.addr] = s.hostKernel(h.addr).AfterArg(s.timeout(h.addr, target),
 		s.gossipTimeoutFn, packAddrTok(h.addr, s.hs.gossipToken[h.addr]))
 }
 
@@ -62,6 +64,7 @@ func (s *System) gossipTick(h *host) {
 // copies what it keeps during merge).
 func (s *System) handleGossip(h *host, wrapped *gossipMsg) {
 	m := wrapped.M
+	cell := s.cellIdx(h.addr)
 	if m.IsReply {
 		// Completion of our active round: disarm failure detection.
 		s.hs.gossipToken[h.addr]++
@@ -69,20 +72,20 @@ func (s *System) handleGossip(h *host, wrapped *gossipMsg) {
 		if h.cp != nil && h.cp.Site() == wrapped.Site && h.cp.Locality() == wrapped.Loc {
 			h.cp.ApplyGossipReply(m)
 		}
-		s.putGossipMsg(wrapped)
+		s.putGossipMsg(cell, wrapped)
 		return
 	}
 	// Passive behaviour.
 	if h.cp == nil || h.cp.Site() != wrapped.Site || h.cp.Locality() != wrapped.Loc {
 		// We are not (any longer) in the sender's overlay (§5.4).
-		s.stats.GossipRejects++
-		s.putGossipMsg(wrapped)
+		s.statsAt(h.addr).GossipRejects++
+		s.putGossipMsg(cell, wrapped)
 		s.net.Send(h.addr, m.From, simnet.CatGossip, bytesKeepalive, gossipRejectMsg{From: h.addr})
 		return
 	}
-	reply := h.cp.AcceptGossip(m, s.rng, s.takeSubsetBuf())
-	rw := s.newGossipMsg(wrapped.Site, wrapped.Loc, reply)
-	s.putGossipMsg(wrapped)
+	reply := h.cp.AcceptGossip(m, s.prand(h.addr), s.takeSubsetBuf(cell))
+	rw := s.newGossipMsg(cell, wrapped.Site, wrapped.Loc, reply)
+	s.putGossipMsg(cell, wrapped)
 	s.net.Send(h.addr, m.From, simnet.CatGossip, bytesGossipHdr+reply.WireBytes(), rw)
 }
 
@@ -146,7 +149,7 @@ func (s *System) keepaliveTick(h *host) {
 	s.net.Send(h.addr, d.Addr, simnet.CatKeepalive, bytesKeepalive, s.hs.kaPayload[h.addr])
 	s.hs.kaToken[h.addr]++
 	s.hs.kaTimeout[h.addr].Cancel()
-	s.hs.kaTimeout[h.addr] = s.k.AfterArg(s.timeout(h.addr, d.Addr),
+	s.hs.kaTimeout[h.addr] = s.hostKernel(h.addr).AfterArg(s.timeout(h.addr, d.Addr),
 		s.kaTimeoutFn, packAddrTok(h.addr, s.hs.kaToken[h.addr]))
 }
 

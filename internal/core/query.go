@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/rand"
+
 	"flowercdn/internal/dring"
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/metrics"
@@ -15,7 +17,7 @@ import (
 // submits its query to D-ring through any directory peer it knows of, and
 // key-based routing (Algorithm 2) delivers it to d(ws,loc).
 func (s *System) startNewClientQuery(h *host, q *Query) {
-	entry, ok := s.randomAliveDir()
+	entry, ok := s.randomAliveDir(s.prand(q.Origin))
 	if !ok {
 		// No D-ring at all (catastrophic churn): go straight to the server.
 		s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
@@ -25,7 +27,7 @@ func (s *System) startNewClientQuery(h *host, q *Query) {
 	// several directory instances; new clients spread across them.
 	inst := 0
 	if n := s.ks.Instances(); n > 1 {
-		inst = s.rng.Intn(n)
+		inst = s.prand(q.Origin).Intn(n)
 	}
 	q.targetInstance = inst
 	key := s.ks.KeyForWebsiteID(s.widBySite[q.Site], q.OriginLoc, inst)
@@ -40,12 +42,12 @@ func (s *System) retryNewClientQuery(h *host, q *Query, attempt int) {
 	if q.recorded {
 		return
 	}
-	s.stats.QueriesRetried++
+	s.statsAt(q.Origin).QueriesRetried++
 	if attempt >= 3 {
 		s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
 		return
 	}
-	entry, ok := s.randomAliveDir()
+	entry, ok := s.randomAliveDir(s.prand(q.Origin))
 	if !ok {
 		s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
 		return
@@ -56,9 +58,9 @@ func (s *System) retryNewClientQuery(h *host, q *Query, attempt int) {
 	s.await(q, 10*simkernel.Second, func() { s.retryNewClientQuery(h, q, attempt+1) })
 }
 
-func (s *System) randomAliveDir() (simnet.NodeID, bool) {
+func (s *System) randomAliveDir(rng *rand.Rand) (simnet.NodeID, bool) {
 	for try := 0; try < 8; try++ {
-		addr := s.dirAddrs[s.rng.Intn(len(s.dirAddrs))]
+		addr := s.dirAddrs[rng.Intn(len(s.dirAddrs))]
 		if s.net.Alive(addr) {
 			return addr, true
 		}
@@ -77,11 +79,11 @@ func (s *System) randomAliveDir() (simnet.NodeID, bool) {
 // directory, finally the origin server.
 func (s *System) startContentPeerQuery(h *host, q *Query) {
 	if h.cp.Has(q.Ref) {
-		s.mets.RecordQuery(s.k.Now(), metrics.SourceLocal, 0, 0)
+		s.metsAt(q.Origin).RecordQuery(s.nowAt(q.Origin), metrics.SourceLocal, 0, 0)
 		q.recorded, q.finished = true, true
 		return
 	}
-	cands := h.cp.CandidatesFor(q.Ref, s.rng)
+	cands := h.cp.CandidatesFor(q.Ref, s.prand(h.addr))
 	if len(cands) > s.cfg.RetryLimit {
 		cands = cands[:s.cfg.RetryLimit]
 	}
@@ -131,7 +133,7 @@ func (s *System) handleRouted(h *host, m routedMsg) {
 	next, deliver := dring.NextHop(h.dirNode, m.Key, s.ks)
 	if !deliver {
 		if m.TTL <= 0 {
-			s.mets.RecordRouteTTLExpiry()
+			s.metsAt(h.addr).RecordRouteTTLExpiry()
 			deliver = true
 		} else {
 			if iq, ok := m.Inner.(innerQuery); ok {
@@ -208,7 +210,7 @@ func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
 			s.serveQuery(h, q, forwarded, true)
 			return
 		}
-		for _, cand := range h.cp.CandidatesFor(q.Ref, s.rng) {
+		for _, cand := range h.cp.CandidatesFor(q.Ref, s.prand(h.addr)) {
 			if cand == q.Origin || q.triedHolder(cand) {
 				continue
 			}
@@ -270,7 +272,7 @@ func (s *System) dirRedirect(h *host, q *Query, holder simnet.NodeID, forwarded 
 	s.net.Send(h.addr, holder, simnet.CatQuery, bytesQueryCtl, redirectMsg{Q: q, FromDir: h.addr})
 	s.await(q, s.timeout(h.addr, holder), func() {
 		s.trace(trace.RedirectFailed, q.ID, h.addr, holder, "timeout")
-		s.mets.RecordRedirectFailure()
+		s.metsAt(h.addr).RecordRedirectFailure()
 		h.dir.RemovePeer(holder)
 		if h.cp != nil {
 			h.cp.RemoveContact(holder)
@@ -300,7 +302,7 @@ func (s *System) handleRedirect(h *host, m redirectMsg) {
 // object: drop the stale listing and try the next destination (§5.1).
 func (s *System) handleRedirectFail(h *host, m redirectFailMsg) {
 	q := m.Q
-	q.settle()
+	s.settle(q)
 	if h.dir != nil {
 		h.dir.ApplyPush(m.From, nil, q.oneRef(q.Ref))
 	}
@@ -318,7 +320,7 @@ func (s *System) handleForwardedQuery(h *host, m forwardedQueryMsg) {
 // neighbour overlay missed.
 func (s *System) handleForwardFail(h *host, m forwardFailMsg) {
 	q := m.Q
-	q.settle()
+	s.settle(q)
 	q.atRemote = false
 	s.dirProcess(h, q, false)
 }
@@ -348,7 +350,7 @@ func (s *System) handlePeerQuery(h *host, m peerQueryMsg) {
 // the nacking contact, taken from the network envelope.
 func (s *System) handleNack(h *host, m nackMsg, from simnet.NodeID) {
 	q := m.Q
-	q.settle()
+	s.settle(q)
 	s.trace(trace.PeerNack, q.ID, h.addr, from, "stale summary or false positive")
 	s.tryNextCandidate(h, q)
 }
@@ -361,8 +363,8 @@ func (s *System) handleFetch(h *host, m fetchMsg) {
 // serveQuery records the lookup metrics at the providing node and ships
 // the object to the requester.
 func (s *System) serveQuery(h *host, q *Query, remote bool, fromContentPeer bool) {
-	q.settle()
-	now := s.k.Now()
+	s.settle(q)
+	now := s.nowAt(q.Origin)
 	if !q.recorded {
 		src := metrics.SourceServer
 		if fromContentPeer {
@@ -374,7 +376,7 @@ func (s *System) serveQuery(h *host, q *Query, remote bool, fromContentPeer bool
 		}
 		lookup := float64(now - q.Start)
 		dist := s.topo.LatencyMs(h.addr, q.Origin)
-		s.mets.RecordQuery(now, src, lookup, dist)
+		s.metsAt(q.Origin).RecordQuery(now, src, lookup, dist)
 		q.recorded = true
 		s.traceServed(q, h.addr, src, lookup, dist)
 	}
@@ -383,7 +385,7 @@ func (s *System) serveQuery(h *host, q *Query, remote bool, fromContentPeer bool
 		h.cp.Site() == q.Site && h.cp.Locality() == q.OriginLoc {
 		// §4.2: a client served by a content peer of its own overlay seeds
 		// its view from that peer's view.
-		msg.ViewSeed = h.cp.ViewSeedFor(s.rng)
+		msg.ViewSeed = h.cp.ViewSeedFor(s.prand(h.addr))
 	}
 	s.net.Send(h.addr, q.Origin, simnet.CatTransfer, msg.wireBytes(s.cfg.ObjectBytes), msg)
 }
@@ -392,7 +394,7 @@ func (s *System) serveQuery(h *host, q *Query, remote bool, fromContentPeer bool
 // the overlay if admitted, push the content delta.
 func (s *System) handleServe(h *host, m serveMsg) {
 	q := m.Q
-	q.settle()
+	s.settle(q)
 	if q.finished {
 		return // duplicate delivery after a retry race
 	}
@@ -412,7 +414,7 @@ func (s *System) handleServe(h *host, m serveMsg) {
 		s.maybePush(h)
 	}
 	if q.needDirBootstrap {
-		s.stats.DirBootstraps++
+		s.statsAt(h.addr).DirBootstraps++
 		s.attemptDirJoin(h, q.Site, q.OriginLoc)
 	}
 }
@@ -421,7 +423,7 @@ func (s *System) handleServe(h *host, m serveMsg) {
 // directory is known yet; attemptDirJoin (run by the caller) will install
 // this peer as d(ws,loc) unless someone else won the race.
 func (s *System) joinFounder(h *host, q *Query) {
-	now := s.k.Now()
+	now := s.nowAt(h.addr)
 	h.cp = newContentPeerFor(h, q.Site, q.OriginLoc, s.cfg.Gossip, now)
 	s.hs.dirInstance[h.addr] = int32(q.targetInstance)
 	if stash := s.hs.stash[h.addr]; len(stash) > 0 {
@@ -431,10 +433,10 @@ func (s *System) joinFounder(h *host, q *Query) {
 		s.hs.stash[h.addr] = nil
 	}
 	if !s.hs.has(h.addr, hfAccounted) {
-		s.mets.PeerJoined(now)
+		s.metsAt(h.addr).PeerJoined(now)
 		s.hs.set(h.addr, hfAccounted)
 	}
-	s.stats.Joins++
+	s.statsAt(h.addr).Joins++
 	s.traceJoined(q, h, -1, true)
 	s.startContentPeerTickers(h)
 }
@@ -442,7 +444,7 @@ func (s *System) joinFounder(h *host, q *Query) {
 // joinOverlay turns a served client into a content peer of its locality's
 // overlay (§4.1 construction).
 func (s *System) joinOverlay(h *host, q *Query, m serveMsg) {
-	now := s.k.Now()
+	now := s.nowAt(h.addr)
 	h.cp = newContentPeerFor(h, q.Site, q.OriginLoc, s.cfg.Gossip, now)
 	h.cp.SetDir(q.handlerDir)
 	s.hs.dirInstance[h.addr] = int32(q.targetInstance)
@@ -460,10 +462,10 @@ func (s *System) joinOverlay(h *host, q *Query, m serveMsg) {
 		s.hs.stash[h.addr] = nil
 	}
 	if !s.hs.has(h.addr, hfAccounted) {
-		s.mets.PeerJoined(now)
+		s.metsAt(h.addr).PeerJoined(now)
 		s.hs.set(h.addr, hfAccounted)
 	}
-	s.stats.Joins++
+	s.statsAt(h.addr).Joins++
 	s.traceJoined(q, h, q.handlerDir, false)
 	s.startContentPeerTickers(h)
 }
@@ -476,7 +478,7 @@ func (s *System) dirViewSeed(h *host, exclude simnet.NodeID) []gossip.Entry {
 		return s.sparseDirViewSeed(h, exclude)
 	}
 	members := h.dir.Members()
-	s.rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+	s.prand(h.addr).Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
 	var seed []gossip.Entry
 	for _, m := range members {
 		if m == exclude {
@@ -507,7 +509,7 @@ func (s *System) sparseDirViewSeed(h *host, exclude simnet.NodeID) []gossip.Entr
 	var seed []gossip.Entry
 draws:
 	for tries := 0; tries < 4*want && len(seed) < want; tries++ {
-		m := h.dir.MemberAt(s.rng.Intn(n))
+		m := h.dir.MemberAt(s.prand(h.addr).Intn(n))
 		if m == exclude {
 			continue
 		}

@@ -23,8 +23,8 @@ func (s *System) startReplicationTicker(h *host) {
 	if s.cfg.ReplicationTopK <= 0 || s.hs.replTicker[h.addr] != nil {
 		return
 	}
-	offset := simkernel.Time(s.rng.Int63n(int64(s.cfg.ReplicationPeriod)))
-	s.hs.replTicker[h.addr] = s.k.Every(offset, s.cfg.ReplicationPeriod, func() { s.replicationTick(h) })
+	offset := simkernel.Time(s.prand(h.addr).Int63n(int64(s.cfg.ReplicationPeriod)))
+	s.hs.replTicker[h.addr] = s.hostKernel(h.addr).Every(offset, s.cfg.ReplicationPeriod, func() { s.replicationTick(h) })
 }
 
 // replicationTick runs at a directory: offer the top-K requested objects
@@ -55,7 +55,7 @@ func (s *System) replicationTick(h *host) {
 			}
 			offers = append(offers, ReplicaOffer{
 				Ref:    ref,
-				Holder: holders[s.rng.Intn(len(holders))],
+				Holder: holders[s.prand(h.addr).Intn(len(holders))],
 			})
 		}
 		if len(offers) == 0 {
@@ -81,7 +81,7 @@ func (s *System) handleReplicaOffer(h *host, m replicaOfferMsg) {
 		if len(h.dir.Holders(offer.Ref)) > 0 {
 			continue // raced: someone fetched it meanwhile
 		}
-		member := members[s.rng.Intn(len(members))]
+		member := members[s.prand(h.addr).Intn(len(members))]
 		s.net.Send(h.addr, member, simnet.CatReplication, bytesQueryCtl,
 			prefetchMsg{Ref: offer.Ref, Holder: offer.Holder})
 	}
@@ -113,7 +113,7 @@ func (s *System) handlePrefetchServe(h *host, m prefetchServeMsg) {
 		return
 	}
 	h.cp.AddObject(m.Ref)
-	s.stats.Prefetches++
+	s.statsAt(h.addr).Prefetches++
 	s.tracePrefetch(h, m.Ref)
 	s.maybePush(h)
 }

@@ -59,14 +59,22 @@ type System struct {
 	rng *rand.Rand
 	qid uint64
 
-	// gossipPool recycles gossip envelopes: an exchange's wrapper is
-	// returned here once its handler finishes, so steady-state gossip sends
-	// reuse records instead of allocating. Envelopes lost to dead receivers
-	// simply never come back — the pool refills on the next allocation.
-	gossipPool []*gossipMsg
-	// subsetPool recycles the view-subset slices travelling inside gossip
-	// envelopes, reclaimed together with their envelope.
-	subsetPool [][]gossip.Entry
+	// Sharded-mode state (Deps.Cells): one kernel, RNG and collector — and
+	// optionally one tracer — per topology locality. Nil/empty on the
+	// classic single-kernel path. The cells' clocks advance in lock-step
+	// epochs under simkernel.Engine; all cross-cell work executes on s.k
+	// (the coordination kernel) at epoch barriers.
+	cells       []*simkernel.Kernel
+	cellRng     []*rand.Rand
+	cellMets    []*metrics.Collector
+	cellTracers []trace.Tracer
+
+	// mpools recycles gossip envelopes and the view-subset slices
+	// travelling inside them, one pool per cell so parallel phases never
+	// share a free list (a single pool on the classic path). Envelopes
+	// lost to dead receivers simply never come back — a pool refills on
+	// the next allocation.
+	mpools []msgPool
 
 	// Long-lived bound callbacks for the AfterArg-scheduled
 	// failure-detection timeouts (see hoststate.go): bound once here so
@@ -76,16 +84,23 @@ type System struct {
 	joinLatchFn     func(uint64)
 
 	tracer trace.Tracer
-	stats  Stats
+	stats  []Stats // per cell; a single element on the classic path
 }
 
-// newGossipMsg takes an envelope from the pool (or allocates one) and
-// fills it.
-func (s *System) newGossipMsg(site model.SiteID, loc int, m overlay.GossipMsg) *gossipMsg {
+// msgPool is one cell's recycled gossip machinery.
+type msgPool struct {
+	gossip []*gossipMsg
+	subset [][]gossip.Entry
+}
+
+// newGossipMsg takes an envelope from a cell's pool (or allocates one)
+// and fills it.
+func (s *System) newGossipMsg(cell int, site model.SiteID, loc int, m overlay.GossipMsg) *gossipMsg {
+	p := &s.mpools[cell]
 	var g *gossipMsg
-	if n := len(s.gossipPool); n > 0 {
-		g = s.gossipPool[n-1]
-		s.gossipPool = s.gossipPool[:n-1]
+	if n := len(p.gossip); n > 0 {
+		g = p.gossip[n-1]
+		p.gossip = p.gossip[:n-1]
 	} else {
 		g = new(gossipMsg)
 	}
@@ -94,38 +109,126 @@ func (s *System) newGossipMsg(site model.SiteID, loc int, m overlay.GossipMsg) *
 }
 
 // putGossipMsg returns a fully-handled envelope — and the view-subset
-// buffer travelling inside it — to their pools. The handler must not
-// retain any reference to the envelope or its M field afterwards.
-func (s *System) putGossipMsg(g *gossipMsg) {
+// buffer travelling inside it — to their cell's pools. The handler must
+// not retain any reference to the envelope or its M field afterwards.
+func (s *System) putGossipMsg(cell int, g *gossipMsg) {
+	p := &s.mpools[cell]
 	if sub := g.M.ViewSubset; cap(sub) > 0 {
 		for i := range sub {
 			sub[i] = gossip.Entry{} // do not pin summaries while pooled
 		}
-		s.subsetPool = append(s.subsetPool, sub[:0])
+		p.subset = append(p.subset, sub[:0])
 	}
 	*g = gossipMsg{} // release the view-subset slice and summary pointers
-	s.gossipPool = append(s.gossipPool, g)
+	p.gossip = append(p.gossip, g)
 }
 
-// takeSubsetBuf takes an empty view-subset buffer from the pool (nil when
-// the pool is dry: the subset builder then allocates one that will join
-// the pool once its exchange completes).
-func (s *System) takeSubsetBuf() []gossip.Entry {
-	if n := len(s.subsetPool); n > 0 {
-		b := s.subsetPool[n-1]
-		s.subsetPool = s.subsetPool[:n-1]
+// takeSubsetBuf takes an empty view-subset buffer from a cell's pool (nil
+// when the pool is dry: the subset builder then allocates one that will
+// join the pool once its exchange completes).
+func (s *System) takeSubsetBuf(cell int) []gossip.Entry {
+	p := &s.mpools[cell]
+	if n := len(p.subset); n > 0 {
+		b := p.subset[n-1]
+		p.subset = p.subset[:n-1]
 		return b
 	}
 	return nil
 }
 
-// trace emits a protocol event when tracing is enabled.
-func (s *System) trace(kind trace.Kind, qid uint64, node, peer simnet.NodeID, detail string) {
-	if s.tracer == nil {
+// --- Execution-context helpers ---------------------------------------------
+//
+// Every helper takes the address of the host whose state is involved and
+// resolves to that host's cell on the sharded path, or to the single
+// shared context on the classic path. The non-foreign delivery invariant
+// (see payloadForeign and simnet's venue rules) guarantees that during a
+// parallel phase the executing kernel IS the addressed host's cell, so
+// these helpers never read another running kernel's state.
+
+// cellIdx returns the cell a node's state lives in (0 on the classic path).
+func (s *System) cellIdx(addr simnet.NodeID) int {
+	if s.cells == nil {
+		return 0
+	}
+	return s.net.CellOf(addr)
+}
+
+// prand is the RNG for draws involving a host's state: the host's cell
+// RNG on the sharded path, the system RNG otherwise. Venue staticness
+// makes each stream's draw order independent of worker count.
+func (s *System) prand(addr simnet.NodeID) *rand.Rand {
+	if s.cells == nil {
+		return s.rng
+	}
+	return s.cellRng[s.net.CellOf(addr)]
+}
+
+// metsAt is the collector accounting a host's events.
+func (s *System) metsAt(addr simnet.NodeID) *metrics.Collector {
+	if s.cells == nil {
+		return s.mets
+	}
+	return s.cellMets[s.net.CellOf(addr)]
+}
+
+// statsAt is the protocol-counter bank for a host's cell.
+func (s *System) statsAt(addr simnet.NodeID) *Stats {
+	return &s.stats[s.cellIdx(addr)]
+}
+
+// nowAt is the current simulated time in the execution context that owns
+// addr: the owning cell's clock during parallel phases, the coordination
+// kernel's clock during barriers and on the classic path.
+func (s *System) nowAt(addr simnet.NodeID) simkernel.Time {
+	if s.cells == nil || s.net.InBarrier() {
+		return s.k.Now()
+	}
+	return s.cells[s.net.CellOf(addr)].Now()
+}
+
+// hostKernel is the kernel a host's private timers (tickers, failure
+// timeouts) live on: the host's cell kernel when sharded, s.k otherwise.
+func (s *System) hostKernel(addr simnet.NodeID) *simkernel.Kernel {
+	if s.cells == nil {
+		return s.k
+	}
+	return s.cells[s.net.CellOf(addr)]
+}
+
+// tracing reports whether any tracer is installed (guard for the
+// formatting wrappers in tracefmt.go, which pay fmt.Sprintf when true).
+func (s *System) tracing() bool { return s.tracer != nil || s.cellTracers != nil }
+
+// settle invalidates a query's pending retry/redirect timeout. Cancelling
+// mutates the owning kernel's slot arena, so a parallel phase may only
+// cancel a timer owned by the executing cell's kernel; a timer armed
+// elsewhere (on the coordination kernel, by a barrier-context handler) is
+// abandoned instead — the token bump makes it fire as a no-op, which is
+// deterministic because the venue of every delivery is static.
+func (s *System) settle(q *Query) {
+	q.token++
+	if s.cells != nil && !s.net.InBarrier() &&
+		!q.pending.OwnedBy(s.cells[s.net.CellOf(q.Origin)]) {
+		q.pending = simkernel.TimerHandle{}
 		return
 	}
-	s.tracer.Record(trace.Event{
-		At: s.k.Now(), Kind: kind, QueryID: qid, Node: node, Peer: peer, Detail: detail,
+	q.pending.Cancel()
+	q.pending = simkernel.TimerHandle{}
+}
+
+// trace emits a protocol event when tracing is enabled. node must be the
+// host whose execution context the caller runs in (or a host of the same
+// cell): sharded runs route the event to that cell's tracer.
+func (s *System) trace(kind trace.Kind, qid uint64, node, peer simnet.NodeID, detail string) {
+	t := s.tracer
+	if s.cellTracers != nil {
+		t = s.cellTracers[s.net.CellOf(node)]
+	}
+	if t == nil {
+		return
+	}
+	t.Record(trace.Event{
+		At: s.nowAt(node), Kind: kind, QueryID: qid, Node: node, Peer: peer, Detail: detail,
 	})
 }
 
@@ -136,11 +239,25 @@ func New(cfg Config, deps Deps) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if deps.Kernel == nil || deps.Topo == nil || deps.Metrics == nil {
+	if deps.Kernel == nil || deps.Topo == nil {
+		return nil, fmt.Errorf("core: missing dependencies")
+	}
+	if deps.Cells == nil && deps.Metrics == nil {
 		return nil, fmt.Errorf("core: missing dependencies")
 	}
 	if deps.Topo.Localities() != cfg.Localities {
 		return nil, fmt.Errorf("core: topology has %d localities, config %d", deps.Topo.Localities(), cfg.Localities)
+	}
+	if deps.Cells != nil {
+		if len(deps.Cells) != cfg.Localities {
+			return nil, fmt.Errorf("core: %d cell kernels for %d localities", len(deps.Cells), cfg.Localities)
+		}
+		if len(deps.CellMetrics) != len(deps.Cells) {
+			return nil, fmt.Errorf("core: %d cell collectors for %d cells", len(deps.CellMetrics), len(deps.Cells))
+		}
+		if deps.CellTracers != nil && len(deps.CellTracers) != len(deps.Cells) {
+			return nil, fmt.Errorf("core: %d cell tracers for %d cells", len(deps.CellTracers), len(deps.Cells))
+		}
 	}
 	ks, err := dring.NewKeySpec(cfg.DRingBits, cfg.Localities, cfg.InstanceBits)
 	if err != nil {
@@ -160,10 +277,16 @@ func New(cfg Config, deps Deps) (*System, error) {
 			}
 		}
 	}
+	var net *simnet.Network
+	if deps.Cells != nil {
+		net = simnet.NewSharded(deps.Kernel, deps.Cells, deps.Topo)
+	} else {
+		net = simnet.New(deps.Kernel, deps.Topo)
+	}
 	s := &System{
 		cfg:       cfg,
 		k:         deps.Kernel,
-		net:       simnet.New(deps.Kernel, deps.Topo),
+		net:       net,
 		topo:      deps.Topo,
 		mets:      deps.Metrics,
 		in:        in,
@@ -176,8 +299,29 @@ func New(cfg Config, deps Deps) (*System, error) {
 		servers:   make(map[model.SiteID]simnet.NodeID),
 		rng:       deps.Kernel.DeriveRNG("flower-core"),
 		tracer:    deps.Tracer,
+		stats:     make([]Stats, 1),
+		mpools:    make([]msgPool, 1),
 	}
-	s.net.SetSink(deps.Metrics)
+	if deps.Cells != nil {
+		s.cells = deps.Cells
+		s.cellMets = deps.CellMetrics
+		s.cellTracers = deps.CellTracers
+		s.cellRng = make([]*rand.Rand, len(deps.Cells))
+		for i := range deps.Cells {
+			s.cellRng[i] = deps.Kernel.DeriveRNG(fmt.Sprintf("flower-core-cell-%d", i))
+		}
+		s.stats = make([]Stats, len(deps.Cells))
+		s.mpools = make([]msgPool, len(deps.Cells))
+		sinks := make([]simnet.TrafficSink, len(deps.CellMetrics))
+		for i, c := range deps.CellMetrics {
+			sinks[i] = c
+		}
+		s.net.SetCellSinks(sinks)
+		s.net.SetForeign(s.payloadForeign)
+		s.net.SetGlobalPayload(payloadGlobal)
+	} else {
+		s.net.SetSink(deps.Metrics)
+	}
 	s.gossipTimeoutFn = s.onGossipTimeout
 	s.kaTimeoutFn = s.onKaTimeout
 	s.joinLatchFn = s.onJoinLatchExpired
@@ -283,7 +427,7 @@ func (s *System) placeDirectoriesAndPools() error {
 				if active[site] {
 					// Active-site directories are accounted participants from t=0.
 					s.hs.set(addr, hfAccounted)
-					s.mets.PeerJoined(s.k.Now())
+					s.metsAt(addr).PeerJoined(s.k.Now())
 				}
 				s.hosts[addr] = h
 				s.net.Register(addr, h)
@@ -317,18 +461,20 @@ func (s *System) placeDirectoriesAndPools() error {
 func (s *System) startDirectoryTickers() {
 	for _, addr := range s.dirAddrs {
 		h := s.hosts[addr]
-		offset := simkernel.Time(s.rng.Int63n(int64(s.cfg.TGossip)))
-		s.hs.dirTicker[addr] = s.k.Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
+		offset := simkernel.Time(s.prand(addr).Int63n(int64(s.cfg.TGossip)))
+		s.hs.dirTicker[addr] = s.hostKernel(addr).Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
 		s.startReplicationTicker(h)
 	}
 }
 
 // startMaintenance launches Chord stabilization across D-ring members
-// (needed only under churn; a static ring stays converged).
+// (needed only under churn; a static ring stays converged). Stabilization
+// mutates the shared ring, so the tickers always live on the coordination
+// kernel: sharded runs stabilize at epoch barriers.
 func (s *System) startMaintenance(period simkernel.Time) {
 	for _, addr := range s.dirAddrs {
 		h := s.hosts[addr]
-		offset := simkernel.Time(s.rng.Int63n(int64(period)))
+		offset := simkernel.Time(s.prand(addr).Int63n(int64(period)))
 		s.hs.stabTicker[addr] = s.k.Every(offset, period, func() { s.maintainNode(h) })
 	}
 }
@@ -345,7 +491,7 @@ func (s *System) maintainNode(h *host) {
 	// Nominal control traffic for the round (stabilize + notify + finger
 	// lookups); not part of the paper's background metric.
 	if succ := h.dirNode.Successor(); succ != nil && succ != h.dirNode {
-		s.mets.RecordMessage(s.k.Now(), h.addr, succ.Addr(), simnet.CatMaintenance, 120)
+		s.metsAt(h.addr).RecordMessage(s.k.Now(), h.addr, succ.Addr(), simnet.CatMaintenance, 120)
 	}
 }
 
@@ -366,8 +512,19 @@ func (s *System) KeySpec() dring.KeySpec { return s.ks }
 // Config returns the system configuration (value copy).
 func (s *System) Config() Config { return s.cfg }
 
-// Stats returns protocol counters.
-func (s *System) Stats() Stats { return s.stats }
+// Stats returns protocol counters, summed across cells on a sharded run.
+func (s *System) Stats() Stats {
+	tot := s.stats[0]
+	for _, st := range s.stats[1:] {
+		tot.Joins += st.Joins
+		tot.DirReplacements += st.DirReplacements
+		tot.DirBootstraps += st.DirBootstraps
+		tot.GossipRejects += st.GossipRejects
+		tot.QueriesRetried += st.QueriesRetried
+		tot.Prefetches += st.Prefetches
+	}
+	return tot
+}
 
 // ServerOf returns the origin server node of a site.
 func (s *System) ServerOf(site model.SiteID) simnet.NodeID { return s.servers[site] }
@@ -448,20 +605,40 @@ func (s *System) Submit(wq workload.Query) {
 		return // outside the fixed object universe: nothing can hold it
 	}
 	s.qid++
+	s.submitQuery(s.qid, origin, h, wq)
+}
+
+// SubmitWithID is Submit under an externally assigned query identifier.
+// The sharded harness derives the ID from the workload stream position,
+// so every cell's pump hands out the exact IDs the classic sequential
+// pump would, regardless of how queries partition across cells.
+func (s *System) SubmitWithID(id uint64, wq workload.Query) {
+	origin := s.PoolNode(wq.SiteIdx, wq.Locality, wq.Member)
+	h := s.hosts[origin]
+	if h == nil || !s.net.Alive(origin) {
+		return
+	}
+	if wq.Object.Num < 0 || wq.Object.Num >= s.cfg.ObjectsPerSite {
+		return
+	}
+	s.submitQuery(id, origin, h, wq)
+}
+
+func (s *System) submitQuery(id uint64, origin simnet.NodeID, h *host, wq workload.Query) {
 	// The workload's active-site index is the interner's site index (the
 	// active sites lead cfg.Sites), so interning is pure arithmetic; it is
 	// recomputed here rather than trusted from the stream so replayed or
 	// hand-built queries can never smuggle a stale ref.
 	ref := s.in.RefFor(wq.SiteIdx, wq.Object.Num)
 	q := &Query{
-		ID:        s.qid,
+		ID:        id,
 		Origin:    origin,
 		OriginLoc: h.overlayLocality(),
 		SiteIdx:   wq.SiteIdx,
 		Site:      wq.Site,
 		Object:    wq.Object,
 		Ref:       ref,
-		Start:     s.k.Now(),
+		Start:     s.nowAt(origin),
 		NewClient: h.cp == nil,
 	}
 	if h.cp != nil {

@@ -16,7 +16,7 @@ import (
 // events go through s.trace directly.
 
 func (s *System) traceQuerySubmitted(q *Query, member bool) {
-	if s.tracer == nil {
+	if !s.tracing() {
 		return
 	}
 	kind := "new-client "
@@ -27,7 +27,7 @@ func (s *System) traceQuerySubmitted(q *Query, member bool) {
 }
 
 func (s *System) traceDirProcess(q *Query, h *host) {
-	if s.tracer == nil {
+	if !s.tracing() {
 		return
 	}
 	s.trace(trace.DirProcess, q.ID, h.addr, -1,
@@ -35,7 +35,7 @@ func (s *System) traceDirProcess(q *Query, h *host) {
 }
 
 func (s *System) traceServed(q *Query, provider simnet.NodeID, src metrics.Source, lookup, dist float64) {
-	if s.tracer == nil {
+	if !s.tracing() {
 		return
 	}
 	s.trace(trace.Served, q.ID, provider, q.Origin,
@@ -43,7 +43,7 @@ func (s *System) traceServed(q *Query, provider simnet.NodeID, src metrics.Sourc
 }
 
 func (s *System) traceJoined(q *Query, h *host, dir simnet.NodeID, founding bool) {
-	if s.tracer == nil {
+	if !s.tracing() {
 		return
 	}
 	if founding {
@@ -56,7 +56,7 @@ func (s *System) traceJoined(q *Query, h *host, dir simnet.NodeID, founding bool
 }
 
 func (s *System) traceDirSilent(h *host) {
-	if s.tracer == nil {
+	if !s.tracing() {
 		return
 	}
 	s.trace(trace.DirFailureDetected, 0, h.addr, -1,
@@ -64,7 +64,7 @@ func (s *System) traceDirSilent(h *host) {
 }
 
 func (s *System) traceDirReplaced(h *host) {
-	if s.tracer == nil {
+	if !s.tracing() {
 		return
 	}
 	s.trace(trace.DirReplaced, 0, h.addr, -1,
@@ -72,7 +72,7 @@ func (s *System) traceDirReplaced(h *host) {
 }
 
 func (s *System) traceDirHandoff(oldAddr, newAddr simnet.NodeID, site model.SiteID, loc int) {
-	if s.tracer == nil {
+	if !s.tracing() {
 		return
 	}
 	s.trace(trace.DirHandoff, 0, oldAddr, newAddr,
@@ -80,7 +80,7 @@ func (s *System) traceDirHandoff(oldAddr, newAddr simnet.NodeID, site model.Site
 }
 
 func (s *System) tracePrefetch(h *host, ref model.ObjectRef) {
-	if s.tracer == nil {
+	if !s.tracing() {
 		return
 	}
 	s.trace(trace.Prefetch, 0, h.addr, -1, s.in.Key(ref))

@@ -82,6 +82,20 @@ type Params struct {
 	// per CPU. It is an execution knob only — every point owns its kernel,
 	// topology and metrics stack, so results are independent of it.
 	Parallel int
+
+	// Shards switches a single run onto the locality-sharded event kernel:
+	// one private kernel per locality advanced in epoch lockstep, with all
+	// cross-locality work applied single-threaded at the barriers. The
+	// value is the worker-goroutine count only (clamped to the locality
+	// count); the decomposition and every rendezvous are fixed by the
+	// scenario, so results are byte-identical for any Shards ≥ 1. 0 keeps
+	// the classic single-kernel path.
+	Shards int
+
+	// MeasureMemory computes Result.BytesPerClient after the run (a forced
+	// GC plus ReadMemStats). Off by default so timing benchmarks never pay
+	// for the collection.
+	MeasureMemory bool
 }
 
 // DefaultParams returns the paper's full-scale setup (Table 1, §6.1/§6.2):
@@ -166,6 +180,7 @@ func Massive100kParams(seed int64) Params {
 	p.GossipLen = 3
 	p.BucketWidth = 30 * simkernel.Minute
 	p.SparseSeeds = true
+	p.Shards = 4 // locality-sharded kernel: the preset exists to stress scale
 	return p
 }
 
@@ -176,6 +191,7 @@ func Massive100kParams(seed int64) Params {
 // equivalence fixture — in seconds.
 func ShrunkMassiveParams(seed int64) Params {
 	p := Massive100kParams(seed)
+	p.Shards = 0 // classic kernel: the long-standing fixtures pin this path
 	p.Duration = 30 * simkernel.Minute
 	p.QueryRate = 30
 	p.Localities = 5

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -39,6 +40,20 @@ type Result struct {
 	// is the simulator-throughput datapoint charted against population.
 	Events      uint64
 	WallSeconds float64
+
+	// Sharded-run extras (zero on the classic path). ShardEvents counts
+	// events per locality cell and BarrierEvents the single-threaded
+	// coordination work; both are deterministic per seed. WorkerStallNs is
+	// wall-clock time each worker spent parked at epoch barriers waiting
+	// for stragglers — the load-imbalance signal, not deterministic.
+	ShardEvents   []uint64
+	BarrierEvents uint64
+	Epochs        uint64
+	WorkerStallNs []int64
+
+	// BytesPerClient is the post-run heap footprint per potential client,
+	// filled only when Params.MeasureMemory is set.
+	BytesPerClient float64
 }
 
 // EventsPerSecond returns the simulator throughput of the run (kernel
@@ -67,6 +82,9 @@ func RunFlower(p Params) (Result, error) {
 // RunFlowerTraced is RunFlower with protocol tracing: up to traceCapacity
 // events are retained in the returned buffer (0 disables tracing).
 func RunFlowerTraced(p Params, traceCapacity int) (Result, *trace.Buffer, error) {
+	if p.Shards > 0 {
+		return runFlowerSharded(p, traceCapacity)
+	}
 	if err := p.Validate(); err != nil {
 		return Result{}, nil, err
 	}
@@ -107,14 +125,19 @@ func RunFlowerTraced(p Params, traceCapacity int) (Result, *trace.Buffer, error)
 		})
 	}
 	events, wall := timedRun(kernel, p.Duration)
-	return Result{
+	res := Result{
 		Kind:        KindFlower,
 		Report:      mets.Snapshot(p.Duration),
 		Stats:       sys.Stats(),
 		Params:      p,
 		Events:      events,
 		WallSeconds: wall,
-	}, buf, nil
+	}
+	if p.MeasureMemory {
+		res.BytesPerClient = bytesPerClientOf(pools)
+		runtime.KeepAlive(sys) // keep the measured state reachable during GC
+	}
+	return res, buf, nil
 }
 
 // RunSquirrel executes the baseline with the identical topology seed,

@@ -58,12 +58,13 @@ func DirStressParams(seed int64) Params {
 // PopulationPoint is one cell of the events/sec-vs-population chart: the
 // shrunk 100k-preset shape run at a given total client population.
 type PopulationPoint struct {
-	Clients      int // total potential clients across active sites
-	Events       uint64
-	WallSeconds  float64
-	EventsPerSec float64
-	HitRatio     float64
-	Joins        int
+	Clients        int // total potential clients across active sites
+	Events         uint64
+	WallSeconds    float64
+	EventsPerSec   float64
+	HitRatio       float64
+	Joins          int
+	BytesPerClient float64 // post-run heap footprint per potential client
 }
 
 // PopulationParams scales the shrunk 100k-preset shape to a total client
@@ -96,17 +97,19 @@ func PopulationSweep(seed int64, populations []int) ([]PopulationPoint, error) {
 	out := make([]PopulationPoint, 0, len(populations))
 	for i, pop := range populations {
 		p := PopulationParams(PointSeed(seed, i), pop)
+		p.MeasureMemory = true // the sweep charts bytes/client alongside events/sec
 		res, err := RunFlower(p)
 		if err != nil {
 			return nil, fmt.Errorf("population %d: %w", pop, err)
 		}
 		out = append(out, PopulationPoint{
-			Clients:      pop,
-			Events:       res.Events,
-			WallSeconds:  res.WallSeconds,
-			EventsPerSec: res.EventsPerSecond(),
-			HitRatio:     res.Report.HitRatio,
-			Joins:        res.Stats.Joins,
+			Clients:        pop,
+			Events:         res.Events,
+			WallSeconds:    res.WallSeconds,
+			EventsPerSec:   res.EventsPerSecond(),
+			HitRatio:       res.Report.HitRatio,
+			Joins:          res.Stats.Joins,
+			BytesPerClient: res.BytesPerClient,
 		})
 	}
 	return out, nil

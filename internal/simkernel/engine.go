@@ -1,0 +1,222 @@
+// Epoch-stepped parallel driver for a set of independent kernels.
+//
+// The Engine advances a fleet of per-shard kernels ("cells") plus one
+// serial coordination kernel through fixed-width virtual-time epochs. In
+// the parallel phase every cell runs its private event queue up to the
+// epoch boundary — cells share no mutable state, so the phase parallelises
+// across worker goroutines with no locking inside the kernels. At the
+// boundary the workers park and the barrier callback runs single-threaded:
+// it drains the coordination kernel and imports cross-cell mail in a fixed
+// order, so results are a pure function of the scenario — byte-identical
+// for any worker count, including 1.
+//
+// Virtual time never exceeds the boundary inside a phase, so two cells can
+// never observe each other at divergent clocks: all inter-cell effects are
+// applied at the barrier with every kernel parked exactly at the boundary.
+//
+// When no kernel has an event before the next boundary the engine
+// fast-forwards: it jumps straight to the epoch containing the earliest
+// pending record (a cheap heap peek), so idle stretches cost one barrier
+// rather than one barrier per empty epoch.
+package simkernel
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Engine steps cells and a coordination kernel through epoch barriers.
+type Engine struct {
+	cells   []*Kernel
+	width   Time
+	workers int
+
+	// preParallel runs single-threaded immediately before the workers are
+	// released into an epoch (used to flip the harness out of barrier
+	// mode); barrier runs single-threaded at each boundary and returns the
+	// number of events it processed (coordination kernel + mail import).
+	preParallel func()
+	barrier     func(boundary Time) uint64
+
+	// earliestExtra lets the barrier owner report pending coordination
+	// events so fast-forward accounts for them.
+	earliestExtra func() (Time, bool)
+
+	cellEvents    []uint64
+	barrierEvents uint64
+	epochs        uint64
+	stallNs       []int64
+
+	idx    int64 // atomic: next cell to claim within the current epoch
+	workCh []chan Time
+	doneCh chan struct{}
+}
+
+// NewEngine builds an epoch engine over cells. width is the epoch length
+// (at most the minimum cross-cell latency for exact-arrival fidelity;
+// larger widths stay deterministic but defer cross-cell delivery).
+// workers is the number of goroutines draining cells each epoch; values
+// below 1 or above len(cells) are clamped. The callbacks may be nil.
+func NewEngine(cells []*Kernel, width Time, workers int, preParallel func(), barrier func(Time) uint64, earliestExtra func() (Time, bool)) *Engine {
+	if width <= 0 {
+		panic("simkernel: non-positive epoch width")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	return &Engine{
+		cells:         cells,
+		width:         width,
+		workers:       workers,
+		preParallel:   preParallel,
+		barrier:       barrier,
+		earliestExtra: earliestExtra,
+		cellEvents:    make([]uint64, len(cells)),
+		stallNs:       make([]int64, workers),
+	}
+}
+
+// earliest returns the minimum pending-event time across all cells and the
+// coordination kernel (via earliestExtra), or false when everything is idle.
+func (e *Engine) earliest() (Time, bool) {
+	var min Time
+	found := false
+	note := func(t Time, ok bool) {
+		if ok && (!found || t < min) {
+			min, found = t, true
+		}
+	}
+	for _, c := range e.cells {
+		t, ok := c.NextEvent()
+		note(t, ok)
+	}
+	if e.earliestExtra != nil {
+		note(e.earliestExtra())
+	}
+	return min, found
+}
+
+// Run advances all cells to until, epoch by epoch, and returns the number
+// of events processed (cells plus barrier work). It may be called again to
+// continue from the previous boundary.
+func (e *Engine) Run(until Time) uint64 {
+	before := e.barrierEvents
+	for _, n := range e.cellEvents {
+		before += n
+	}
+	b := e.cells[0].Now() // all kernels agree on the boundary between runs
+	if e.workers > 1 {
+		e.startWorkers()
+		defer e.stopWorkers()
+	}
+	for b < until {
+		next := b + e.width
+		if min, ok := e.earliest(); ok {
+			if min > next {
+				// Fast-forward to the boundary of the epoch holding the
+				// earliest record: ((min-1)/width+1)*width is the smallest
+				// boundary >= min.
+				next = ((min-1)/e.width + 1) * e.width
+			}
+		} else {
+			next = until // nothing pending anywhere: idle to the horizon
+		}
+		if next > until {
+			next = until
+		}
+		if e.preParallel != nil {
+			e.preParallel()
+		}
+		if e.workers <= 1 {
+			for i, c := range e.cells {
+				e.cellEvents[i] += c.Run(next)
+			}
+		} else {
+			e.runParallel(next)
+		}
+		if e.barrier != nil {
+			e.barrierEvents += e.barrier(next)
+		}
+		b = next
+		e.epochs++
+	}
+	total := e.barrierEvents
+	for _, n := range e.cellEvents {
+		total += n
+	}
+	return total - before
+}
+
+func (e *Engine) startWorkers() {
+	e.workCh = make([]chan Time, e.workers)
+	e.doneCh = make(chan struct{}, e.workers)
+	for w := 0; w < e.workers; w++ {
+		e.workCh[w] = make(chan Time, 1)
+		go e.worker(w)
+	}
+}
+
+func (e *Engine) stopWorkers() {
+	for _, ch := range e.workCh {
+		close(ch)
+	}
+	e.workCh = nil
+}
+
+// worker drains cells claimed through the shared atomic cursor until the
+// epoch is exhausted, then reports done and waits for the next epoch. Time
+// spent waiting at the barrier is accumulated per worker so locality load
+// imbalance is visible to the harness.
+func (e *Engine) worker(w int) {
+	var idleSince time.Time
+	for b := range e.workCh[w] {
+		if !idleSince.IsZero() {
+			e.stallNs[w] += time.Since(idleSince).Nanoseconds()
+		}
+		for {
+			i := atomic.AddInt64(&e.idx, 1) - 1
+			if i >= int64(len(e.cells)) {
+				break
+			}
+			// Distinct workers always hold distinct cells, so the per-cell
+			// counter update needs no synchronisation.
+			e.cellEvents[i] += e.cells[i].Run(b)
+		}
+		idleSince = time.Now()
+		e.doneCh <- struct{}{}
+	}
+}
+
+// runParallel runs one epoch across the persistent workers and waits for
+// all of them to park.
+func (e *Engine) runParallel(boundary Time) {
+	atomic.StoreInt64(&e.idx, 0)
+	for _, ch := range e.workCh {
+		ch <- boundary
+	}
+	for range e.workCh {
+		<-e.doneCh
+	}
+}
+
+// CellEvents returns the cumulative events processed per cell. The slice
+// is live; callers must not modify it and should read it only while the
+// engine is idle.
+func (e *Engine) CellEvents() []uint64 { return e.cellEvents }
+
+// BarrierEvents returns the cumulative events processed by barrier phases.
+func (e *Engine) BarrierEvents() uint64 { return e.barrierEvents }
+
+// Epochs returns how many epoch barriers have run.
+func (e *Engine) Epochs() uint64 { return e.epochs }
+
+// WorkerStallNs returns the cumulative wall-clock nanoseconds each worker
+// spent parked at barriers waiting for stragglers — the load-imbalance
+// signal. Indexed by worker, valid only while the engine is idle.
+func (e *Engine) WorkerStallNs() []int64 { return e.stallNs }
+
+// Workers returns the effective worker count after clamping.
+func (e *Engine) Workers() int { return e.workers }

@@ -1,0 +1,145 @@
+package simkernel
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// engineHarness is a miniature sharded workload: every cell runs a ticker
+// that logs locally and posts mail to the next cell; mail is imported at
+// barriers in (srcCell, FIFO) order. The full log therefore captures both
+// intra-cell scheduling and the cross-cell rendezvous, so comparing logs
+// across worker counts checks the determinism contract end to end.
+type engineHarness struct {
+	cells []*Kernel
+	out   [][]mail   // per-src-cell outbox, drained at each barrier
+	logs  [][]string // per-cell event log (only the owning cell appends)
+	coord *Kernel    // serial coordination kernel drained at barriers
+}
+
+type mail struct {
+	src, dst int
+	at       Time
+}
+
+func newEngineHarness(numCells int, seed int64) *engineHarness {
+	h := &engineHarness{
+		cells: make([]*Kernel, numCells),
+		out:   make([][]mail, numCells),
+		logs:  make([][]string, numCells),
+	}
+	for i := range h.cells {
+		h.cells[i] = New(int64(Mix64(uint64(seed) ^ uint64(i+1))))
+	}
+	h.coord = New(seed)
+	for i := range h.cells {
+		i := i
+		period := Time(7 + 3*i)
+		h.cells[i].Every(period, period, func() {
+			k := h.cells[i]
+			h.logs[i] = append(h.logs[i], fmt.Sprintf("c%d tick @%d", i, k.Now()))
+			if k.Now()%3 == 0 { // some ticks post cross-cell mail
+				h.out[i] = append(h.out[i], mail{src: i, dst: (i + 1) % numCells, at: k.Now() + 15})
+			}
+		})
+	}
+	h.coord.Every(50, 50, func() {
+		h.logs[0] = append(h.logs[0], fmt.Sprintf("coord @%d", h.coord.Now()))
+	})
+	return h
+}
+
+func (h *engineHarness) barrier(b Time) uint64 {
+	n := h.coord.Run(b)
+	for src := range h.out {
+		for _, m := range h.out[src] {
+			m := m
+			h.cells[m.dst].At(m.at, func() {
+				h.logs[m.dst] = append(h.logs[m.dst], fmt.Sprintf("c%d mail from c%d @%d", m.dst, m.src, h.cells[m.dst].Now()))
+			})
+		}
+		h.out[src] = h.out[src][:0]
+	}
+	return n
+}
+
+func (h *engineHarness) run(workers int, until Time) ([][]string, []uint64, uint64) {
+	eng := NewEngine(h.cells, 10, workers, nil, h.barrier, h.coord.NextEvent)
+	total := eng.Run(until)
+	counts := append([]uint64(nil), eng.CellEvents()...)
+	return h.logs, counts, total
+}
+
+// TestEngineDeterministicAcrossWorkers is the determinism contract in
+// miniature: the same scenario must produce identical per-cell logs and
+// event counts for any worker count.
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	const until = 2000
+	refLogs, refCounts, refTotal := newEngineHarness(5, 42).run(1, until)
+	for _, workers := range []int{2, 4, 8} {
+		logs, counts, total := newEngineHarness(5, 42).run(workers, until)
+		if !reflect.DeepEqual(logs, refLogs) {
+			t.Fatalf("workers=%d: logs diverge from workers=1", workers)
+		}
+		if !reflect.DeepEqual(counts, refCounts) {
+			t.Fatalf("workers=%d: cell event counts %v != %v", workers, counts, refCounts)
+		}
+		if total != refTotal {
+			t.Fatalf("workers=%d: total %d != %d", workers, total, refTotal)
+		}
+	}
+	if refTotal == 0 {
+		t.Fatal("harness processed no events")
+	}
+}
+
+// TestEngineFastForward checks that idle stretches cost one barrier, not
+// one barrier per empty epoch, and that events still fire at exact times.
+func TestEngineFastForward(t *testing.T) {
+	cell := New(1)
+	var fired []Time
+	cell.At(5, func() { fired = append(fired, cell.Now()) })
+	cell.At(100_000, func() { fired = append(fired, cell.Now()) })
+	eng := NewEngine([]*Kernel{cell}, 10, 1, nil, nil, nil)
+	eng.Run(200_000)
+	want := []Time{5, 100_000}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	// 10ms epochs over 200s would be 20k barriers; fast-forward should
+	// collapse the idle stretches to a handful.
+	if eng.Epochs() > 10 {
+		t.Fatalf("expected fast-forward, got %d epochs", eng.Epochs())
+	}
+	if cell.Now() != 200_000 {
+		t.Fatalf("cell clock %d, want 200000", cell.Now())
+	}
+}
+
+// TestEngineBoundaryClamp verifies cells never run past a boundary and the
+// final partial epoch lands exactly on the horizon.
+func TestEngineBoundaryClamp(t *testing.T) {
+	cells := []*Kernel{New(1), New(2)}
+	var maxSeen Time
+	var boundary Time
+	cells[0].Every(1, 1, func() {
+		if now := cells[0].Now(); now > maxSeen {
+			maxSeen = now
+		}
+	})
+	eng := NewEngine(cells, 10, 1, nil, func(b Time) uint64 {
+		boundary = b
+		if maxSeen > b {
+			t.Fatalf("cell ran to %d past boundary %d", maxSeen, b)
+		}
+		return 0
+	}, nil)
+	eng.Run(95)
+	if boundary != 95 {
+		t.Fatalf("last boundary %d, want 95", boundary)
+	}
+	if cells[1].Now() != 95 {
+		t.Fatalf("idle cell clock %d, want 95", cells[1].Now())
+	}
+}

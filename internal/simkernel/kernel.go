@@ -184,6 +184,12 @@ func (h TimerHandle) Cancel() bool {
 	return true
 }
 
+// OwnedBy reports whether the timer was scheduled on k. A zero handle is
+// owned by no kernel. Sharded callers use this to avoid cancelling a timer
+// that lives on another cell's kernel from a parallel phase: such timers
+// are instead abandoned (handle zeroed, token bumped) and fire as no-ops.
+func (h TimerHandle) OwnedBy(k *Kernel) bool { return h.k == k && k != nil }
+
 // Active reports whether the timer is still scheduled to fire.
 func (h TimerHandle) Active() bool {
 	if h.k == nil {
@@ -265,6 +271,16 @@ func (k *Kernel) Elided() uint64 { return k.elided }
 // Pending reports how many live timers are waiting to fire. Cancelled
 // entries still occupying the heap are not counted.
 func (k *Kernel) Pending() int { return k.live }
+
+// NextEvent returns the timestamp of the earliest heap record, if any.
+// The record may be a lazily-cancelled timer that will be elided without
+// firing, so the returned time is a lower bound on the next real event —
+// exactly what the epoch engine needs to fast-forward over idle stretches
+// without ever skipping work.
+func (k *Kernel) NextEvent() (Time, bool) {
+	ev, ok := k.queue.peek()
+	return ev.at, ok
+}
 
 // alloc takes a slot from the free list (or grows the arena) and bumps its
 // generation. The caller installs the callback.

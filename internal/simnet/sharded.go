@@ -1,0 +1,241 @@
+// Locality-sharded network: the same message-passing model as Network,
+// but over a fleet of per-cell kernels plus one serial coordination
+// kernel, for the epoch-barrier engine in simkernel.
+//
+// Delivery venue rules keep the parallel phases race-free:
+//
+//   - a message between two nodes of the same cell whose payload is not
+//     foreign to that cell rides the cell's private lane — the identical
+//     slab + free-list + bound-callback fast path as the classic network,
+//     scheduled on the cell's own kernel (zero allocations in steady
+//     state);
+//   - everything else (cross-cell messages, payloads the protocol marks
+//     foreign to the destination cell, and payloads marked global) must
+//     execute single-threaded: posted from a parallel phase it goes to
+//     the per-source-cell mailbox and is imported into the coordination
+//     kernel at the next epoch barrier; posted from barrier context it is
+//     scheduled directly.
+//
+// The mailbox import order is fixed — ascending source cell, FIFO within
+// a cell — and the coordination kernel breaks timestamp ties by schedule
+// order, so cross-cell delivery is totally ordered by (epoch, srcCell,
+// seq) no matter how the parallel phase interleaved across workers.
+package simnet
+
+import (
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/topology"
+)
+
+// lane is one cell's private delivery machinery: the same pooled-slab
+// design as the classic Network, bound to the cell's kernel. The
+// coordination kernel gets a lane of its own for barrier-time deliveries.
+type lane struct {
+	net     *Network
+	kernel  *simkernel.Kernel
+	pending []Message
+	free    []uint32
+	deliver func(uint64)
+
+	sent    uint64
+	dropped uint64
+}
+
+func newLane(n *Network, k *simkernel.Kernel) *lane {
+	l := &lane{net: n, kernel: k}
+	l.deliver = l.deliverPending
+	return l
+}
+
+// post stores the message in the lane's slab and schedules delivery on the
+// lane's kernel at the absolute time at.
+func (l *lane) post(at simkernel.Time, m Message) {
+	var idx uint32
+	if n := len(l.free); n > 0 {
+		idx = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		l.pending = append(l.pending, Message{})
+		idx = uint32(len(l.pending) - 1)
+	}
+	l.pending[idx] = m
+	l.kernel.AtArg(at, l.deliver, uint64(idx))
+}
+
+func (l *lane) deliverPending(arg uint64) {
+	idx := uint32(arg)
+	msg := l.pending[idx]
+	l.pending[idx].Payload = nil
+	l.free = append(l.free, idx)
+	n := l.net
+	if !n.alive[msg.To] || n.handlers[msg.To] == nil {
+		l.dropped++
+		return
+	}
+	n.handlers[msg.To].HandleMessage(msg)
+}
+
+// Mailbox buffers cross-cell messages posted during parallel phases. Each
+// source cell appends to its own slot (no sharing), and Drain visits
+// messages in ascending source-cell order, FIFO within a cell — the
+// deterministic total order the rendezvous contract requires.
+type Mailbox struct {
+	box [][]Message
+}
+
+// NewMailbox creates a mailbox for the given number of source cells.
+func NewMailbox(cells int) *Mailbox {
+	return &Mailbox{box: make([][]Message, cells)}
+}
+
+// Post appends a message to src's slot. Safe to call concurrently from
+// different source cells (never concurrently for the same src).
+func (mb *Mailbox) Post(src int, m Message) {
+	mb.box[src] = append(mb.box[src], m)
+}
+
+// Drain visits every posted message in (srcCell, FIFO) order and empties
+// the mailbox, retaining slot capacity. Single-threaded.
+func (mb *Mailbox) Drain(visit func(src int, m Message)) {
+	for src := range mb.box {
+		slot := mb.box[src]
+		for i := range slot {
+			visit(src, slot[i])
+		}
+		for i := range slot {
+			slot[i].Payload = nil
+		}
+		mb.box[src] = slot[:0]
+	}
+}
+
+// Pending reports how many messages are buffered.
+func (mb *Mailbox) Pending() int {
+	n := 0
+	for _, slot := range mb.box {
+		n += len(slot)
+	}
+	return n
+}
+
+// NewSharded creates a locality-sharded network: cells[i] drives the
+// nodes whose topology locality is i, and global is the serial
+// coordination kernel that executes all cross-cell work at epoch
+// barriers. The network starts in barrier mode (construction is
+// single-threaded).
+func NewSharded(global *simkernel.Kernel, cells []*simkernel.Kernel, topo *topology.Topology) *Network {
+	n := New(global, topo)
+	n.cells = cells
+	n.cellOf = make([]int32, topo.NumNodes())
+	for id := 0; id < topo.NumNodes(); id++ {
+		n.cellOf[id] = int32(topo.LocalityOf(NodeID(id)))
+	}
+	n.lanes = make([]*lane, len(cells))
+	for i, k := range cells {
+		n.lanes[i] = newLane(n, k)
+	}
+	n.globalLane = newLane(n, global)
+	n.mail = NewMailbox(len(cells))
+	n.inBarrier = true
+	return n
+}
+
+// Sharded reports whether this network runs over per-cell kernels.
+func (n *Network) Sharded() bool { return n.lanes != nil }
+
+// NumCells returns the number of cells (0 for a classic network).
+func (n *Network) NumCells() int { return len(n.lanes) }
+
+// CellOf returns the cell index of a node. Only valid on sharded networks.
+func (n *Network) CellOf(id NodeID) int { return int(n.cellOf[id]) }
+
+// SetForeign installs the protocol's payload classifier: it reports
+// whether delivering payload to a node of dstCell would touch state owned
+// by another cell (e.g. a query whose origin lives elsewhere), forcing the
+// delivery onto the coordination kernel.
+func (n *Network) SetForeign(fn func(payload any, dstCell int) bool) { n.foreignFn = fn }
+
+// SetGlobalPayload installs the classifier for payloads that must always
+// execute on the coordination kernel (e.g. DHT ring mutations), regardless
+// of the endpoints' cells.
+func (n *Network) SetGlobalPayload(fn func(payload any) bool) { n.globalFn = fn }
+
+// SetCellSinks installs one traffic sink per cell; message accounting goes
+// to the sender's cell so parallel phases never share a sink. Overrides
+// any SetSink for sharded sends.
+func (n *Network) SetCellSinks(sinks []TrafficSink) { n.cellSinks = sinks }
+
+// EnterBarrier switches the network into single-threaded barrier mode:
+// sends schedule directly into destination kernels (all workers are
+// parked). Must only be called by the epoch engine's barrier phase.
+func (n *Network) EnterBarrier() { n.inBarrier = true }
+
+// ExitBarrier returns the network to parallel mode; cross-cell sends go to
+// the mailbox again.
+func (n *Network) ExitBarrier() { n.inBarrier = false }
+
+// InBarrier reports whether the network is in single-threaded barrier
+// mode. During construction it is true.
+func (n *Network) InBarrier() bool { return n.inBarrier }
+
+// venueGlobal decides whether a message must execute on the coordination
+// kernel rather than the destination cell's lane.
+func (n *Network) venueGlobal(srcCell, dstCell int, payload any) bool {
+	if srcCell != dstCell {
+		return true
+	}
+	if n.globalFn != nil && n.globalFn(payload) {
+		return true
+	}
+	return n.foreignFn != nil && n.foreignFn(payload, dstCell)
+}
+
+// sendSharded is Send for sharded networks; see the package comment for
+// the venue rules.
+func (n *Network) sendSharded(from, to NodeID, cat Category, bytes int, payload any) {
+	src := int(n.cellOf[from])
+	if !n.alive[from] {
+		n.lanes[src].dropped++
+		return
+	}
+	dst := int(n.cellOf[to])
+	var now simkernel.Time
+	if n.inBarrier {
+		now = n.kernel.Now()
+	} else {
+		now = n.cells[src].Now()
+	}
+	if n.cellSinks != nil {
+		if s := n.cellSinks[src]; s != nil {
+			s.RecordMessage(now, from, to, cat, bytes)
+		}
+	}
+	n.lanes[src].sent++
+	m := Message{From: from, To: to, Payload: payload, Bytes: bytes, Category: cat, SentAt: now}
+	global := n.venueGlobal(src, dst, payload)
+	if n.inBarrier {
+		at := now + n.topo.Latency(from, to)
+		if global {
+			n.globalLane.post(at, m)
+		} else {
+			n.lanes[dst].post(at, m)
+		}
+		return
+	}
+	if !global { // src == dst here: the intra-cell zero-alloc fast path
+		n.lanes[src].post(now+n.topo.Latency(from, to), m)
+		return
+	}
+	n.mail.Post(src, m)
+}
+
+// ImportMail drains the cross-cell mailbox into the coordination kernel at
+// exact arrival times (SentAt + link latency), in (srcCell, FIFO) order.
+// Called single-threaded at each epoch barrier; arrivals always land
+// strictly after the barrier because the epoch width never exceeds the
+// minimum cross-cell latency.
+func (n *Network) ImportMail() {
+	n.mail.Drain(func(src int, m Message) {
+		n.globalLane.post(m.SentAt+n.topo.Latency(m.From, m.To), m)
+	})
+}

@@ -114,6 +114,19 @@ type Network struct {
 
 	sent    uint64
 	dropped uint64
+
+	// Sharded-mode state (see sharded.go); nil on a classic network. When
+	// lanes is non-nil, kernel is the serial coordination kernel and every
+	// node's events run on cells[cellOf[node]] between epoch barriers.
+	cells      []*simkernel.Kernel
+	cellOf     []int32
+	lanes      []*lane
+	globalLane *lane
+	mail       *Mailbox
+	cellSinks  []TrafficSink
+	foreignFn  func(payload any, dstCell int) bool
+	globalFn   func(payload any) bool
+	inBarrier  bool
 }
 
 // New creates a network over topo driven by kernel. All nodes start alive
@@ -166,6 +179,10 @@ func (n *Network) Latency(a, b NodeID) simkernel.Time { return n.topo.Latency(a,
 // message is accounted at send time and delivered after the link latency,
 // unless the receiver is dead or handler-less at delivery time.
 func (n *Network) Send(from, to NodeID, cat Category, bytes int, payload any) {
+	if n.lanes != nil {
+		n.sendSharded(from, to, cat, bytes, payload)
+		return
+	}
 	if !n.alive[from] {
 		n.dropped++
 		return
@@ -207,9 +224,26 @@ func (n *Network) deliverPending(arg uint64) {
 	n.handlers[msg.To].HandleMessage(msg)
 }
 
-// Sent reports the number of messages accepted for transmission.
-func (n *Network) Sent() uint64 { return n.sent }
+// Sent reports the number of messages accepted for transmission. On a
+// sharded network, call only while parked (construction, barrier, or
+// after the run).
+func (n *Network) Sent() uint64 {
+	total := n.sent
+	for _, l := range n.lanes {
+		total += l.sent
+	}
+	return total
+}
 
 // Dropped reports the number of messages lost to dead or handler-less
-// endpoints.
-func (n *Network) Dropped() uint64 { return n.dropped }
+// endpoints. Same concurrency caveat as Sent.
+func (n *Network) Dropped() uint64 {
+	total := n.dropped
+	for _, l := range n.lanes {
+		total += l.dropped
+	}
+	if n.globalLane != nil {
+		total += n.globalLane.dropped
+	}
+	return total
+}

@@ -25,7 +25,11 @@ run() { # run <benchtime> <pattern> <packages...>
   # a small fixed count keeps the script fast while staying comparable.
   run "$benchtime" 'CampaignSequential$' .
   # Population-scale chart: the shrunk 100k-preset shape at growing
-  # populations, reporting simulator throughput as events/sec.
+  # populations, reporting simulator throughput as events/sec. The
+  # pattern also matches PopulationScaleParallel (the locality-sharded
+  # kernel with one worker per CPU); its cells carry a "shards" metric
+  # and every events/sec cell records GOMAXPROCS, so bench_compare.sh
+  # can refuse to compare cells measured under different parallelism.
   run "$benchtime" 'PopulationScale' .
   # Substrate micro-benchmarks: hot-path costs, higher iteration counts.
   run 1000x 'QueryPath$' ./internal/core
@@ -38,20 +42,28 @@ run() { # run <benchtime> <pattern> <packages...>
 } | awk -v pr="$n" '
   BEGIN { printf "{\n  \"pr\": %s,\n  \"benchmarks\": [\n", pr; first = 1 }
   {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""; eps = ""
+    # The -N suffix Go appends to benchmark names is GOMAXPROCS; keep it
+    # so throughput cells are tagged with the parallelism they ran under.
+    name = $1; gmp = ""
+    if (match(name, /-[0-9]+$/)) { gmp = substr(name, RSTART + 1); sub(/-[0-9]+$/, "", name) }
+    ns = ""; bytes = ""; allocs = ""; eps = ""; shards = ""
     for (i = 2; i <= NF; i++) {
       if ($(i+1) == "ns/op") ns = $i
       if ($(i+1) == "B/op") bytes = $i
       if ($(i+1) == "allocs/op") allocs = $i
       if ($(i+1) == "events/sec") eps = $i
+      if ($(i+1) == "shards") shards = $i
     }
     if (ns == "") next
     if (!first) printf ",\n"
     first = 0
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
       name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
-    if (eps != "") printf ", \"events_per_sec\": %s", eps
+    if (eps != "") {
+      printf ", \"events_per_sec\": %s", eps
+      printf ", \"gomaxprocs\": %s", (gmp == "" ? "null" : gmp)
+      if (shards != "") printf ", \"shards\": %.0f", shards
+    }
     printf "}"
   }
   END { printf "\n  ]\n}\n" }

@@ -92,6 +92,24 @@ while IFS= read -r cell; do
 done < <(grep -oh '"name": "BenchmarkPopulationScale/[^"]*"' "$old" "$new" |
   sed 's/"name": "//; s/"$//' | sort -u)
 
+# Parallel (locality-sharded) population cells are only like-for-like
+# when both snapshots ran the same worker count on the same number of
+# CPUs — the bench sizes shards to GOMAXPROCS, so a laptop snapshot and
+# a workstation snapshot measure different machines AND different
+# configurations. Mismatched or missing tags skip the gate with a note.
+while IFS= read -r cell; do
+  os=$(extract "$old" "$cell" shards); ns=$(extract "$new" "$cell" shards)
+  og=$(extract "$old" "$cell" gomaxprocs); ng=$(extract "$new" "$cell" gomaxprocs)
+  if [ -z "$os" ] || [ -z "$ns" ] || [ "$os" != "$ns" ] || [ "$og" != "$ng" ]; then
+    echo "bench_compare: $cell not like-for-like (shards $os->$ns, gomaxprocs $og->$ng); skipped"
+    continue
+  fi
+  compare "$cell (shards=$ns)" \
+    "$(extract "$old" "$cell" events_per_sec)" \
+    "$(extract "$new" "$cell" events_per_sec)" down
+done < <(grep -oh '"name": "BenchmarkPopulationScaleParallel/[^"]*"' "$old" "$new" |
+  sed 's/"name": "//; s/"$//' | sort -u)
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi

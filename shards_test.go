@@ -1,0 +1,80 @@
+package flowercdn
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestShardedWorkerInvariance pins the sharded kernel's rendezvous
+// contract: a run's observable output is a pure function of (scenario,
+// seed), independent of how many worker goroutines drain the locality
+// cells. Every flower scenario of the equivalence fixture is run with one
+// worker and with four, and the full transcripts — reports, protocol
+// counters, per-shard event counts and merged traces — must match byte
+// for byte.
+func TestShardedWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every fixture scenario twice")
+	}
+	churn := fixtureParams(3)
+	churn.ChurnPerHour = 120
+	churn.ChurnIncludesDirs = true
+	churn.ChurnMeanDowntime = 10 * Minute
+	churn.QueryPolicy = PolicyViewThenDirectory
+	churn.ReplicationTopK = 5
+	scaleUp := fixtureParams(4)
+	scaleUp.MaxOverlaySize = 8
+	scaleUp.ClientsPerSite = 60
+	scaleUp.InstanceBits = 1
+	scenarios := []struct {
+		name string
+		p    Params
+	}{
+		{"flower seed=1", fixtureParams(1)},
+		{"flower seed=2", fixtureParams(2)},
+		{"flower churn+replication seed=3", churn},
+		{"flower scale-up seed=4", scaleUp},
+		{"flower traced seed=5", fixtureParams(5)},
+		{"flower shrunk-massive seed=6", ShrunkMassiveParams(6)},
+		{"flower shrunk-massive-churn seed=7", WithMassiveChurn(ShrunkMassiveParams(7))},
+		{"flower sharded shrunk-massive seed=8", ShrunkMassiveParams(8)},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			render := func(shards int) string {
+				p := sc.p
+				p.Shards = shards
+				res, buf, err := RunFlowerTraced(p, 300)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sb strings.Builder
+				formatReport(&sb, sc.name, res.Report)
+				formatStats(&sb, res)
+				fmt.Fprintf(&sb, "shard_events=%v barrier_events=%d epochs=%d\n",
+					res.ShardEvents, res.BarrierEvents, res.Epochs)
+				sb.WriteString("trace:\n")
+				sb.WriteString(FormatTrace(buf.Events()))
+				return sb.String()
+			}
+			one := render(1)
+			four := render(4)
+			if one == four {
+				return
+			}
+			ol, fl := strings.Split(one, "\n"), strings.Split(four, "\n")
+			n := len(ol)
+			if len(fl) < n {
+				n = len(fl)
+			}
+			for i := 0; i < n; i++ {
+				if ol[i] != fl[i] {
+					t.Fatalf("worker counts diverged at line %d:\n 1 worker: %s\n4 workers: %s", i+1, ol[i], fl[i])
+				}
+			}
+			t.Fatalf("worker counts diverged in length: %d vs %d lines", len(ol), len(fl))
+		})
+	}
+}
