@@ -425,6 +425,36 @@ func BenchmarkPopulationScaleParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPopulationScaleFaulted is BenchmarkPopulationScale with a light
+// fault plane installed — 2% loss, occasional jitter — and the hardened
+// protocol it switches on (retry/backoff, fallback chain). The events/sec
+// cells land in BENCH_<pr>.json next to the clean ones and are gated by
+// bench_compare.sh, so a regression in the faulted hot path (fault
+// decisions per send, retry timer churn) is caught even when the clean
+// path stays fast.
+func BenchmarkPopulationScaleFaulted(b *testing.B) {
+	for _, pop := range []int{1000, 5000, 20000} {
+		b.Run(fmt.Sprintf("pop=%d", pop), func(b *testing.B) {
+			var events uint64
+			var wall float64
+			for i := 0; i < b.N; i++ {
+				p := PopulationParams(int64(i)+1, pop)
+				p.Faults = &FaultConfig{LossProb: 0.02, JitterProb: 0.1, JitterMaxMs: 60}
+				res, err := RunFlower(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+				wall += res.WallSeconds
+			}
+			if wall > 0 {
+				b.ReportMetric(float64(events)/wall, "events/sec")
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+		})
+	}
+}
+
 // --- Substrate micro-benchmarks --------------------------------------------
 
 func BenchmarkSimulationThroughput(b *testing.B) {

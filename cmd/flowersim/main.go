@@ -16,10 +16,13 @@
 // push-threshold query-policy churn home-store conditional-routing sweep all,
 // plus the scale experiments "population" (events/sec-vs-population chart),
 // "massive" (the 100,000-client stress preset; add -churn to rerun it under
-// the population-scaled failure injector and compare events/sec) and
+// the population-scaled failure injector and compare events/sec),
 // "dirstress" (one ~2100-member overlay on a 1-minute gossip period — the
-// directory-sweep-dominated shape) — all outside "all" because they measure
-// the simulator, not the paper.
+// directory-sweep-dominated shape) and "faults" (the deterministic
+// fault-storm scenario — loss, jitter, locality partitions — with the
+// invariant auditor, per-locality recovery times, and a loss-rate
+// degradation sweep) — all outside "all" because they measure the
+// simulator, not the paper.
 //
 // Sweep-style experiments run one full simulation per point; -parallel N
 // executes points on N workers (results are identical to the sequential
@@ -61,6 +64,7 @@ var experiments = map[string]func(w *writer, p flowercdn.Params) error{
 	"population":          runPopulation,
 	"massive":             runMassive,
 	"dirstress":           runDirStress,
+	"faults":              runFaults,
 }
 
 // massiveChurn is set by the -churn flag: the massive experiment then
@@ -552,6 +556,7 @@ func runMassive(w *writer, p flowercdn.Params) error {
 		res.Events, res.WallSeconds, res.EventsPerSecond())
 	w.printf("avg lookup: %.0f ms   background: %.1f bps/peer", res.Report.AvgLookupMs, res.Report.BackgroundBps)
 	w.printf("heap: %.0f bytes/client", res.BytesPerClient)
+	printMessageTotals(w, res)
 	printShardSummary(w, res)
 	if !massiveChurn {
 		return nil
@@ -572,8 +577,17 @@ func runMassive(w *writer, p flowercdn.Params) error {
 	w.printf("events/sec stable vs churned: %.0f vs %.0f (%+.1f%%)",
 		res.EventsPerSecond(), cres.EventsPerSecond(),
 		100*(cres.EventsPerSecond()-res.EventsPerSecond())/res.EventsPerSecond())
+	printMessageTotals(w, cres)
 	printShardSummary(w, cres)
 	return nil
+}
+
+// printMessageTotals reports the transport's delivery accounting: how many
+// messages were sent, how many were dropped because the receiver was dead,
+// and how many the fault plane discarded (zero unless Params.Faults is set).
+func printMessageTotals(w *writer, res flowercdn.Result) {
+	w.printf("messages: sent=%d dropped(dead)=%d dropped(faults)=%d",
+		res.MessagesSent, res.MessagesDropped, res.FaultDrops)
 }
 
 // printShardSummary reports the per-locality event counts and the barrier
@@ -623,6 +637,63 @@ func runDirStress(w *writer, p flowercdn.Params) error {
 	w.printf("clients joined: %d   queries: %d   hit ratio: %.3f", res.Stats.Joins, res.Report.TotalQueries, res.Report.HitRatio)
 	w.printf("kernel events: %d   wall: %.2fs   throughput: %.0f events/sec",
 		res.Events, res.WallSeconds, res.EventsPerSecond())
+	return nil
+}
+
+func runFaults(w *writer, p flowercdn.Params) error {
+	fp := flowercdn.FaultStormParams(p.Seed)
+	if hoursOverride > 0 {
+		fp.Duration = hoursOverride
+	}
+	if shardsOverride >= 0 {
+		fp.Shards = shardsOverride
+	}
+	fc := fp.Faults
+	w.notef("faults: %.0f%% loss, jitter ≤%.0fms (p=%.2f), spikes %.0fms (p=%.2f), %d partition windows, audit every %s",
+		100*fc.LossProb, fc.JitterMaxMs, fc.JitterProb, fc.SpikeMs, fc.SpikeProb, len(fc.Partitions), fp.AuditEvery)
+	res, err := flowercdn.RunFlower(fp)
+	if err != nil {
+		return err
+	}
+	w.printf("Fault storm — %s simulated under loss+jitter+partitions (seed %d)", fp.Duration, fp.Seed)
+	w.printf("hit ratio: %.3f   avg lookup: %.0f ms   queries: %d",
+		res.Report.HitRatio, res.Report.AvgLookupMs, res.Report.TotalQueries)
+	printMessageTotals(w, res)
+	w.printf("protocol: retries=%d dir-fallbacks=%d origin-fallbacks=%d",
+		res.Report.Retries, res.Report.DirFallbacks, res.Report.OriginFallbacks)
+	for _, pw := range fc.Partitions {
+		w.printf("partition: locality %d cut %s, healed %s",
+			pw.Locality, pw.Start, pw.End)
+	}
+	for _, r := range res.Recovery {
+		if r.RecoverMs >= 0 {
+			w.printf("recovery: locality %d first directory-mediated hit %.0f ms after heal",
+				r.Locality, r.RecoverMs)
+		} else {
+			w.printf("recovery: locality %d saw no directory-mediated hit after heal", r.Locality)
+		}
+	}
+	w.printf("auditor: %d invariant checks, %d violations", res.AuditChecks, len(res.AuditViolations))
+	for _, v := range res.AuditViolations {
+		w.printf("  violation: %s", v)
+	}
+
+	// Degradation sweep: the same scenario minus partitions, across uniform
+	// loss rates, to chart how hit ratio and latency decay with loss.
+	base := fp
+	base.Faults = nil
+	base.AuditEvery = 0
+	rows, err := flowercdn.LossRateSweep(base, nil)
+	if err != nil {
+		return err
+	}
+	w.printf("")
+	w.printf("Loss-rate degradation sweep (%s simulated per point)", base.Duration)
+	w.printf("%-8s %-10s %-12s %-12s %-10s %-10s", "loss", "hit", "lookup(ms)", "drops", "retries", "to-origin")
+	for _, r := range rows {
+		w.printf("%-8s %-10.3f %-12.0f %-12d %-10d %-10d",
+			fmt.Sprintf("%.0f%%", r.LossPct), r.HitRatio, r.AvgLookupMs, r.FaultDrops, r.Retries, r.OriginFallbacks)
+	}
 	return nil
 }
 

@@ -166,6 +166,19 @@ func buildFixture(t *testing.T) string {
 	fmt.Fprintf(&sb, "shard_events=%v barrier_events=%d epochs=%d\n",
 		sres.ShardEvents, sres.BarrierEvents, sres.Epochs)
 
+	// Eleventh scenario: the fault storm — deterministic loss, jitter and
+	// mid-bootstrap partition windows under the hardened protocol, with the
+	// invariant auditor sweeping every minute. Pins the fault plane's entire
+	// observable surface: faulted metrics, drop accounting, retry/fallback
+	// counters, audit tally and per-locality recovery times.
+	fres, err := RunFlower(FaultStormParams(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatReport(&sb, "flower fault-storm seed=9", fres.Report)
+	formatStats(&sb, fres)
+	formatFaultSummary(&sb, fres)
+
 	return sb.String()
 }
 

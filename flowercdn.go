@@ -43,6 +43,7 @@ import (
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/model"
 	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
 	"flowercdn/internal/trace"
 	"flowercdn/internal/workload"
 )
@@ -124,6 +125,34 @@ func WithMassiveChurn(p Params) Params { return harness.WithMassiveChurn(p) }
 // overlay on a 1-minute gossip period, so the directory's periodic index
 // sweep dominates simulator cost.
 func DirStressParams(seed int64) Params { return harness.DirStressParams(seed) }
+
+// FaultConfig configures the deterministic fault-injection plane: message
+// loss, latency jitter/spikes, and scheduled locality partitions. Attach
+// one to Params.Faults; nil disables the plane entirely.
+type FaultConfig = simnet.FaultConfig
+
+// PartitionWindow isolates one locality from all others during
+// [Start, End) of simulated time; intra-locality traffic still flows.
+type PartitionWindow = simnet.PartitionWindow
+
+// LocalityRecovery is one partitioned locality's heal → first-directory-hit
+// datapoint from Result.Recovery.
+type LocalityRecovery = harness.LocalityRecovery
+
+// FaultStormParams is the kitchen-sink robustness preset: laptop-scale
+// population under 5% loss, jitter, spikes and two scheduled locality
+// partitions, with the invariant auditor sweeping every simulated minute.
+func FaultStormParams(seed int64) Params { return harness.FaultStormParams(seed) }
+
+// LossRateRow is one point of the loss-rate degradation sweep.
+type LossRateRow = harness.LossRateRow
+
+// LossRateSweep reruns base under increasing uniform message-loss rates
+// (nil = 0/1/2/5/10/20%) and reports hit-ratio and latency degradation
+// plus retry/fallback volumes.
+func LossRateSweep(base Params, rates []float64) ([]LossRateRow, error) {
+	return harness.LossRateSweep(base, rates)
+}
 
 // PopulationParams scales the shrunk 100k-preset shape to a total client
 // population (pools, overlay capacity and topology budget grow linearly;

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/model"
+	"flowercdn/internal/simnet"
+)
+
+func modelRef(i int) model.ObjectRef { return model.ObjectRef(i) }
+
+// The per-query failure memory must stay bounded no matter how long a
+// faulted query cycles through directories and holders: FIFO eviction keeps
+// the newest entries and forgets the oldest.
+func TestQueryFailureMemoryBounded(t *testing.T) {
+	q := &Query{}
+	for i := 0; i < 10*maxTriedDirs; i++ {
+		q.markTriedDir(chord.ID(i))
+	}
+	if len(q.triedDirs) != maxTriedDirs {
+		t.Fatalf("triedDirs grew to %d, cap is %d", len(q.triedDirs), maxTriedDirs)
+	}
+	if !q.triedDir(chord.ID(10*maxTriedDirs - 1)) {
+		t.Fatal("newest tried dir evicted; eviction must be FIFO")
+	}
+	if q.triedDir(chord.ID(0)) {
+		t.Fatal("oldest tried dir survived past the cap")
+	}
+
+	for i := 0; i < 10*maxFailedHolders; i++ {
+		q.markFailedHolder(simnet.NodeID(i))
+	}
+	if len(q.failedHolders) != maxFailedHolders {
+		t.Fatalf("failedHolders grew to %d, cap is %d", len(q.failedHolders), maxFailedHolders)
+	}
+	if !q.triedHolder(simnet.NodeID(10*maxFailedHolders - 1)) {
+		t.Fatal("newest failed holder evicted; eviction must be FIFO")
+	}
+	if q.triedHolder(simnet.NodeID(0)) {
+		t.Fatal("oldest failed holder survived past the cap")
+	}
+}
+
+// The pending-admission record behind the auditor's stale-entry tolerance
+// is bounded the same way.
+func TestAdmitPendingBounded(t *testing.T) {
+	hs := newHostSoA(2)
+	for i := 0; i < 10*maxAdmitPending; i++ {
+		hs.noteAdmit(1, modelRef(i))
+	}
+	if n := len(hs.admitPending[1]); n != maxAdmitPending {
+		t.Fatalf("admitPending grew to %d, cap is %d", n, maxAdmitPending)
+	}
+	if !hs.admitPendingFor(1, modelRef(10*maxAdmitPending-1)) {
+		t.Fatal("newest pending admission evicted; eviction must be FIFO")
+	}
+	hs.clearAdmit(1, modelRef(10*maxAdmitPending-1))
+	if hs.admitPendingFor(1, modelRef(10*maxAdmitPending-1)) {
+		t.Fatal("clearAdmit left the entry behind")
+	}
+}

@@ -71,6 +71,15 @@ type Config struct {
 	ObjectBytes       int            // modelled transfer payload (0 = not modelled, as in the paper)
 	MaintenancePeriod simkernel.Time // chord stabilization period (0 = off; enabled under churn)
 
+	// Hardened enables the degraded-network protocol behaviours that only
+	// matter when the transport can lose or delay messages: exponential
+	// backoff with jittered deadlines on query retries, dir-join retry
+	// after latch expiry, and an extra stabilization round when a D-ring
+	// successor is down. Off by default so the clean-network scenarios (and
+	// their pinned goldens) are bit-for-bit unchanged; the harness turns it
+	// on whenever fault injection is configured.
+	Hardened bool
+
 	// SparseSeeds samples the §4.2 directory view seed with O(L_gossip)
 	// random draws against the directory's member list instead of
 	// materialising and shuffling the whole index membership (O(S_co) per

@@ -46,7 +46,9 @@ func (s *System) RevivePeer(addr simnet.NodeID) bool {
 	s.net.Recover(addr)
 	h.cp = nil
 	s.hs.stash[addr] = nil
+	s.hs.admitPending[addr] = nil
 	s.hs.clearFlag(addr, hfJoinInFlight)
+	s.hs.joinAttempts[addr] = 0
 	s.hs.gossipTicker[addr], s.hs.kaTicker[addr] = nil, nil
 	s.hs.gossipTimeout[addr] = simkernel.TimerHandle{}
 	s.hs.kaTimeout[addr] = simkernel.TimerHandle{}
@@ -88,6 +90,7 @@ func (s *System) attemptDirJoin(h *host, site model.SiteID, loc int) {
 	key := s.ks.KeyForWebsiteID(s.widBySite[site], loc, int(s.hs.dirInstance[h.addr]))
 	if n := s.ring.Lookup(key); n != nil && n.Up() {
 		// Someone already replaced it: adopt.
+		s.hs.joinAttempts[h.addr] = 0
 		if h.cp != nil {
 			h.cp.SetDir(n.Addr())
 			s.pushFullContent(h)
@@ -126,6 +129,7 @@ func (s *System) handleDirJoinRequest(h *host, key chord.ID, m innerDirJoin) {
 func (s *System) handleDirJoinTaken(h *host, m dirJoinTakenMsg) {
 	s.hs.clearFlag(h.addr, hfJoinInFlight)
 	s.hs.joinTimer[h.addr].Cancel()
+	s.hs.joinAttempts[h.addr] = 0
 	if h.cp == nil {
 		return
 	}
@@ -139,6 +143,7 @@ func (s *System) handleDirJoinTaken(h *host, m dirJoinTakenMsg) {
 func (s *System) handleDirJoinAccept(h *host, m dirJoinAcceptMsg) {
 	s.hs.clearFlag(h.addr, hfJoinInFlight)
 	s.hs.joinTimer[h.addr].Cancel()
+	s.hs.joinAttempts[h.addr] = 0
 	if h.cp == nil || h.dir != nil || !s.net.Alive(h.addr) {
 		return
 	}

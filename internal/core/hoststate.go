@@ -50,6 +50,11 @@ type hostSoA struct {
 	kaTimeout     []simkernel.TimerHandle
 	joinTimer     []simkernel.TimerHandle
 
+	// joinAttempts counts consecutive unanswered §5.2 dir-join requests,
+	// driving the hardened retry backoff; any answer (taken/accept) or a
+	// revival resets it.
+	joinAttempts []uint8
+
 	// Tickers (periodic behaviours), armed per role.
 	dirTicker    []*simkernel.Ticker
 	gossipTicker []*simkernel.Ticker
@@ -67,6 +72,14 @@ type hostSoA struct {
 	// Content stashed across a locality change (§5.4): the peer keeps its
 	// objects and re-pushes them after rejoining.
 	stash [][]model.ObjectRef
+
+	// Optimistic admissions whose serve has not landed yet (hardened runs
+	// only). The directory indexes a new client at admission time, before
+	// the object reaches it; under loss or a partition that gap is open for
+	// seconds to minutes, and abandoned queries leave it open for good. The
+	// auditor consults this set so only entries with no admission behind
+	// them count as index corruption.
+	admitPending [][]model.ObjectRef
 }
 
 func newHostSoA(n int) hostSoA {
@@ -81,6 +94,7 @@ func newHostSoA(n int) hostSoA {
 		kaToken:       make([]uint32, n),
 		kaTimeout:     make([]simkernel.TimerHandle, n),
 		joinTimer:     make([]simkernel.TimerHandle, n),
+		joinAttempts:  make([]uint8, n),
 		dirTicker:     make([]*simkernel.Ticker, n),
 		gossipTicker:  make([]*simkernel.Ticker, n),
 		kaTicker:      make([]*simkernel.Ticker, n),
@@ -89,7 +103,47 @@ func newHostSoA(n int) hostSoA {
 		kaPayload:     make([]any, n),
 		kaAckPayload:  make([]any, n),
 		stash:         make([][]model.ObjectRef, n),
+		admitPending:  make([][]model.ObjectRef, n),
 	}
+}
+
+// maxAdmitPending bounds the per-host pending-admission record: a client
+// stuck behind a permanent partition abandons one query after another, and
+// without a cap its record would grow with every attempt.
+const maxAdmitPending = 32
+
+func (hs *hostSoA) noteAdmit(a simnet.NodeID, ref model.ObjectRef) {
+	p := hs.admitPending[a]
+	for _, r := range p {
+		if r == ref {
+			return
+		}
+	}
+	if len(p) >= maxAdmitPending {
+		copy(p, p[1:])
+		p[len(p)-1] = ref
+		return
+	}
+	hs.admitPending[a] = append(p, ref)
+}
+
+func (hs *hostSoA) clearAdmit(a simnet.NodeID, ref model.ObjectRef) {
+	p := hs.admitPending[a]
+	for i, r := range p {
+		if r == ref {
+			hs.admitPending[a] = append(p[:i], p[i+1:]...)
+			return
+		}
+	}
+}
+
+func (hs *hostSoA) admitPendingFor(a simnet.NodeID, ref model.ObjectRef) bool {
+	for _, r := range hs.admitPending[a] {
+		if r == ref {
+			return true
+		}
+	}
+	return false
 }
 
 func (hs *hostSoA) has(a simnet.NodeID, f hostFlag) bool { return hs.flags[a]&f != 0 }
@@ -160,8 +214,53 @@ func (s *System) onKaTimeout(arg uint64) {
 	}
 }
 
+// Hardened dir-join retry: how many unanswered requests before giving up,
+// and the backoff shape. The latch expiry already means ~15 s of silence,
+// so retries start around the partition-scale timescale.
+const maxJoinAttempts = 6
+
 // onJoinLatchExpired clears the in-flight directory-join latch when the
-// request was lost in a broken ring; an answer cancels this timer.
+// request was lost in a broken ring; an answer cancels this timer. Under
+// the hardened config the expiry additionally schedules a backed-off
+// retry, so a locality whose join request died inside a partition
+// re-volunteers after the heal instead of staying directory-less forever.
 func (s *System) onJoinLatchExpired(arg uint64) {
-	s.hs.clearFlag(simnet.NodeID(uint32(arg)), hfJoinInFlight)
+	addr := simnet.NodeID(uint32(arg))
+	s.hs.clearFlag(addr, hfJoinInFlight)
+	if !s.cfg.Hardened {
+		return
+	}
+	h := s.hosts[addr]
+	if h == nil || h.cp == nil || h.dir != nil || !s.net.Alive(addr) {
+		return
+	}
+	if h.cp.Dir().Known {
+		return // a directory answered through another channel meanwhile
+	}
+	a := s.hs.joinAttempts[addr]
+	if a >= maxJoinAttempts {
+		return
+	}
+	s.hs.joinAttempts[addr] = a + 1
+	d := backoffDelay(5*simkernel.Second, int(a), 2*simkernel.Minute)
+	d += simkernel.Time(s.prand(addr).Int63n(int64(simkernel.Second)))
+	// The latch flag stays cleared while the retry timer is pending: the
+	// auditor's invariant is one-directional (latched ⇒ timer armed).
+	s.hs.joinTimer[addr].Cancel()
+	s.hs.joinTimer[addr] = s.hostKernel(addr).AfterArg(d, s.joinRetryFn, arg)
+}
+
+// onJoinRetry re-issues the §5.2 directory-join request after a backoff,
+// re-checking every guard — the position may have been filled, the peer
+// may have died or joined a directory itself in the meantime.
+func (s *System) onJoinRetry(arg uint64) {
+	addr := simnet.NodeID(uint32(arg))
+	h := s.hosts[addr]
+	if h == nil || h.cp == nil || h.dir != nil || !s.net.Alive(addr) {
+		return
+	}
+	if h.cp.Dir().Known || s.hs.has(addr, hfJoinInFlight) {
+		return
+	}
+	s.attemptDirJoin(h, h.cp.Site(), h.cp.Locality())
 }

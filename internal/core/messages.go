@@ -70,6 +70,19 @@ func (q *Query) oneRef(ref model.ObjectRef) []model.ObjectRef {
 	return q.refScratch[:]
 }
 
+// Failed-destination memory is bounded: under message loss or a partition
+// a query can cycle through directories and holders indefinitely, and an
+// unbounded append would grow per-query state with every retry. The caps
+// are far above what any clean-network query touches (a handful of
+// neighbour summaries, RetryLimit candidates), so eviction only engages
+// under sustained faults; FIFO eviction forgets the oldest failure first,
+// which at worst re-tries a destination that has had the longest time to
+// recover.
+const (
+	maxTriedDirs     = 8
+	maxFailedHolders = 32
+)
+
 func (q *Query) triedDir(id chord.ID) bool {
 	for _, d := range q.triedDirs {
 		if d == id {
@@ -79,7 +92,14 @@ func (q *Query) triedDir(id chord.ID) bool {
 	return false
 }
 
-func (q *Query) markTriedDir(id chord.ID) { q.triedDirs = append(q.triedDirs, id) }
+func (q *Query) markTriedDir(id chord.ID) {
+	if len(q.triedDirs) >= maxTriedDirs {
+		copy(q.triedDirs, q.triedDirs[1:])
+		q.triedDirs[len(q.triedDirs)-1] = id
+		return
+	}
+	q.triedDirs = append(q.triedDirs, id)
+}
 
 // --- D-ring routed envelope ----------------------------------------------
 

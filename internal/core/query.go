@@ -20,7 +20,9 @@ func (s *System) startNewClientQuery(h *host, q *Query) {
 	entry, ok := s.randomAliveDir(s.prand(q.Origin))
 	if !ok {
 		// No D-ring at all (catastrophic churn): go straight to the server.
+		s.metsAt(q.Origin).RecordOriginFallback()
 		s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+		s.awaitOriginRetry(h, q, 0, false)
 		return
 	}
 	// Under the §5.3 scale-up extension, each (website, locality) slot has
@@ -35,7 +37,7 @@ func (s *System) startNewClientQuery(h *host, q *Query) {
 		routedMsg{Key: key, TTL: dring.RouteTTL(s.ks.Space), Inner: innerQuery{Q: q}})
 	// If the entry node (or the path) is dead the query would hang; retry
 	// through a different entry, then fall back to the server.
-	s.await(q, 10*simkernel.Second, func() { s.retryNewClientQuery(h, q, 1) })
+	s.await(q, s.lookupRetryDelay(q, 0), func() { s.retryNewClientQuery(h, q, 1) })
 }
 
 func (s *System) retryNewClientQuery(h *host, q *Query, attempt int) {
@@ -43,19 +45,84 @@ func (s *System) retryNewClientQuery(h *host, q *Query, attempt int) {
 		return
 	}
 	s.statsAt(q.Origin).QueriesRetried++
+	s.metsAt(q.Origin).RecordRetry()
 	if attempt >= 3 {
+		s.metsAt(q.Origin).RecordOriginFallback()
 		s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+		s.awaitOriginRetry(h, q, 0, false)
 		return
 	}
 	entry, ok := s.randomAliveDir(s.prand(q.Origin))
 	if !ok {
+		s.metsAt(q.Origin).RecordOriginFallback()
 		s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+		s.awaitOriginRetry(h, q, 0, false)
 		return
 	}
 	key := s.ks.KeyForWebsiteID(s.widBySite[q.Site], q.OriginLoc, q.targetInstance)
 	s.net.Send(q.Origin, entry, simnet.CatQuery, bytesQueryCtl,
 		routedMsg{Key: key, TTL: dring.RouteTTL(s.ks.Space), Inner: innerQuery{Q: q}})
-	s.await(q, 10*simkernel.Second, func() { s.retryNewClientQuery(h, q, attempt+1) })
+	s.await(q, s.lookupRetryDelay(q, attempt), func() { s.retryNewClientQuery(h, q, attempt+1) })
+}
+
+// lookupRetryDelay is the deadline for one D-ring lookup attempt: a flat
+// 10 s on clean networks (the pinned-golden behaviour), exponential backoff
+// with deterministic per-origin jitter when hardened, so retry storms
+// spread out instead of re-colliding with a lossy window.
+func (s *System) lookupRetryDelay(q *Query, attempt int) simkernel.Time {
+	if !s.cfg.Hardened {
+		return 10 * simkernel.Second
+	}
+	d := backoffDelay(10*simkernel.Second, attempt, 80*simkernel.Second)
+	return d + simkernel.Time(s.prand(q.Origin).Int63n(int64(2*simkernel.Second)))
+}
+
+// backoffDelay doubles base attempt times, capped at ceil (overflow-safe).
+func backoffDelay(base simkernel.Time, attempt int, ceil simkernel.Time) simkernel.Time {
+	if attempt > 10 {
+		return ceil
+	}
+	d := base << uint(attempt)
+	if d > ceil || d <= 0 {
+		d = ceil
+	}
+	return d
+}
+
+// Hardened last-resort retries are bounded: a query in a permanently
+// partitioned locality terminates at the origin tier with O(1) pending
+// state instead of looping forever.
+const maxOriginRetries = 6
+
+// awaitOriginRetry arms the hardened capped-backoff guard on a last-resort
+// origin send: if the fetch (or its response) falls to message loss or a
+// partition, the query re-sends instead of hanging unresolved — after a
+// heal the first retry lands. No-op on clean-network configs, where origin
+// sends cannot be lost.
+func (s *System) awaitOriginRetry(h *host, q *Query, attempt int, viaDir bool) {
+	if !s.cfg.Hardened || attempt >= maxOriginRetries {
+		return
+	}
+	d := backoffDelay(10*simkernel.Second, attempt, 80*simkernel.Second)
+	d += simkernel.Time(s.prand(q.Origin).Int63n(int64(2 * simkernel.Second)))
+	s.await(q, d, func() { s.retryOrigin(h, q, attempt+1, viaDir) })
+}
+
+func (s *System) retryOrigin(h *host, q *Query, attempt int, viaDir bool) {
+	// Gate on delivery (finished), not on the provider-side metric
+	// (recorded): a serve whose transfer fell to loss left the query
+	// recorded but the client empty-handed — and, for an admitted new
+	// client, a directory index entry with no object behind it.
+	if q.finished {
+		return
+	}
+	s.metsAt(q.Origin).RecordRetry()
+	if viaDir && s.net.Alive(h.addr) {
+		s.net.Send(h.addr, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, redirectMsg{Q: q, FromDir: h.addr})
+	} else {
+		s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+	}
+	s.awaitOriginRetry(h, q, attempt, viaDir)
 }
 
 func (s *System) randomAliveDir(rng *rand.Rand) (simnet.NodeID, bool) {
@@ -103,6 +170,7 @@ func (s *System) tryNextCandidate(h *host, q *Query) {
 		s.net.Send(q.Origin, cand, simnet.CatQuery, bytesQueryCtl, peerQueryMsg{Q: q})
 		s.await(q, s.timeout(q.Origin, cand), func() {
 			// Dead contact (§5.1 style failure detection): forget it.
+			s.metsAt(q.Origin).RecordRetry()
 			if h.cp != nil {
 				h.cp.RemoveContact(cand)
 			}
@@ -114,14 +182,19 @@ func (s *System) tryNextCandidate(h *host, q *Query) {
 	if s.cfg.QueryPolicy == PolicyViewThenDirectory && h.cp != nil && h.cp.Dir().Known {
 		dir := h.cp.Dir().Addr
 		q.viaDirectory = true
+		s.metsAt(q.Origin).RecordDirFallback()
 		s.net.Send(q.Origin, dir, simnet.CatQuery, bytesQueryCtl, dirQueryMsg{Q: q})
 		s.await(q, 8*simkernel.Second, func() {
+			s.metsAt(q.Origin).RecordOriginFallback()
 			s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+			s.awaitOriginRetry(h, q, 0, false)
 		})
 		return
 	}
 	s.trace(trace.ServerFetch, q.ID, q.Origin, s.servers[q.Site], "view exhausted")
+	s.metsAt(q.Origin).RecordOriginFallback()
 	s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+	s.awaitOriginRetry(h, q, 0, false)
 }
 
 // --- D-ring routing -------------------------------------------------------
@@ -166,7 +239,9 @@ func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
 	}
 	if h.dir == nil {
 		// Routing delivered to a non-directory (severe churn): server.
+		s.metsAt(q.Origin).RecordOriginFallback()
 		s.net.Send(h.addr, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, redirectMsg{Q: q, FromDir: h.addr})
+		s.awaitOriginRetry(h, q, 0, true)
 		return
 	}
 	if !forwarded && q.handlerDir == 0 {
@@ -176,6 +251,9 @@ func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
 			q.admitted = h.dir.AddOptimistic(q.Origin, q.Ref)
 			if q.admitted {
 				q.dirSeed = s.dirViewSeed(h, q.Origin)
+				if s.cfg.Hardened {
+					s.hs.noteAdmit(q.Origin, q.Ref)
+				}
 			}
 		}
 		if q.NewClient && !q.handlerIsLocal && h.dir.Site() == q.Site {
@@ -249,7 +327,9 @@ func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
 	// Stage D: the origin web server.
 	q.atRemote = false
 	s.trace(trace.ServerFetch, q.ID, h.addr, s.servers[q.Site], "directory fallback")
+	s.metsAt(q.Origin).RecordOriginFallback()
 	s.net.Send(h.addr, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, redirectMsg{Q: q, FromDir: h.addr})
+	s.awaitOriginRetry(h, q, 0, true)
 }
 
 func (q *Query) triedHolder(n simnet.NodeID) bool {
@@ -262,6 +342,11 @@ func (q *Query) triedHolder(n simnet.NodeID) bool {
 }
 
 func (q *Query) markFailedHolder(n simnet.NodeID) {
+	if len(q.failedHolders) >= maxFailedHolders {
+		copy(q.failedHolders, q.failedHolders[1:])
+		q.failedHolders[len(q.failedHolders)-1] = n
+		return
+	}
 	q.failedHolders = append(q.failedHolders, n)
 }
 
@@ -379,6 +464,11 @@ func (s *System) serveQuery(h *host, q *Query, remote bool, fromContentPeer bool
 		s.metsAt(q.Origin).RecordQuery(now, src, lookup, dist)
 		q.recorded = true
 		s.traceServed(q, h.addr, src, lookup, dist)
+		if s.recovery != nil && fromContentPeer && q.handlerDir != 0 {
+			// Partition-recovery probe: a P2P hit that went through a
+			// directory proves the locality's directory plane works again.
+			s.noteRecovery(q.OriginLoc, now)
+		}
 	}
 	msg := serveMsg{Q: q, Provider: h.addr, FromContentPeer: fromContentPeer}
 	if q.NewClient && q.admitted && fromContentPeer && h.cp != nil &&
@@ -388,6 +478,16 @@ func (s *System) serveQuery(h *host, q *Query, remote bool, fromContentPeer bool
 		msg.ViewSeed = h.cp.ViewSeedFor(s.prand(h.addr))
 	}
 	s.net.Send(h.addr, q.Origin, simnet.CatTransfer, msg.wireBytes(s.cfg.ObjectBytes), msg)
+	if s.cfg.Hardened {
+		// Delivery guard: the transfer itself can fall to loss or a
+		// partition. If the object never lands, re-fetch from the origin
+		// (bounded by the capped-backoff chain).
+		s.await(q, s.timeout(h.addr, q.Origin)+2*simkernel.Second, func() {
+			s.metsAt(q.Origin).RecordRetry()
+			s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+			s.awaitOriginRetry(h, q, 0, false)
+		})
+	}
 }
 
 // handleServe completes the query at the requester: store the object, join
@@ -399,6 +499,9 @@ func (s *System) handleServe(h *host, m serveMsg) {
 		return // duplicate delivery after a retry race
 	}
 	q.finished = true
+	if s.cfg.Hardened && q.admitted {
+		s.hs.clearAdmit(h.addr, q.Ref)
+	}
 	if h.cp == nil && q.NewClient && q.admitted && q.handlerIsLocal {
 		s.joinOverlay(h, q, m)
 	}

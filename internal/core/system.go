@@ -82,6 +82,15 @@ type System struct {
 	gossipTimeoutFn func(uint64)
 	kaTimeoutFn     func(uint64)
 	joinLatchFn     func(uint64)
+	joinRetryFn     func(uint64)
+
+	// Partition-recovery accounting (nil unless InstallFaults saw partition
+	// windows): healAt[loc] is when locality loc's last partition window
+	// ends (-1 = never partitioned), recovery[loc] the smallest observed
+	// heal→first-directory-hit delay (-1 = not yet recovered). Each cell
+	// only writes its own locality's slot, so parallel phases never race.
+	healAt   []simkernel.Time
+	recovery []simkernel.Time
 
 	tracer trace.Tracer
 	stats  []Stats // per cell; a single element on the classic path
@@ -325,6 +334,7 @@ func New(cfg Config, deps Deps) (*System, error) {
 	s.gossipTimeoutFn = s.onGossipTimeout
 	s.kaTimeoutFn = s.onKaTimeout
 	s.joinLatchFn = s.onJoinLatchExpired
+	s.joinRetryFn = s.onJoinRetry
 
 	if err := s.assignWebsiteIDs(); err != nil {
 		return nil, err
@@ -488,11 +498,59 @@ func (s *System) maintainNode(h *host) {
 	for i := 0; i < 3; i++ {
 		h.dirNode.FixNextFinger()
 	}
+	if s.cfg.Hardened && h.dirNode.Successor() == nil {
+		// Whole successor list dead (a partition took out a locality's
+		// directories at once): run an immediate second repair round so the
+		// ring re-converges within one maintenance period after the heal
+		// instead of limping one repaired entry at a time.
+		h.dirNode.Stabilize()
+	}
 	// Nominal control traffic for the round (stabilize + notify + finger
 	// lookups); not part of the paper's background metric.
 	if succ := h.dirNode.Successor(); succ != nil && succ != h.dirNode {
 		s.metsAt(h.addr).RecordMessage(s.k.Now(), h.addr, succ.Addr(), simnet.CatMaintenance, 120)
 	}
+}
+
+// InstallFaults enables the fault-injection plane on the system's network
+// and, when the schedule contains partition windows, arms the per-locality
+// partition-recovery probes (time from heal to the first successful
+// directory-mediated P2P hit). Call before Run; a nil or zero config is a
+// no-op.
+func (s *System) InstallFaults(fc *simnet.FaultConfig) {
+	s.net.InstallFaults(fc)
+	if !fc.Enabled() || len(fc.Partitions) == 0 {
+		return
+	}
+	s.healAt = make([]simkernel.Time, s.cfg.Localities)
+	s.recovery = make([]simkernel.Time, s.cfg.Localities)
+	for loc := 0; loc < s.cfg.Localities; loc++ {
+		s.healAt[loc] = fc.HealTime(loc)
+		s.recovery[loc] = -1
+	}
+}
+
+// noteRecovery records a successful directory-mediated P2P hit in loc at
+// now, keeping the smallest heal→hit delay. Monotone-min is commutative,
+// so the observation order across a cell's queries cannot skew it.
+func (s *System) noteRecovery(loc int, now simkernel.Time) {
+	if loc < 0 || loc >= len(s.healAt) {
+		return
+	}
+	heal := s.healAt[loc]
+	if heal < 0 || now < heal {
+		return
+	}
+	if d := now - heal; s.recovery[loc] < 0 || d < s.recovery[loc] {
+		s.recovery[loc] = d
+	}
+}
+
+// RecoveryTimes returns, per locality, the heal time of its last partition
+// window and the observed heal→first-directory-hit delay (-1 where not
+// partitioned / not yet recovered). Nil when no partitions were installed.
+func (s *System) RecoveryTimes() (healAt, recovery []simkernel.Time) {
+	return s.healAt, s.recovery
 }
 
 // --- Accessors ------------------------------------------------------------

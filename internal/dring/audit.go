@@ -1,0 +1,109 @@
+package dring
+
+import (
+	"fmt"
+
+	"flowercdn/internal/model"
+	"flowercdn/internal/simnet"
+)
+
+// This file holds the directory's self-consistency audit, used by the
+// core invariant auditor under fault injection. The directory index is
+// intentionally redundant — a forward table (member → held-object bitset)
+// and a sharded inverse table (object → sorted holder list) that must
+// mirror each other exactly, plus held/total counters that summarise the
+// inverse table. Message loss, partitions and churn exercise every mutation
+// path (pushes, optimistic admissions, evictions, imports), so the audit
+// re-derives one side from the other and cross-checks the counters.
+
+// ForEachHeld calls fn for every object ref with at least one recorded
+// holder, in ascending ref order, with the holder list (read-only view;
+// do not retain or mutate).
+func (d *Directory) ForEachHeld(fn func(ref model.ObjectRef, holders []simnet.NodeID)) {
+	d.holders.forEachHeld(func(i int, hs []simnet.NodeID) {
+		fn(d.base+model.ObjectRef(i), hs)
+	})
+}
+
+// AuditConsistency cross-checks the forward member slab against the
+// inverse holders index and its counters, appending one human-readable
+// line per violation to out (capped at max new entries; max <= 0 means
+// unlimited). It returns out plus the number of checks performed.
+func (d *Directory) AuditConsistency(out []string, max int) ([]string, int) {
+	checks := 0
+	report := func(format string, args ...any) {
+		if max <= 0 || len(out) < max {
+			out = append(out, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Slot map and member slab must agree bijectively.
+	for node, i := range d.slot {
+		checks++
+		if int(i) < 0 || int(i) >= len(d.nodes) || d.nodes[i] != node {
+			report("dring %s/%d: slot map points node %d at slot %d, slab disagrees", d.site, d.loc, node, i)
+		}
+	}
+	checks++
+	if len(d.slot) != len(d.nodes) || len(d.nodes) != len(d.ages) || len(d.nodes) != len(d.objects) {
+		report("dring %s/%d: slab arity mismatch slot=%d nodes=%d ages=%d objects=%d",
+			d.site, d.loc, len(d.slot), len(d.nodes), len(d.ages), len(d.objects))
+	}
+
+	// Forward → inverse: every held bit must appear in the holder list.
+	for i, node := range d.nodes {
+		obj := &d.objects[i]
+		obj.ForEach(func(j int) {
+			checks++
+			if !holdersContain(d.holders.listAt(j), node) {
+				report("dring %s/%d: member %d holds ref %d but inverse index misses it", d.site, d.loc, node, j)
+			}
+		})
+	}
+
+	// Inverse → forward, plus list ordering and the held/total counters.
+	total := 0
+	for si := range d.holders.shards {
+		held := 0
+		base := si << shardBits
+		for j, hs := range d.holders.shards[si].lists {
+			if len(hs) == 0 {
+				continue
+			}
+			held++
+			for p, node := range hs {
+				checks++
+				if p > 0 && hs[p-1] >= node {
+					report("dring %s/%d: ref %d holder list unsorted or duplicated at %d", d.site, d.loc, base+j, node)
+				}
+				slot, ok := d.slot[node]
+				if !ok {
+					report("dring %s/%d: ref %d lists non-member holder %d", d.site, d.loc, base+j, node)
+					continue
+				}
+				if !d.objects[slot].Has(base + j) {
+					report("dring %s/%d: ref %d lists holder %d whose forward bitset lacks it", d.site, d.loc, base+j, node)
+				}
+			}
+		}
+		checks++
+		if held != d.holders.shards[si].held {
+			report("dring %s/%d: shard %d held count %d, recomputed %d", d.site, d.loc, si, d.holders.shards[si].held, held)
+		}
+		total += held
+	}
+	checks++
+	if total != d.holders.total {
+		report("dring %s/%d: total held count %d, recomputed %d", d.site, d.loc, d.holders.total, total)
+	}
+	return out, checks
+}
+
+func holdersContain(hs []simnet.NodeID, node simnet.NodeID) bool {
+	for _, h := range hs {
+		if h == node {
+			return true
+		}
+	}
+	return false
+}

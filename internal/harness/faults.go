@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
+)
+
+// This file holds the fault-injection presets and the loss-rate degradation
+// sweep behind `flowersim -exp faults`: the robustness counterpart of the
+// clean-network scenarios. Everything here is deterministic per seed — the
+// fault plane draws from kernel-derived streams, partitions are a fixed
+// schedule, and the sweep runs its points sequentially.
+
+// FaultStormParams is the kitchen-sink robustness scenario: the laptop-scale
+// population under 5% uniform message loss, latency jitter with occasional
+// spikes, and two scheduled locality partitions (cut and heal mid-run), with
+// the invariant auditor sweeping the system every simulated minute. It is
+// the fixture behind the faulted golden-equivalence section and the
+// worker-invariance fault scenarios.
+func FaultStormParams(seed int64) Params {
+	p := ScaledParams(seed)
+	p.Duration = 30 * simkernel.Minute
+	p.BucketWidth = 10 * simkernel.Minute
+	p.Faults = &simnet.FaultConfig{
+		LossProb:    0.05,
+		JitterProb:  0.2,
+		JitterMaxMs: 120,
+		SpikeProb:   0.02,
+		SpikeMs:     400,
+		// The windows land in the bootstrap phase on purpose: that is when
+		// cross-locality traffic (D-ring joins and lookups, origin fetches)
+		// is densest, so a cut actually wounds the partitioned localities and
+		// the post-heal recovery probe has directory-mediated hits to observe.
+		Partitions: []simnet.PartitionWindow{
+			{Locality: 0, Start: 60 * simkernel.Second, End: 150 * simkernel.Second},
+			{Locality: 2, Start: 90 * simkernel.Second, End: 180 * simkernel.Second},
+		},
+	}
+	p.AuditEvery = simkernel.Minute
+	return p
+}
+
+// LossRateRow is one point of the loss-rate degradation sweep.
+type LossRateRow struct {
+	LossPct         float64
+	HitRatio        float64
+	AvgLookupMs     float64
+	FaultDrops      uint64
+	Retries         int64
+	OriginFallbacks int64
+}
+
+// DefaultLossRates is the sweep grid for `-exp faults`.
+var DefaultLossRates = []float64{0, 0.01, 0.02, 0.05, 0.10, 0.20}
+
+// LossRateSweep runs base once per loss rate (sequentially — each point is
+// seconds at laptop scale) and reports how hit ratio and lookup latency
+// degrade as the transport loses more of every flow. Rate 0 runs with the
+// fault plane disabled outright, pinning the baseline to the exact
+// clean-network event stream.
+func LossRateSweep(base Params, rates []float64) ([]LossRateRow, error) {
+	if rates == nil {
+		rates = DefaultLossRates
+	}
+	rows := make([]LossRateRow, 0, len(rates))
+	for _, rate := range rates {
+		p := base
+		if rate > 0 {
+			fc := simnet.FaultConfig{LossProb: rate}
+			if base.Faults != nil {
+				fc = *base.Faults
+				fc.LossProb = rate
+			}
+			p.Faults = &fc
+		} else {
+			p.Faults = nil
+		}
+		res, err := RunFlower(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LossRateRow{
+			LossPct:         rate * 100,
+			HitRatio:        res.Report.HitRatio,
+			AvgLookupMs:     res.Report.AvgLookupMs,
+			FaultDrops:      res.FaultDrops,
+			Retries:         res.Report.Retries,
+			OriginFallbacks: res.Report.OriginFallbacks,
+		})
+	}
+	return rows, nil
+}

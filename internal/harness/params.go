@@ -11,6 +11,7 @@ import (
 	"flowercdn/internal/core"
 	"flowercdn/internal/model"
 	"flowercdn/internal/simkernel"
+	"flowercdn/internal/simnet"
 	"flowercdn/internal/squirrel"
 	"flowercdn/internal/topology"
 )
@@ -96,6 +97,20 @@ type Params struct {
 	// GC plus ReadMemStats). Off by default so timing benchmarks never pay
 	// for the collection.
 	MeasureMemory bool
+
+	// Faults enables the deterministic fault-injection plane (message loss,
+	// latency jitter/spikes, locality-scale partitions; see
+	// simnet.FaultConfig). Nil or all-zero disables it — the network send
+	// path then costs one nil check and runs byte-identically to a build
+	// without the plane. When enabled, the derived core config is Hardened
+	// (backed-off retries, dir-join retry, extra stabilization).
+	Faults *simnet.FaultConfig
+
+	// AuditEvery runs the core invariant auditor (ring successorship,
+	// directory-index ↔ stash consistency, timer plane) at this period,
+	// plus once at end of run; 0 disables it. On sharded runs the audit
+	// ticks execute at epoch barriers, where the workers are parked.
+	AuditEvery simkernel.Time
 }
 
 // DefaultParams returns the paper's full-scale setup (Table 1, §6.1/§6.2):
@@ -283,6 +298,13 @@ func (p Params) CoreConfig(pools [][]int) core.Config {
 	cfg.SparseSeeds = p.SparseSeeds
 	cfg.ReplicationTopK = p.ReplicationTopK
 	if p.ChurnPerHour > 0 {
+		cfg.MaintenancePeriod = p.MaintenancePeriod
+	}
+	if p.Faults.Enabled() {
+		// A lossy/partitioned transport needs the degraded-network protocol
+		// behaviours, and ring maintenance so the hardened stabilization
+		// retry has a vehicle.
+		cfg.Hardened = true
 		cfg.MaintenancePeriod = p.MaintenancePeriod
 	}
 	return cfg

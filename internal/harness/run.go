@@ -54,6 +54,32 @@ type Result struct {
 	// BytesPerClient is the post-run heap footprint per potential client,
 	// filled only when Params.MeasureMemory is set.
 	BytesPerClient float64
+
+	// Network delivery totals: messages sent, messages lost to dead
+	// receivers, and messages dropped by the fault-injection plane
+	// (loss/partition). Always filled for Flower runs; FaultDrops is zero
+	// when Params.Faults is nil or disabled.
+	MessagesSent    uint64
+	MessagesDropped uint64
+	FaultDrops      uint64
+
+	// Recovery reports, per partitioned locality, the time from partition
+	// heal to the first directory-mediated P2P hit. Nil unless
+	// Params.Faults carried partition windows.
+	Recovery []LocalityRecovery
+
+	// Invariant-auditor tally (Params.AuditEvery > 0): checks performed
+	// across all periodic passes plus the final one, and the violations
+	// found (capped; empty means the run held every invariant).
+	AuditChecks     int
+	AuditViolations []string
+}
+
+// LocalityRecovery is one partitioned locality's heal/recovery datapoint.
+type LocalityRecovery struct {
+	Locality  int
+	HealAt    simkernel.Time
+	RecoverMs float64 // heal → first directory-mediated P2P hit; -1 = not observed
 }
 
 // EventsPerSecond returns the simulator throughput of the run (kernel
@@ -71,6 +97,64 @@ func timedRun(k *simkernel.Kernel, d simkernel.Time) (uint64, float64) {
 	start := time.Now()
 	events := k.Run(d)
 	return events, time.Since(start).Seconds()
+}
+
+// auditAccum accumulates the periodic and final invariant-audit passes.
+type auditAccum struct {
+	checks     int
+	violations []string
+}
+
+func (a *auditAccum) absorb(r core.AuditReport) {
+	a.checks += r.Checks
+	for _, v := range r.Violations {
+		if len(a.violations) >= 64 {
+			break
+		}
+		a.violations = append(a.violations, v)
+	}
+}
+
+// applyFaultPlane installs the fault-injection plane and arms the periodic
+// invariant auditor on a freshly built system. k must be the kernel audit
+// ticks should run on — the coordination kernel on sharded runs, so they
+// execute at epoch barriers while the workers are parked. Returns nil when
+// no audit was requested.
+func applyFaultPlane(k *simkernel.Kernel, sys *core.System, p Params) *auditAccum {
+	if p.Faults.Enabled() {
+		sys.InstallFaults(p.Faults)
+	}
+	if p.AuditEvery <= 0 {
+		return nil
+	}
+	acc := &auditAccum{}
+	k.Every(p.AuditEvery, p.AuditEvery, func() { acc.absorb(sys.Audit()) })
+	return acc
+}
+
+// finishFaultPlane runs the end-of-run audit pass and fills the network
+// delivery totals, recovery datapoints and audit tally of res.
+func finishFaultPlane(res *Result, sys *core.System, acc *auditAccum) {
+	net := sys.Network()
+	res.MessagesSent = net.Sent()
+	res.MessagesDropped = net.Dropped()
+	res.FaultDrops = net.FaultDropped()
+	if acc != nil {
+		acc.absorb(sys.Audit())
+		res.AuditChecks = acc.checks
+		res.AuditViolations = acc.violations
+	}
+	healAt, rec := sys.RecoveryTimes()
+	for loc, h := range healAt {
+		if h < 0 {
+			continue
+		}
+		lr := LocalityRecovery{Locality: loc, HealAt: h, RecoverMs: -1}
+		if rec[loc] >= 0 {
+			lr.RecoverMs = float64(rec[loc])
+		}
+		res.Recovery = append(res.Recovery, lr)
+	}
 }
 
 // RunFlower executes a full Flower-CDN experiment.
@@ -114,6 +198,7 @@ func RunFlowerTraced(p Params, traceCapacity int) (Result, *trace.Buffer, error)
 	if err != nil {
 		return Result{}, nil, err
 	}
+	acc := applyFaultPlane(kernel, sys, p)
 	pumpQueries(kernel, p.Duration, gen.AsSource(), sys.Submit)
 	if p.ChurnPerHour > 0 {
 		injectChurn(kernel, p, func(rng *rand.Rand) {
@@ -133,6 +218,7 @@ func RunFlowerTraced(p Params, traceCapacity int) (Result, *trace.Buffer, error)
 		Events:      events,
 		WallSeconds: wall,
 	}
+	finishFaultPlane(&res, sys, acc)
 	if p.MeasureMemory {
 		res.BytesPerClient = bytesPerClientOf(pools)
 		runtime.KeepAlive(sys) // keep the measured state reachable during GC

@@ -72,6 +72,11 @@ func runFlowerSharded(p Params, traceCapacity int) (Result, *trace.Buffer, error
 		}
 		pumpCellQueries(cells[c], c, net, sys, p.Duration, gen.AsSource())
 	}
+	// The fault plane decides drops/jitter on per-cell RNG streams during
+	// parallel phases and the coordination stream at barriers, so it is
+	// worker-invariant; the auditor always ticks on the coordination kernel
+	// (at barriers, workers parked).
+	acc := applyFaultPlane(global, sys, p)
 	// Churn is a global process: failures rewire the ring and cancel timers
 	// across cells, so the whole injector lives on the coordination kernel
 	// and runs at barriers.
@@ -119,6 +124,7 @@ func runFlowerSharded(p Params, traceCapacity int) (Result, *trace.Buffer, error
 		merged.MergeFrom(cm, p.Duration)
 	}
 	res.Report = merged.Snapshot(p.Duration)
+	finishFaultPlane(&res, sys, acc)
 	if p.MeasureMemory {
 		res.BytesPerClient = bytesPerClientOf(pools)
 		// The system (and through it the cells, lanes and directories) must

@@ -144,6 +144,13 @@ type Collector struct {
 	// diagnostics
 	redirectFailures int64
 	routeTTLExpiry   int64
+
+	// Fallback-chain accounting (holder → directory → origin): how many
+	// times queries re-armed a retry, fell back from the view/holder tier
+	// to a directory lookup, and degraded all the way to the origin server.
+	retries         int64
+	dirFallbacks    int64
+	originFallbacks int64
 }
 
 // New creates a collector.
@@ -318,6 +325,9 @@ func (c *Collector) MergeFrom(o *Collector, end simkernel.Time) {
 	c.peerMsTotal += o.peerMsTotal
 	c.redirectFailures += o.redirectFailures
 	c.routeTTLExpiry += o.routeTTLExpiry
+	c.retries += o.retries
+	c.dirFallbacks += o.dirFallbacks
+	c.originFallbacks += o.originFallbacks
 }
 
 // RecordRedirectFailure counts a redirection to a dead peer (§5.1).
@@ -326,3 +336,15 @@ func (c *Collector) RecordRedirectFailure() { c.redirectFailures++ }
 // RecordRouteTTLExpiry counts a routed message that hit its TTL guard; on
 // a stable ring this must stay zero.
 func (c *Collector) RecordRouteTTLExpiry() { c.routeTTLExpiry++ }
+
+// RecordRetry counts one query retry (re-routed lookup or next-candidate
+// advance after a timeout).
+func (c *Collector) RecordRetry() { c.retries++ }
+
+// RecordDirFallback counts a query falling back from the view/holder tier
+// to a directory lookup.
+func (c *Collector) RecordDirFallback() { c.dirFallbacks++ }
+
+// RecordOriginFallback counts a query degrading to the origin server after
+// the P2P tiers were exhausted or unreachable.
+func (c *Collector) RecordOriginFallback() { c.originFallbacks++ }

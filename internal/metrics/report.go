@@ -103,6 +103,11 @@ type Report struct {
 
 	RedirectFailures int64
 	RouteTTLExpiry   int64
+
+	// Fallback-chain accounting (holder → directory → origin).
+	Retries         int64
+	DirFallbacks    int64
+	OriginFallbacks int64
 }
 
 // Snapshot computes the report at time end (usually the run duration).
@@ -115,6 +120,9 @@ func (c *Collector) Snapshot(end simkernel.Time) Report {
 		BySource:         map[string]int64{},
 		RedirectFailures: c.redirectFailures,
 		RouteTTLExpiry:   c.routeTTLExpiry,
+		Retries:          c.retries,
+		DirFallbacks:     c.dirFallbacks,
+		OriginFallbacks:  c.originFallbacks,
 	}
 	r.AvgLookupBySource = map[string]float64{}
 	for s := Source(0); s < 4; s++ {

@@ -258,6 +258,21 @@ func (k *Kernel) DeriveRNG(label string) *rand.Rand {
 	return rand.New(rand.NewSource(int64(Mix64(uint64(k.seed) ^ h))))
 }
 
+// DeriveRNGAt is DeriveRNG for indexed stream families: the returned PRNG
+// is a pure function of (kernel seed, label, index), so one label can fan
+// out into per-cell or per-shard streams without string formatting, and
+// stream i never collides with stream j or with the label's un-indexed
+// DeriveRNG stream.
+func (k *Kernel) DeriveRNGAt(label string, index int) *rand.Rand {
+	var h uint64 = 14695981039346656037 // FNV-1a over the label
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	h = Mix64(h ^ Mix64(uint64(index)+0x5bd1e995))
+	return rand.New(rand.NewSource(int64(Mix64(uint64(k.seed) ^ h))))
+}
+
 // Processed reports how many events have fired so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 

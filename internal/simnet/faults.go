@@ -1,0 +1,171 @@
+// Deterministic fault-injection plane: seeded message loss, latency
+// jitter/spikes, and locality-scale partitions layered under Send.
+//
+// Every fault decision is made at send time from a DeriveRNG-derived
+// stream, so a faulted run is a pure function of (scenario, seed). On a
+// sharded network each cell owns a private stream consumed only by sends
+// executing on that cell's kernel (which the venue rules already
+// serialise), and barrier-context sends draw from the coordination
+// kernel's stream — so fault decisions, like everything else, are
+// invariant under the worker count.
+//
+// Partitions are a static schedule, not a random process: a partitioned
+// locality is isolated from all other localities for [Start, End) of
+// simulated time (intra-locality traffic still flows), and the check is a
+// pure function of (locality, now) — no RNG draw, no mutation — so
+// cutting and healing are exactly reproducible and race-free.
+package simnet
+
+import (
+	"math/rand"
+
+	"flowercdn/internal/simkernel"
+)
+
+// PartitionWindow isolates one locality from every other locality during
+// [Start, End): cross-locality messages with either endpoint inside the
+// partitioned locality are dropped. Intra-locality traffic is unaffected
+// — the paper's localities are network-proximate clusters, and a WAN cut
+// severs the cluster from the world, not from itself.
+type PartitionWindow struct {
+	Locality   int
+	Start, End simkernel.Time
+}
+
+// FaultConfig parameterises the fault plane. The zero value (and a nil
+// pointer) disables every fault; Enabled reports whether any knob is set.
+type FaultConfig struct {
+	// LossProb is the base per-message drop probability on every link.
+	LossProb float64
+	// LocalityLoss adds extra drop probability per endpoint locality:
+	// a message accrues the sender's entry plus (when different) the
+	// receiver's. Missing entries read as 0.
+	LocalityLoss []float64
+	// JitterProb is the probability that a message's latency is inflated
+	// by a uniform draw from [0, JitterMaxMs].
+	JitterProb  float64
+	JitterMaxMs float64
+	// SpikeProb adds a fixed SpikeMs latency spike with this probability
+	// (modelling transient congestion plateaus rather than uniform noise).
+	SpikeProb float64
+	SpikeMs   float64
+	// Partitions is the static cut/heal schedule.
+	Partitions []PartitionWindow
+}
+
+// Enabled reports whether the config injects any fault at all. Nil-safe.
+func (f *FaultConfig) Enabled() bool {
+	if f == nil {
+		return false
+	}
+	if f.LossProb > 0 || f.JitterProb > 0 || f.SpikeProb > 0 || len(f.Partitions) > 0 {
+		return true
+	}
+	for _, l := range f.LocalityLoss {
+		if l > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Partitioned reports whether loc is cut off from other localities at now.
+func (f *FaultConfig) Partitioned(loc int, now simkernel.Time) bool {
+	for _, w := range f.Partitions {
+		if w.Locality == loc && now >= w.Start && now < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// HealTime returns the end of the last partition window covering loc, or
+// -1 if loc is never partitioned. Recovery metrics measure from this
+// instant.
+func (f *FaultConfig) HealTime(loc int) simkernel.Time {
+	heal := simkernel.Time(-1)
+	if f == nil {
+		return heal
+	}
+	for _, w := range f.Partitions {
+		if w.Locality == loc && w.End > heal {
+			heal = w.End
+		}
+	}
+	return heal
+}
+
+// lossProb is the total drop probability for a (srcLoc, dstLoc) link.
+func (f *FaultConfig) lossProb(srcLoc, dstLoc int) float64 {
+	p := f.LossProb
+	if srcLoc < len(f.LocalityLoss) {
+		p += f.LocalityLoss[srcLoc]
+	}
+	if dstLoc != srcLoc && dstLoc < len(f.LocalityLoss) {
+		p += f.LocalityLoss[dstLoc]
+	}
+	return p
+}
+
+// decide makes the send-time fault decision for one message. The draw
+// order is fixed — partition check (no draw), loss (one draw when any
+// loss is configured), jitter (one draw, plus a magnitude draw only when
+// triggered), spike (one draw) — so the stream consumption per send is a
+// pure function of the config and the endpoints, never of prior outcomes.
+// It returns drop=true to lose the message, otherwise extra latency to
+// add on top of the topology's link latency.
+func (f *FaultConfig) decide(rng *rand.Rand, srcLoc, dstLoc int, now simkernel.Time) (drop bool, extra simkernel.Time) {
+	if len(f.Partitions) > 0 && srcLoc != dstLoc &&
+		(f.Partitioned(srcLoc, now) || f.Partitioned(dstLoc, now)) {
+		return true, 0
+	}
+	if f.LossProb > 0 || len(f.LocalityLoss) > 0 {
+		if rng.Float64() < f.lossProb(srcLoc, dstLoc) {
+			return true, 0
+		}
+	}
+	if f.JitterProb > 0 {
+		if rng.Float64() < f.JitterProb {
+			extra += simkernel.Time(rng.Float64() * f.JitterMaxMs * float64(simkernel.Millisecond))
+		}
+	}
+	if f.SpikeProb > 0 {
+		if rng.Float64() < f.SpikeProb {
+			extra += simkernel.Time(f.SpikeMs * float64(simkernel.Millisecond))
+		}
+	}
+	return false, extra
+}
+
+// InstallFaults activates the fault plane. A nil or all-zero config is a
+// no-op, keeping the disabled send path a single pointer check (the
+// TestFaultPlaneDisabledAllocs gate). Must be called before the run
+// starts (single-threaded); on a sharded network each cell gets its own
+// decision stream derived from that cell's kernel.
+func (n *Network) InstallFaults(cfg *FaultConfig) {
+	if !cfg.Enabled() {
+		return
+	}
+	n.faults = cfg
+	n.faultRNG = n.kernel.DeriveRNG("simnet-faults")
+	if n.cells != nil {
+		n.cellFaultRNG = make([]*rand.Rand, len(n.cells))
+		for i, k := range n.cells {
+			n.cellFaultRNG[i] = k.DeriveRNGAt("simnet-faults", i)
+		}
+	}
+}
+
+// Faults returns the installed fault config (nil when disabled).
+func (n *Network) Faults() *FaultConfig { return n.faults }
+
+// FaultDropped reports how many messages the fault plane dropped (loss or
+// partition), across all lanes. Distinct from Dropped, which counts losses
+// to dead or handler-less endpoints. Same concurrency caveat as Sent.
+func (n *Network) FaultDropped() uint64 {
+	total := n.faultDropped
+	for _, l := range n.lanes {
+		total += l.faultDropped
+	}
+	return total
+}

@@ -1,0 +1,161 @@
+package simnet
+
+import (
+	"testing"
+
+	"flowercdn/internal/simkernel"
+	"flowercdn/internal/topology"
+)
+
+// faultNet builds a small network on a caller-owned kernel, mirroring
+// allocNet but letting fault tests vary the kernel seed (which seeds the
+// fault-decision streams via DeriveRNG).
+func faultNet(tb testing.TB, k *simkernel.Kernel) *Network {
+	tb.Helper()
+	cfg := topology.DefaultConfig(1)
+	cfg.TotalNodes = 300
+	cfg.UniformNodes = 20
+	topo, err := topology.Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return New(k, topo)
+}
+
+// TestFaultPlaneDisabledAllocs is the alloc gate for the fault hook on the
+// send hot path: with no fault config installed (nil or all-zero), Send must
+// stay a single pointer check away from the pre-fault-plane code — zero
+// allocations per send→deliver round trip, exactly like TestHotPathAllocs.
+func TestFaultPlaneDisabledAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  *FaultConfig
+	}{
+		{"nil config", nil},
+		{"zero config", &FaultConfig{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n, k := allocNet(t)
+			n.InstallFaults(tc.cfg)
+			if n.Faults() != nil {
+				t.Fatal("disabled fault config must not install")
+			}
+			delivered := 0
+			n.Register(1, HandlerFunc(func(m Message) { delivered++ }))
+			x := 0
+			pl := allocPayload{p: &x}
+			for i := 0; i < 64; i++ {
+				n.Send(0, 1, CatQuery, 40, pl)
+			}
+			k.Run(k.Now() + simkernel.Minute)
+			if avg := testing.AllocsPerRun(200, func() {
+				n.Send(0, 1, CatQuery, 40, pl)
+				k.Run(k.Now() + simkernel.Minute) // drain: delivery fires, slab slot freed
+			}); avg != 0 {
+				t.Fatalf("send+deliver with disabled faults allocates %.1f/op, want 0", avg)
+			}
+			if delivered == 0 {
+				t.Fatal("nothing delivered; the measurement exercised no messages")
+			}
+		})
+	}
+}
+
+// faultDropRun is one seeded lossy run: 500 sends through 30% loss + jitter,
+// reporting deliveries, fault drops and the last arrival time.
+func faultDropRun(tb testing.TB, seed int64) (int, uint64, simkernel.Time) {
+	tb.Helper()
+	k := simkernel.New(seed)
+	n := faultNet(tb, k)
+	n.InstallFaults(&FaultConfig{LossProb: 0.3, JitterProb: 0.5, JitterMaxMs: 80})
+	delivered := 0
+	var last simkernel.Time
+	n.Register(1, HandlerFunc(func(m Message) { delivered++; last = k.Now() }))
+	x := 0
+	pl := allocPayload{p: &x}
+	for i := 0; i < 500; i++ {
+		n.Send(0, 1, CatQuery, 40, pl)
+	}
+	k.Run(k.Now() + simkernel.Minute)
+	return delivered, n.FaultDropped(), last
+}
+
+// TestFaultDeterminism: the same seed yields identical fault decisions
+// (drop counts and arrival times); a different seed yields different ones.
+func TestFaultDeterminism(t *testing.T) {
+	d1, f1, l1 := faultDropRun(t, 7)
+	d2, f2, l2 := faultDropRun(t, 7)
+	if d1 != d2 || f1 != f2 || l1 != l2 {
+		t.Fatalf("same seed diverged: delivered %d/%d, dropped %d/%d, last %d/%d", d1, d2, f1, f2, l1, l2)
+	}
+	if f1 == 0 || d1 == 0 {
+		t.Fatalf("degenerate run: delivered=%d dropped=%d", d1, f1)
+	}
+	if d1+int(f1) != 500 {
+		t.Fatalf("accounting leak: delivered %d + dropped %d != 500 sends", d1, f1)
+	}
+	d3, f3, _ := faultDropRun(t, 8)
+	if d1 == d3 && f1 == f3 {
+		t.Fatal("different seeds produced identical fault outcomes")
+	}
+}
+
+// TestPartitionWindow: cross-locality messages with one endpoint inside a
+// partitioned locality are dropped during the window and flow before and
+// after it; intra-locality traffic is never cut.
+func TestPartitionWindow(t *testing.T) {
+	n, k := allocNet(t)
+	// Pick two nodes inside locality 0 and one outside it.
+	var inside, inside2, outside NodeID
+	foundIn, foundIn2, foundOut := false, false, false
+	for id := NodeID(0); id < 300; id++ {
+		switch {
+		case n.topo.LocalityOf(id) == 0 && !foundIn:
+			inside, foundIn = id, true
+		case n.topo.LocalityOf(id) == 0 && !foundIn2:
+			inside2, foundIn2 = id, true
+		case n.topo.LocalityOf(id) != 0 && !foundOut:
+			outside, foundOut = id, true
+		}
+	}
+	if !foundIn || !foundIn2 || !foundOut {
+		t.Fatal("topology has no usable locality split")
+	}
+	n.InstallFaults(&FaultConfig{Partitions: []PartitionWindow{
+		{Locality: 0, Start: simkernel.Minute, End: 2 * simkernel.Minute},
+	}})
+	got := map[NodeID]int{}
+	h := HandlerFunc(func(m Message) { got[m.To]++ })
+	n.Register(inside, h)
+	n.Register(inside2, h)
+	n.Register(outside, h)
+
+	send := func() { // one cross-partition pair each way plus one intra pair
+		n.Send(inside, outside, CatQuery, 10, allocPayload{})
+		n.Send(outside, inside, CatQuery, 10, allocPayload{})
+		n.Send(inside, inside2, CatQuery, 10, allocPayload{})
+	}
+	send() // before the window: everything flows
+	k.Run(simkernel.Minute)
+	if got[outside] != 1 || got[inside] != 1 || got[inside2] != 1 {
+		t.Fatalf("pre-window deliveries = %v, want 1 each", got)
+	}
+	k.Run(simkernel.Minute + simkernel.Second)
+	send() // inside the window: only the intra-locality message survives
+	k.Run(2 * simkernel.Minute)
+	if got[outside] != 1 || got[inside] != 1 {
+		t.Fatalf("cross-partition message delivered during window: %v", got)
+	}
+	if got[inside2] != 2 {
+		t.Fatalf("intra-locality message cut by partition: %v", got)
+	}
+	k.Run(2*simkernel.Minute + simkernel.Second)
+	send() // healed: everything flows again
+	k.Run(3 * simkernel.Minute)
+	if got[outside] != 2 || got[inside] != 2 || got[inside2] != 3 {
+		t.Fatalf("post-heal deliveries = %v, want all through", got)
+	}
+	if n.FaultDropped() != 2 {
+		t.Fatalf("FaultDropped = %d, want 2", n.FaultDropped())
+	}
+}

@@ -37,8 +37,9 @@ type lane struct {
 	free    []uint32
 	deliver func(uint64)
 
-	sent    uint64
-	dropped uint64
+	sent         uint64
+	dropped      uint64
+	faultDropped uint64
 }
 
 func newLane(n *Network, k *simkernel.Kernel) *lane {
@@ -212,9 +213,27 @@ func (n *Network) sendSharded(from, to NodeID, cat Category, bytes int, payload 
 	}
 	n.lanes[src].sent++
 	m := Message{From: from, To: to, Payload: payload, Bytes: bytes, Category: cat, SentAt: now}
+	if n.faults != nil {
+		// Parallel-phase sends always execute on the sender's cell kernel,
+		// in that cell's deterministic event order, so each cell consumes
+		// its private decision stream identically at any worker count.
+		// Barrier-context sends are single-threaded on the coordination
+		// kernel and draw from its stream. Cells are localities, so src/dst
+		// double as the locality indices.
+		rng := n.faultRNG
+		if !n.inBarrier {
+			rng = n.cellFaultRNG[src]
+		}
+		drop, extra := n.faults.decide(rng, src, dst, now)
+		if drop {
+			n.lanes[src].faultDropped++
+			return
+		}
+		m.Delay = extra
+	}
 	global := n.venueGlobal(src, dst, payload)
 	if n.inBarrier {
-		at := now + n.topo.Latency(from, to)
+		at := now + n.topo.Latency(from, to) + m.Delay
 		if global {
 			n.globalLane.post(at, m)
 		} else {
@@ -223,19 +242,19 @@ func (n *Network) sendSharded(from, to NodeID, cat Category, bytes int, payload 
 		return
 	}
 	if !global { // src == dst here: the intra-cell zero-alloc fast path
-		n.lanes[src].post(now+n.topo.Latency(from, to), m)
+		n.lanes[src].post(now+n.topo.Latency(from, to)+m.Delay, m)
 		return
 	}
 	n.mail.Post(src, m)
 }
 
 // ImportMail drains the cross-cell mailbox into the coordination kernel at
-// exact arrival times (SentAt + link latency), in (srcCell, FIFO) order.
-// Called single-threaded at each epoch barrier; arrivals always land
-// strictly after the barrier because the epoch width never exceeds the
-// minimum cross-cell latency.
+// exact arrival times (SentAt + link latency + injected fault delay), in
+// (srcCell, FIFO) order. Called single-threaded at each epoch barrier;
+// arrivals always land strictly after the barrier because the epoch width
+// never exceeds the minimum cross-cell latency and fault delay only adds.
 func (n *Network) ImportMail() {
 	n.mail.Drain(func(src int, m Message) {
-		n.globalLane.post(m.SentAt+n.topo.Latency(m.From, m.To), m)
+		n.globalLane.post(m.SentAt+n.topo.Latency(m.From, m.To)+m.Delay, m)
 	})
 }

@@ -12,6 +12,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 
 	"flowercdn/internal/simkernel"
 	"flowercdn/internal/topology"
@@ -73,6 +74,10 @@ type Message struct {
 	Category Category
 	// SentAt is stamped by the network when the message leaves the sender.
 	SentAt simkernel.Time
+	// Delay is extra latency injected by the fault plane (jitter/spikes),
+	// added on top of the topology's link latency. Zero when faults are
+	// disabled.
+	Delay simkernel.Time
 }
 
 // Handler consumes messages delivered to a node.
@@ -114,6 +119,15 @@ type Network struct {
 
 	sent    uint64
 	dropped uint64
+
+	// Fault plane (see faults.go); nil when disabled, so the healthy send
+	// path pays one pointer check. faultRNG drives decisions for classic
+	// and barrier-context sends; cellFaultRNG[i] drives cell i's parallel
+	// sends (each consumed only on its owning kernel's goroutine).
+	faults       *FaultConfig
+	faultRNG     *rand.Rand
+	cellFaultRNG []*rand.Rand
+	faultDropped uint64
 
 	// Sharded-mode state (see sharded.go); nil on a classic network. When
 	// lanes is non-nil, kernel is the serial coordination kernel and every
@@ -192,6 +206,17 @@ func (n *Network) Send(from, to NodeID, cat Category, bytes int, payload any) {
 		n.sink.RecordMessage(now, from, to, cat, bytes)
 	}
 	n.sent++
+	lat := n.topo.Latency(from, to)
+	if n.faults != nil {
+		// Accounting stays above: the bytes crossed the sender's link even
+		// when the network loses them, matching the dead-receiver semantics.
+		drop, extra := n.faults.decide(n.faultRNG, n.topo.LocalityOf(from), n.topo.LocalityOf(to), now)
+		if drop {
+			n.faultDropped++
+			return
+		}
+		lat += extra
+	}
 	var idx uint32
 	if m := len(n.free); m > 0 {
 		idx = n.free[m-1]
@@ -205,7 +230,7 @@ func (n *Network) Send(from, to NodeID, cat Category, bytes int, payload any) {
 		Payload: payload, Bytes: bytes, Category: cat,
 		SentAt: now,
 	}
-	n.kernel.AfterArg(n.topo.Latency(from, to), n.deliver, uint64(idx))
+	n.kernel.AfterArg(lat, n.deliver, uint64(idx))
 }
 
 // deliverPending fires when a slab record's latency elapses: it releases

@@ -27,7 +27,8 @@ run() { # run <benchtime> <pattern> <packages...>
   # Population-scale chart: the shrunk 100k-preset shape at growing
   # populations, reporting simulator throughput as events/sec. The
   # pattern also matches PopulationScaleParallel (the locality-sharded
-  # kernel with one worker per CPU); its cells carry a "shards" metric
+  # kernel with one worker per CPU) and PopulationScaleFaulted (light
+  # loss + hardened protocol); parallel cells carry a "shards" metric
   # and every events/sec cell records GOMAXPROCS, so bench_compare.sh
   # can refuse to compare cells measured under different parallelism.
   run "$benchtime" 'PopulationScale' .

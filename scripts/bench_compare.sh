@@ -6,6 +6,9 @@
 #   - BenchmarkCampaignSequential ns/op   (higher is worse)
 #   - BenchmarkPopulationScale/pop=* events/sec, every population cell
 #     present in both snapshots        (lower is worse)
+#   - BenchmarkPopulationScaleFaulted/pop=* events/sec — the same chart
+#     with a light fault plane + hardened protocol enabled, gating the
+#     faulted hot path separately     (lower is worse)
 #
 # Snapshots are measured on the author's machine when a PR lands
 # (scripts/bench.sh <pr>), so consecutive snapshots are comparable; CI
@@ -90,6 +93,17 @@ while IFS= read -r cell; do
     "$(extract "$old" "$cell" events_per_sec)" \
     "$(extract "$new" "$cell" events_per_sec)" down
 done < <(grep -oh '"name": "BenchmarkPopulationScale/[^"]*"' "$old" "$new" |
+  sed 's/"name": "//; s/"$//' | sort -u)
+
+# Faulted population cells (light loss + hardened protocol) gate the
+# faulted hot path — per-send fault decisions and retry timer churn —
+# independently of the clean cells above, which the clean grep cannot
+# match ("BenchmarkPopulationScale/" excludes the Faulted suffix).
+while IFS= read -r cell; do
+  compare "$cell" \
+    "$(extract "$old" "$cell" events_per_sec)" \
+    "$(extract "$new" "$cell" events_per_sec)" down
+done < <(grep -oh '"name": "BenchmarkPopulationScaleFaulted/[^"]*"' "$old" "$new" |
   sed 's/"name": "//; s/"$//' | sort -u)
 
 # Parallel (locality-sharded) population cells are only like-for-like

@@ -27,6 +27,12 @@ func TestShardedWorkerInvariance(t *testing.T) {
 	scaleUp.MaxOverlaySize = 8
 	scaleUp.ClientsPerSite = 60
 	scaleUp.InstanceBits = 1
+	// Fault scenarios: every fault decision must be worker-invariant too —
+	// loss/jitter draws ride per-cell streams during parallel phases and the
+	// coordination stream at barriers, and partitions are a static schedule.
+	lossy := fixtureParams(9)
+	lossy.Faults = &FaultConfig{LossProb: 0.08, JitterProb: 0.25, JitterMaxMs: 90, SpikeProb: 0.02, SpikeMs: 300}
+	partitioned := FaultStormParams(10)
 	scenarios := []struct {
 		name string
 		p    Params
@@ -39,6 +45,8 @@ func TestShardedWorkerInvariance(t *testing.T) {
 		{"flower shrunk-massive seed=6", ShrunkMassiveParams(6)},
 		{"flower shrunk-massive-churn seed=7", WithMassiveChurn(ShrunkMassiveParams(7))},
 		{"flower sharded shrunk-massive seed=8", ShrunkMassiveParams(8)},
+		{"flower loss+jitter seed=9", lossy},
+		{"flower partition-storm seed=10", partitioned},
 	}
 	for _, sc := range scenarios {
 		sc := sc
@@ -53,6 +61,7 @@ func TestShardedWorkerInvariance(t *testing.T) {
 				var sb strings.Builder
 				formatReport(&sb, sc.name, res.Report)
 				formatStats(&sb, res)
+				formatFaultSummary(&sb, res)
 				fmt.Fprintf(&sb, "shard_events=%v barrier_events=%d epochs=%d\n",
 					res.ShardEvents, res.BarrierEvents, res.Epochs)
 				sb.WriteString("trace:\n")
