@@ -18,10 +18,12 @@
 // "massive" (the 100,000-client stress preset; add -churn to rerun it under
 // the population-scaled failure injector and compare events/sec),
 // "dirstress" (one ~2100-member overlay on a 1-minute gossip period — the
-// directory-sweep-dominated shape) and "faults" (the deterministic
+// directory-sweep-dominated shape), "faults" (the deterministic
 // fault-storm scenario — loss, jitter, locality partitions — with the
 // invariant auditor, per-locality recovery times, and a loss-rate
-// degradation sweep) — all outside "all" because they measure the
+// degradation sweep; -loss overrides the sweep grid) and "dircrash"
+// (scheduled directory crashes comparing warm-standby promotion against
+// the cold §5.2 rebuild) — all outside "all" because they measure the
 // simulator, not the paper.
 //
 // Sweep-style experiments run one full simulation per point; -parallel N
@@ -36,6 +38,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -65,6 +68,7 @@ var experiments = map[string]func(w *writer, p flowercdn.Params) error{
 	"massive":             runMassive,
 	"dirstress":           runDirStress,
 	"faults":              runFaults,
+	"dircrash":            runDirCrash,
 }
 
 // massiveChurn is set by the -churn flag: the massive experiment then
@@ -84,6 +88,11 @@ var hoursOverride flowercdn.Time
 // (-shards 0) or a different worker count.
 var shardsOverride = -1
 
+// lossOverride carries the -loss grid (nil when the flag was not passed)
+// so `-exp faults` can sweep custom loss rates instead of the default
+// 0/1/2/5/10/20% ladder.
+var lossOverride []float64
+
 func main() {
 	// The profile defers must run even on failure (os.Exit skips them, and
 	// a truncated CPU profile is unreadable), so the real work returns an
@@ -100,6 +109,7 @@ func run() int {
 		parallel   = flag.Int("parallel", 1, "sweep workers: 1 = sequential, N>1 = N workers, -1 = one per CPU")
 		shards     = flag.Int("shards", -1, "locality-sharded kernel workers for a single run: 0 = classic kernel, N>0 = N workers, -1 = preset default")
 		churn      = flag.Bool("churn", false, "massive: also run with the population-scaled failure injector")
+		loss       = flag.String("loss", "", "faults: comma-separated loss fractions for the sweep (e.g. 0,0.05,0.15; default 0,0.01,0.02,0.05,0.1,0.2)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		quiet      = flag.Bool("quiet", false, "suppress progress notes on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -111,6 +121,16 @@ func run() int {
 		hoursOverride = flowercdn.Time(*hours) * flowercdn.Hour
 	}
 	shardsOverride = *shards
+	if *loss != "" {
+		for _, tok := range strings.Split(*loss, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil || r < 0 || r > 1 {
+				fmt.Fprintf(os.Stderr, "-loss: %q is not a loss fraction in [0,1]\n", tok)
+				return 2
+			}
+			lossOverride = append(lossOverride, r)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -683,7 +703,7 @@ func runFaults(w *writer, p flowercdn.Params) error {
 	base := fp
 	base.Faults = nil
 	base.AuditEvery = 0
-	rows, err := flowercdn.LossRateSweep(base, nil)
+	rows, err := flowercdn.LossRateSweep(base, lossOverride)
 	if err != nil {
 		return err
 	}
@@ -695,6 +715,100 @@ func runFaults(w *writer, p flowercdn.Params) error {
 			fmt.Sprintf("%.0f%%", r.LossPct), r.HitRatio, r.AvgLookupMs, r.FaultDrops, r.Retries, r.OriginFallbacks)
 	}
 	return nil
+}
+
+func runDirCrash(w *writer, p flowercdn.Params) error {
+	warm := flowercdn.DirCrashStormParams(p.Seed)
+	if hoursOverride > 0 {
+		warm.Duration = hoursOverride
+	}
+	if shardsOverride >= 0 {
+		warm.Shards = shardsOverride
+	}
+	cold := warm
+	cold.StandbyFailover = false
+	cold.ShedBudget = 0
+	w.notef("dircrash: %d scheduled directory crashes, %.0f%% loss, warm standbys vs cold §5.2 rebuild",
+		len(warm.DirCrashes), 100*warm.Faults.LossProb)
+
+	cres, err := flowercdn.RunFlower(cold)
+	if err != nil {
+		return err
+	}
+	wres, err := flowercdn.RunFlower(warm)
+	if err != nil {
+		return err
+	}
+
+	w.printf("Directory crash storm — %s simulated, seed %d", warm.Duration, warm.Seed)
+	w.printf("crash schedule:")
+	for _, dc := range warm.DirCrashes {
+		w.printf("  site %d locality %d at %s", dc.SiteIdx, dc.Locality, dc.At)
+	}
+	w.printf("")
+	w.printf("%-22s %-12s %-12s", "metric", "cold", "warm")
+	w.printf("%-22s %-12.3f %-12.3f", "hit ratio", cres.Report.HitRatio, wres.Report.HitRatio)
+	w.printf("%-22s %-12d %-12d", "dir replacements", cres.Stats.DirReplacements, wres.Stats.DirReplacements)
+	w.printf("%-22s %-12d %-12d", "standby promotions", cres.Stats.StandbyPromotions, wres.Stats.StandbyPromotions)
+	w.printf("%-22s %-12d %-12d", "standby assigns", cres.Stats.StandbyAssigns, wres.Stats.StandbyAssigns)
+	w.printf("%-22s %-12d %-12d", "standby deltas", cres.Stats.StandbyDeltas, wres.Stats.StandbyDeltas)
+	w.printf("%-22s %-12d %-12d", "stale shards at promo", cres.Stats.StandbyStaleShards, wres.Stats.StandbyStaleShards)
+	w.printf("%-22s %-12d %-12d", "shed queries", cres.Report.ShedQueries, wres.Report.ShedQueries)
+	w.printf("%-22s %-12d %-12d", "origin fallbacks", cres.Report.OriginFallbacks, wres.Report.OriginFallbacks)
+	w.printf("")
+	w.printf("per-locality recovery (crash → first hit mediated by the locality's own directory):")
+	w.printf("%-10s %-14s %-14s %-8s", "locality", "cold(ms)", "warm(ms)", "ratio")
+	coldMs := recoveryByLocality(cres.Recovery)
+	warmMs := recoveryByLocality(wres.Recovery)
+	locs := make([]int, 0, len(coldMs))
+	for loc := range coldMs {
+		locs = append(locs, loc)
+	}
+	sort.Ints(locs)
+	var coldSum, warmSum float64
+	var n int
+	for _, loc := range locs {
+		c := coldMs[loc]
+		wm, ok := warmMs[loc]
+		cs, ws := fmtMs(c), fmtMs(wm)
+		ratio := "-"
+		if ok && c >= 0 && wm > 0 {
+			ratio = fmt.Sprintf("%.1fx", c/wm)
+		}
+		w.printf("%-10d %-14s %-14s %-8s", loc, cs, ws, ratio)
+		if ok && c >= 0 && wm >= 0 {
+			coldSum += c
+			warmSum += wm
+			n++
+		}
+	}
+	if n > 0 && warmSum > 0 {
+		w.printf("mean recovery: cold %.0f ms, warm %.0f ms (%.1fx faster warm)",
+			coldSum/float64(n), warmSum/float64(n), coldSum/warmSum)
+	}
+	w.printf("auditor: cold %d checks/%d violations, warm %d checks/%d violations",
+		cres.AuditChecks, len(cres.AuditViolations), wres.AuditChecks, len(wres.AuditViolations))
+	for _, v := range append(cres.AuditViolations, wres.AuditViolations...) {
+		w.printf("  violation: %s", v)
+	}
+	return nil
+}
+
+// recoveryByLocality indexes Result.Recovery rows (crash datapoints) by
+// locality; -1 marks a locality that never recovered inside the run.
+func recoveryByLocality(rows []flowercdn.LocalityRecovery) map[int]float64 {
+	m := make(map[int]float64)
+	for _, r := range rows {
+		m[r.Locality] = r.RecoverMs
+	}
+	return m
+}
+
+func fmtMs(ms float64) string {
+	if ms < 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%.0f", ms)
 }
 
 func runConditionalRouting(w *writer, p flowercdn.Params) error {

@@ -179,6 +179,19 @@ func buildFixture(t *testing.T) string {
 	formatStats(&sb, fres)
 	formatFaultSummary(&sb, fres)
 
+	// Twelfth scenario: the directory crash storm with warm standbys armed.
+	// Pins the whole failover surface — replica designation and delta
+	// cadence, deterministic promotion, takeover announcements, shedding
+	// and the crash→first-local-directory-hit recovery rows.
+	dres, err := RunFlower(DirCrashStormParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatReport(&sb, "flower dircrash seed=10", dres.Report)
+	formatStats(&sb, dres)
+	formatFaultSummary(&sb, dres)
+	formatStandbySummary(&sb, dres)
+
 	return sb.String()
 }
 

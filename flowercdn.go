@@ -144,6 +144,22 @@ type LocalityRecovery = harness.LocalityRecovery
 // partitions, with the invariant auditor sweeping every simulated minute.
 func FaultStormParams(seed int64) Params { return harness.FaultStormParams(seed) }
 
+// DirCrash schedules one directory crash for Params.DirCrashes: the
+// directory of (active site SiteIdx, Locality) is failed at simulated
+// time At and its crash→first-local-directory-hit recovery is measured.
+type DirCrash = harness.DirCrash
+
+// DirCrashStormParams is the crash-failover preset behind `-exp dircrash`:
+// laptop-scale population under light loss/jitter with every active site's
+// directory crashed in two localities during bootstrap; warm standbys and
+// takeover shedding armed. The cold §5.2 rebuild baseline is the same
+// preset with StandbyFailover and ShedBudget zeroed.
+func DirCrashStormParams(seed int64) Params { return harness.DirCrashStormParams(seed) }
+
+// DefaultLossRates is the default grid for LossRateSweep (the `-exp
+// faults` sweep); override per-run with the -loss flag.
+var DefaultLossRates = harness.DefaultLossRates
+
 // LossRateRow is one point of the loss-rate degradation sweep.
 type LossRateRow = harness.LossRateRow
 

@@ -85,6 +85,17 @@ func (s *Set) ForEach(fn func(i int)) {
 	}
 }
 
+// Word returns the w'th 64-bit word (indices [64w, 64w+64)); out-of-range
+// word indices are zero. It is the read half of the word-granular seam
+// ForEachWord iterates: range-sharded consumers (the directory's inverse
+// index, its standby delta sync) address exactly one word per shard.
+func (s *Set) Word(w int) uint64 {
+	if w < 0 || w >= len(s.words) {
+		return 0
+	}
+	return s.words[w]
+}
+
 // ForEachWord calls fn for every nonzero 64-bit word in ascending word
 // order; word w covers indices [64w, 64w+64). Callers that batch work by
 // index range (e.g. range-sharded inverse indexes) visit exactly the

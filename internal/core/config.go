@@ -96,6 +96,30 @@ type Config struct {
 	// prefetch the ones their overlay lacks. 0 disables the extension.
 	ReplicationTopK   int
 	ReplicationPeriod simkernel.Time // defaults to TGossip when TopK > 0
+
+	// StandbyFailover arms the warm-standby directory extension: every
+	// directory designates the §5.2-ranked best content peer of its overlay
+	// as a standby, keeps the standby's replica index fresh with
+	// dirty-shard deltas (dring delta seam), and on directory silence the
+	// standby promotes with its replica instead of a fresh peer rebuilding
+	// an empty index. Off by default: the disabled path costs one flag
+	// check and the clean-network goldens stay byte-identical.
+	StandbyFailover bool
+	// StandbyProbe is the standby→primary liveness probe period. Defaults
+	// to TKeepalive/64 (clamped to >= 1s): detection must beat the cold
+	// path's keepalive-offset race or warm failover buys nothing.
+	StandbyProbe simkernel.Time
+	// StandbySyncEvery is the designation/anti-entropy maintenance period
+	// on each directory. Defaults to TKeepalive/8.
+	StandbySyncEvery simkernel.Time
+	// StandbySyncShards bounds dirty shards shipped per anti-entropy round
+	// (per-round sync traffic bound). Defaults to 16.
+	StandbySyncShards int
+	// ShedBudget bounds per-locality in-flight new-client queries while the
+	// locality's directory position is down: beyond the budget, queries
+	// short-circuit to the origin fallback instead of queueing into the
+	// lookup-retry chain. 0 disables shedding.
+	ShedBudget int
 }
 
 // DefaultConfig returns the paper's simulation parameters (Table 1 with
@@ -165,6 +189,21 @@ func (c *Config) Validate() error {
 	}
 	if c.ReplicationTopK > 0 && c.ReplicationPeriod <= 0 {
 		c.ReplicationPeriod = c.TGossip
+	}
+	if c.StandbyProbe <= 0 {
+		c.StandbyProbe = c.TKeepalive / 64
+	}
+	if c.StandbyProbe < simkernel.Second {
+		c.StandbyProbe = simkernel.Second
+	}
+	if c.StandbySyncEvery <= 0 {
+		c.StandbySyncEvery = c.TKeepalive / 8
+	}
+	if c.StandbySyncEvery < simkernel.Second {
+		c.StandbySyncEvery = simkernel.Second
+	}
+	if c.StandbySyncShards <= 0 {
+		c.StandbySyncShards = 16
 	}
 	if len(c.PoolSizes) == 0 {
 		return fmt.Errorf("core: pool sizes not set (use harness.BuildPools)")

@@ -22,6 +22,7 @@ func (s *System) FailPeer(addr simnet.NodeID) {
 	}
 	s.net.Fail(addr)
 	s.hs.stopTimers(addr)
+	s.stopStandbyTimers(h)
 	if h.dirNode != nil {
 		s.ring.Fail(h.dirNode)
 	}
@@ -53,7 +54,32 @@ func (s *System) RevivePeer(addr simnet.NodeID) bool {
 	s.hs.gossipTimeout[addr] = simkernel.TimerHandle{}
 	s.hs.kaTimeout[addr] = simkernel.TimerHandle{}
 	s.hs.joinTimer[addr] = simkernel.TimerHandle{}
+	// Failure memory from the pre-crash life must not leak into the new
+	// one: bump the await tokens so any orphaned handle fires as a no-op,
+	// drop the remembered gossip partner, and forget any standby role —
+	// a reborn client is a blank slate, not a watchdog for a directory it
+	// no longer belongs to.
+	s.hs.gossipToken[addr]++
+	s.hs.kaToken[addr]++
+	s.hs.gossipTarget[addr] = 0
+	s.stopStandbyWatch(h)
 	return true
+}
+
+// stopStandbyTimers silences a crashed host's standby machinery (both
+// roles): the watchdog and maintenance loops must leave nothing in the
+// event queue, exactly like hostSoA.stopTimers for the core tickers.
+func (s *System) stopStandbyTimers(h *host) {
+	if h.standbyTicker != nil {
+		h.standbyTicker.Stop()
+		h.standbyTicker = nil
+	}
+	if h.probeTicker != nil {
+		h.probeTicker.Stop()
+		h.probeTicker = nil
+	}
+	h.probeTimeout.Cancel()
+	h.probeToken++
 }
 
 // FailDirectory crashes the current directory peer of (site, loc); returns
@@ -75,6 +101,23 @@ func (s *System) onDirectoryUnreachable(h *host) {
 	}
 	s.traceDirSilent(h)
 	h.cp.ForgetDir()
+	if s.cfg.StandbyFailover {
+		if h.replica != nil && h.standbyFor != 0 {
+			// We ARE the standby: take over directly, don't race ourselves
+			// through the cold join protocol.
+			s.requestPromotion(h)
+			return
+		}
+		// Give the designated standby a deterministic head start (two probe
+		// periods plus jitter) before volunteering a cold rebuild; the
+		// delayed retry re-checks the ring and simply adopts the promoted
+		// standby in the common case.
+		grace := 2*s.cfg.StandbyProbe +
+			simkernel.Time(s.prand(h.addr).Int63n(int64(s.cfg.StandbyProbe)))
+		s.hs.joinTimer[h.addr].Cancel()
+		s.hs.joinTimer[h.addr] = s.hostKernel(h.addr).AfterArg(grace, s.joinRetryFn, uint64(uint32(h.addr)))
+		return
+	}
 	s.attemptDirJoin(h, h.cp.Site(), h.cp.Locality())
 }
 
@@ -191,6 +234,11 @@ func (s *System) installDirectory(h *host, node *chord.Node, site model.SiteID, 
 	offset := simkernel.Time(s.prand(h.addr).Int63n(int64(s.cfg.TGossip)))
 	s.hs.dirTicker[h.addr] = s.hostKernel(h.addr).Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
 	s.startReplicationTicker(h)
+	if s.cfg.StandbyFailover {
+		// A host promoted into a directory stops being anyone's standby.
+		s.stopStandbyWatch(h)
+		s.startStandbyTicker(h)
+	}
 	if s.cfg.MaintenancePeriod > 0 && s.hs.stabTicker[h.addr] == nil {
 		// Stabilization mutates the shared ring: coordination kernel only.
 		mo := simkernel.Time(s.prand(h.addr).Int63n(int64(s.cfg.MaintenancePeriod)))
@@ -250,10 +298,19 @@ func (s *System) DirectoryLeave(site model.SiteID, loc int) bool {
 		best.dir.UpdateNeighborSummary(ns.DirID, ns.Locality, ns.Filter)
 	}
 	best.cp.SetDir(best.addr)
+	// Stand the old designation down: the successor directory designates
+	// its own standby on its maintenance loop.
+	if old.standby != 0 {
+		if sb := s.hosts[old.standby]; sb != nil && s.net.Alive(old.standby) && sb.standbyFor == old.addr {
+			s.net.Send(old.addr, old.standby, simnet.CatKeepalive, bytesKeepalive, standbyRevokeMsg{FromDir: old.addr})
+		}
+		old.standby = 0
+	}
 	// The old directory departs.
 	old.dir = nil
 	old.dirNode = nil
 	s.hs.stopTimers(old.addr)
+	s.stopStandbyTimers(old)
 	s.net.Fail(old.addr)
 	if s.hs.has(old.addr, hfAccounted) {
 		s.metsAt(old.addr).PeerLeft(s.k.Now())

@@ -26,6 +26,23 @@ type host struct {
 	cp         *overlay.ContentPeer
 	dir        *dring.Directory
 	dirNode    *chord.Node
+
+	// Warm-standby failover state (nil/zero unless Config.StandbyFailover
+	// engaged it; rare enough that pointer-shaped host fields beat SoA
+	// slots). A directory remembers its designated standby; a standby
+	// carries the replica index, the primary it watches and the probe
+	// watchdog machinery.
+	standby       simnet.NodeID     // directory side: designated standby (0 = none)
+	standbyTicker *simkernel.Ticker // directory side: designation + anti-entropy loop
+	deltaShards   []int32           // directory side: TakeDirtyShards scratch
+	replica       *dring.Directory  // standby side: warm copy of the primary's index
+	standbyFor    simnet.NodeID     // standby side: the watched primary (0 = not a standby)
+	standbyKey    chord.ID          // standby side: the D-ring position to take over
+	standbySite   model.SiteID
+	standbyLoc    int
+	probeTicker   *simkernel.Ticker
+	probeToken    uint32
+	probeTimeout  simkernel.TimerHandle
 }
 
 func (h *host) isServer() bool { return h.sys.hs.has(h.addr, hfServer) }
@@ -82,6 +99,18 @@ func (h *host) HandleMessage(msg simnet.Message) {
 		s.handlePrefetchFetch(h, m)
 	case prefetchServeMsg:
 		s.handlePrefetchServe(h, m)
+	case standbyAssignMsg:
+		s.handleStandbyAssign(h, m)
+	case standbyDeltaMsg:
+		s.handleStandbyDelta(h, m)
+	case standbyRevokeMsg:
+		s.handleStandbyRevoke(h, m)
+	case standbyProbeMsg:
+		s.handleStandbyProbe(h, m)
+	case standbyProbeAckMsg:
+		s.handleStandbyProbeAck(h, m)
+	case standbyPromoteMsg:
+		s.handleStandbyPromote(h, m)
 	default:
 		// Unknown payloads are dropped (future-proofing).
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"flowercdn/internal/bloom"
 	"flowercdn/internal/chord"
+	"flowercdn/internal/dring"
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/model"
 	"flowercdn/internal/overlay"
@@ -59,6 +60,7 @@ type Query struct {
 	atRemote         bool
 	viaDirectory     bool // content-peer path escalated to the directory (ablation policy)
 	needDirBootstrap bool // client should try to become d(ws,loc) after service (§5.2 edge)
+	shedCounted      bool // holds one slot of the locality's shed in-flight budget
 
 	refScratch [1]model.ObjectRef // backs oneRef
 }
@@ -273,6 +275,57 @@ type dirJoinAcceptMsg struct {
 	Bootstrap simnet.NodeID
 }
 
+// --- Warm-standby directory failover ---------------------------------------
+
+// standbyAssignMsg: directory → designated standby: you are my warm
+// standby; here is a full snapshot of my index to seed your replica.
+// Wire cost is the join-control header plus the interned 4 B/ref rate for
+// every ref the snapshot carries (8 B/member row overhead).
+type standbyAssignMsg struct {
+	FromDir simnet.NodeID
+	Key     chord.ID
+	Site    model.SiteID
+	Loc     int
+	Entries []dring.IndexEntry
+}
+
+func (m standbyAssignMsg) wireBytes() int {
+	return bytesJoinCtl + 8*len(m.Entries) + 4*dring.EntriesRefCount(m.Entries)
+}
+
+// standbyDeltaMsg: directory → standby: one dirty shard's replacement
+// rows (anti-entropy round). 8 B per member row plus 4 B per ref carried.
+type standbyDeltaMsg struct {
+	FromDir simnet.NodeID
+	Shard   int32
+	Entries []dring.ShardEntry
+}
+
+func (m standbyDeltaMsg) wireBytes() int {
+	return bytesKeepalive + 8*len(m.Entries) + 4*dring.ShardRefCount(m.Entries)
+}
+
+// standbyRevokeMsg: directory → former standby: designation withdrawn
+// (standby fell out of the overlay, or the directory is departing).
+type standbyRevokeMsg struct{ FromDir simnet.NodeID }
+
+// standbyProbeMsg: standby → its primary directory: liveness probe, much
+// tighter than the overlay keepalive so warm detection beats cold.
+type standbyProbeMsg struct{ From simnet.NodeID }
+
+// standbyProbeAckMsg: primary → standby: still alive.
+type standbyProbeAckMsg struct{ From simnet.NodeID }
+
+// standbyPromoteMsg: standby → itself, on the global venue: a probe went
+// unanswered, decide the takeover where the ring state is authoritative.
+// The coordination-kernel handler re-checks ring liveness — a false alarm
+// (probe lost to the network, primary actually up) is a harmless no-op.
+type standbyPromoteMsg struct {
+	Key  chord.ID
+	Site model.SiteID
+	Loc  int
+}
+
 // --- Sharded delivery-venue classifiers ------------------------------------
 
 // queryOf extracts the shared *Query a payload carries, if any. Handlers
@@ -328,6 +381,8 @@ func (s *System) payloadForeign(payload any, dstCell int) bool {
 func payloadGlobal(payload any) bool {
 	switch m := payload.(type) {
 	case dirJoinAcceptMsg:
+		return true
+	case standbyPromoteMsg:
 		return true
 	case routedMsg:
 		_, ok := m.Inner.(innerDirJoin)

@@ -33,6 +33,23 @@ func (s *System) startNewClientQuery(h *host, q *Query) {
 	}
 	q.targetInstance = inst
 	key := s.ks.KeyForWebsiteID(s.widBySite[q.Site], q.OriginLoc, inst)
+	if s.shedInFlight != nil {
+		// Overload shedding during directory takeover: while the locality's
+		// own position is down, only ShedBudget new-client queries may sit in
+		// the lookup-retry chain at once; the excess short-circuits to the
+		// origin tier instead of queueing into a timeout storm.
+		if n := s.ring.Lookup(key); n == nil || !n.Up() {
+			if int(s.shedInFlight[q.OriginLoc]) >= s.cfg.ShedBudget {
+				s.metsAt(q.Origin).RecordShed()
+				s.metsAt(q.Origin).RecordOriginFallback()
+				s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+				s.awaitOriginRetry(h, q, 0, false)
+				return
+			}
+			s.shedInFlight[q.OriginLoc]++
+			q.shedCounted = true
+		}
+	}
 	s.net.Send(q.Origin, entry, simnet.CatQuery, bytesQueryCtl,
 		routedMsg{Key: key, TTL: dring.RouteTTL(s.ks.Space), Inner: innerQuery{Q: q}})
 	// If the entry node (or the path) is dead the query would hang; retry
@@ -181,6 +198,25 @@ func (s *System) tryNextCandidate(h *host, q *Query) {
 	// View exhausted.
 	if s.cfg.QueryPolicy == PolicyViewThenDirectory && h.cp != nil && h.cp.Dir().Known {
 		dir := h.cp.Dir().Addr
+		if s.shedInFlight != nil {
+			// Takeover shedding on the member escalation path: while the
+			// locality's own directory position is down, only ShedBudget
+			// escalations may sit in the 8s timeout chain at once; the rest
+			// short-circuit to the origin tier instead of piling up behind
+			// a dead directory.
+			key := s.ks.KeyForWebsiteID(s.widBySite[q.Site], q.OriginLoc, 0)
+			if n := s.ring.Lookup(key); n == nil || !n.Up() {
+				if int(s.shedInFlight[q.OriginLoc]) >= s.cfg.ShedBudget {
+					s.metsAt(q.Origin).RecordShed()
+					s.metsAt(q.Origin).RecordOriginFallback()
+					s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
+					s.awaitOriginRetry(h, q, 0, false)
+					return
+				}
+				s.shedInFlight[q.OriginLoc]++
+				q.shedCounted = true
+			}
+		}
 		q.viaDirectory = true
 		s.metsAt(q.Origin).RecordDirFallback()
 		s.net.Send(q.Origin, dir, simnet.CatQuery, bytesQueryCtl, dirQueryMsg{Q: q})
@@ -469,6 +505,12 @@ func (s *System) serveQuery(h *host, q *Query, remote bool, fromContentPeer bool
 			// directory proves the locality's directory plane works again.
 			s.noteRecovery(q.OriginLoc, now)
 		}
+		if s.crashAt != nil && fromContentPeer && q.handlerIsLocal {
+			// Crash-recovery probe: handlerIsLocal means the locality's OWN
+			// directory position mediated the hit, i.e. the crashed
+			// directory has been replaced (cold) or promoted (warm).
+			s.noteDirCrashRecovery(q.OriginLoc, now)
+		}
 	}
 	msg := serveMsg{Q: q, Provider: h.addr, FromContentPeer: fromContentPeer}
 	if q.NewClient && q.admitted && fromContentPeer && h.cp != nil &&
@@ -499,6 +541,12 @@ func (s *System) handleServe(h *host, m serveMsg) {
 		return // duplicate delivery after a retry race
 	}
 	q.finished = true
+	if q.shedCounted {
+		// Release the locality's shed budget slot (runs at the origin, i.e.
+		// the counting locality's own cell).
+		q.shedCounted = false
+		s.shedInFlight[q.OriginLoc]--
+	}
 	if s.cfg.Hardened && q.admitted {
 		s.hs.clearAdmit(h.addr, q.Ref)
 	}
@@ -518,6 +566,16 @@ func (s *System) handleServe(h *host, m serveMsg) {
 	}
 	if q.needDirBootstrap {
 		s.statsAt(h.addr).DirBootstraps++
+		if s.cfg.StandbyFailover && h.replica == nil {
+			// Same head start the keepalive path gives the designated
+			// standby: delay the cold volunteer; the retry re-checks the
+			// ring and adopts a promoted standby instead of racing it.
+			grace := 2*s.cfg.StandbyProbe +
+				simkernel.Time(s.prand(h.addr).Int63n(int64(s.cfg.StandbyProbe)))
+			s.hs.joinTimer[h.addr].Cancel()
+			s.hs.joinTimer[h.addr] = s.hostKernel(h.addr).AfterArg(grace, s.joinRetryFn, uint64(uint32(h.addr)))
+			return
+		}
 		s.attemptDirJoin(h, q.Site, q.OriginLoc)
 	}
 }

@@ -26,6 +26,12 @@ type Stats struct {
 	GossipRejects   int // gossip to peers that left the overlay (§5.4)
 	QueriesRetried  int // new-client queries re-submitted after entry loss
 	Prefetches      int // objects replicated proactively (§8 extension)
+
+	// Warm-standby failover counters (zero unless Config.StandbyFailover).
+	StandbyAssigns     int // full-snapshot standby designations
+	StandbyDeltas      int // dirty-shard delta messages shipped
+	StandbyPromotions  int // standbys that took over a dead position
+	StandbyStaleShards int // dirty shards unsynced at promotion (staleness)
 }
 
 // System is one running Flower-CDN instance over a simulated network.
@@ -91,6 +97,22 @@ type System struct {
 	// only writes its own locality's slot, so parallel phases never race.
 	healAt   []simkernel.Time
 	recovery []simkernel.Time
+
+	// Directory-crash recovery accounting (nil until CrashDirectory runs):
+	// crashAt[loc] is when locality loc's directory was crashed, crashRec
+	// the smallest crash→first-LOCAL-directory-mediated-hit delay. Unlike
+	// the partition probe this one requires handlerIsLocal — a remote
+	// same-site directory mediating a misrouted query proves nothing about
+	// the crashed locality's own directory plane. Same per-cell write
+	// discipline as recovery above.
+	crashAt  []simkernel.Time
+	crashRec []simkernel.Time
+
+	// shedInFlight gauges per-locality in-flight new-client queries that
+	// entered the lookup path while the locality's own directory position
+	// was down (nil unless Config.ShedBudget > 0). Written only from the
+	// owning locality's cell.
+	shedInFlight []int32
 
 	tracer trace.Tracer
 	stats  []Stats // per cell; a single element on the classic path
@@ -335,6 +357,9 @@ func New(cfg Config, deps Deps) (*System, error) {
 	s.kaTimeoutFn = s.onKaTimeout
 	s.joinLatchFn = s.onJoinLatchExpired
 	s.joinRetryFn = s.onJoinRetry
+	if cfg.ShedBudget > 0 {
+		s.shedInFlight = make([]int32, cfg.Localities)
+	}
 
 	if err := s.assignWebsiteIDs(); err != nil {
 		return nil, err
@@ -474,6 +499,7 @@ func (s *System) startDirectoryTickers() {
 		offset := simkernel.Time(s.prand(addr).Int63n(int64(s.cfg.TGossip)))
 		s.hs.dirTicker[addr] = s.hostKernel(addr).Every(offset, s.cfg.TGossip, func() { s.dirTick(h) })
 		s.startReplicationTicker(h)
+		s.startStandbyTicker(h)
 	}
 }
 
@@ -553,6 +579,51 @@ func (s *System) RecoveryTimes() (healAt, recovery []simkernel.Time) {
 	return s.healAt, s.recovery
 }
 
+// CrashDirectory crashes the current directory of (site, loc) and arms the
+// crash-recovery probe for the locality: the time to the first P2P hit
+// mediated by the locality's OWN (replacement or promoted) directory.
+// Returns false when the position is already empty. Must run on the
+// coordination kernel (the harness schedules crashes there).
+func (s *System) CrashDirectory(site model.SiteID, loc int) bool {
+	addr, ok := s.DirectoryAddr(site, loc)
+	if !ok {
+		return false
+	}
+	if s.crashAt == nil {
+		s.crashAt = make([]simkernel.Time, s.cfg.Localities)
+		s.crashRec = make([]simkernel.Time, s.cfg.Localities)
+		for i := range s.crashAt {
+			s.crashAt[i], s.crashRec[i] = -1, -1
+		}
+	}
+	s.crashAt[loc] = s.k.Now()
+	s.crashRec[loc] = -1
+	s.FailPeer(addr)
+	return true
+}
+
+// noteDirCrashRecovery records a local-directory-mediated P2P hit in loc,
+// keeping the smallest crash→hit delay (monotone-min, like noteRecovery).
+func (s *System) noteDirCrashRecovery(loc int, now simkernel.Time) {
+	if loc < 0 || loc >= len(s.crashAt) {
+		return
+	}
+	crash := s.crashAt[loc]
+	if crash < 0 || now < crash {
+		return
+	}
+	if d := now - crash; s.crashRec[loc] < 0 || d < s.crashRec[loc] {
+		s.crashRec[loc] = d
+	}
+}
+
+// DirCrashRecoveryTimes returns, per locality, when its directory was
+// crashed and the observed crash→first-local-directory-hit delay (-1 where
+// no crash / not yet recovered). Nil when CrashDirectory never ran.
+func (s *System) DirCrashRecoveryTimes() (crashAt, recovery []simkernel.Time) {
+	return s.crashAt, s.crashRec
+}
+
 // --- Accessors ------------------------------------------------------------
 
 // Kernel returns the driving event kernel.
@@ -580,6 +651,10 @@ func (s *System) Stats() Stats {
 		tot.GossipRejects += st.GossipRejects
 		tot.QueriesRetried += st.QueriesRetried
 		tot.Prefetches += st.Prefetches
+		tot.StandbyAssigns += st.StandbyAssigns
+		tot.StandbyDeltas += st.StandbyDeltas
+		tot.StandbyPromotions += st.StandbyPromotions
+		tot.StandbyStaleShards += st.StandbyStaleShards
 	}
 	return tot
 }

@@ -79,6 +79,14 @@ func (s *System) traceDirHandoff(oldAddr, newAddr simnet.NodeID, site model.Site
 		fmt.Sprintf("d(%s,%d) voluntary leave", site, loc))
 }
 
+func (s *System) traceStandbyPromoted(h *host) {
+	if !s.tracing() {
+		return
+	}
+	s.trace(trace.DirReplaced, 0, h.addr, -1,
+		fmt.Sprintf("standby promoted to d(%s,%d)", h.dir.Site(), h.dir.Locality()))
+}
+
 func (s *System) tracePrefetch(h *host, ref model.ObjectRef) {
 	if !s.tracing() {
 		return

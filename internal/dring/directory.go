@@ -88,6 +88,14 @@ type Directory struct {
 	// evictScratch backs EvictOlderThan's.
 	neighborScratch []chord.ID
 	evictScratch    []simnet.NodeID
+
+	// Standby-replication seam (delta.go): when dirtyTrack is armed, every
+	// index mutation marks the 64-ref shard it touches, and the periodic
+	// anti-entropy round ships exactly the dirty shards to the standby.
+	// Disabled tracking is one branch per mutation.
+	dirtyTrack   bool
+	dirty        bitset.Set
+	applyScratch []int32
 }
 
 // NeighborSummary is a directory summary received from another directory
@@ -214,6 +222,7 @@ func (d *Directory) addObject(node simnet.NodeID, ref model.ObjectRef) {
 	if d.knownObjects.Set(i) {
 		d.newSincePublish++
 	}
+	d.markDirtyLocal(i)
 }
 
 func (d *Directory) dropObject(node simnet.NodeID, ref model.ObjectRef) {
@@ -226,6 +235,7 @@ func (d *Directory) dropObject(node simnet.NodeID, ref model.ObjectRef) {
 		return
 	}
 	d.holders.remove(i, node)
+	d.markDirtyLocal(i)
 }
 
 // AddOptimistic records a freshly served client with its requested object
@@ -280,6 +290,7 @@ func (d *Directory) RemovePeer(node simnet.NodeID) {
 		return
 	}
 	set := d.objects[s]
+	d.markDirtyWords(&set)
 	d.holders.removeBits(&set, node)
 	set.Reset()
 	d.freeSets = append(d.freeSets, set)
@@ -513,6 +524,7 @@ func (d *Directory) ExportEntries() []IndexEntry {
 
 // ImportEntries loads a transferred index (replacing any current content).
 func (d *Directory) ImportEntries(entries []IndexEntry) {
+	d.markDirtyAll()
 	for s := range d.objects {
 		d.objects[s].Reset()
 		d.freeSets = append(d.freeSets, d.objects[s])

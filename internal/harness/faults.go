@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"flowercdn/internal/core"
 	"flowercdn/internal/simkernel"
 	"flowercdn/internal/simnet"
 )
@@ -37,6 +38,43 @@ func FaultStormParams(seed int64) Params {
 		},
 	}
 	p.AuditEvery = simkernel.Minute
+	return p
+}
+
+// DirCrashStormParams is the crash-failover scenario behind `-exp
+// dircrash`: the laptop-scale population under light loss and jitter,
+// with every active site's directory in two localities crashed during the
+// bootstrap phase (when new-client queries still route through the
+// directory plane, so the crash→first-local-directory-hit probe has
+// observations on both sides). Warm standbys and takeover shedding are
+// armed; the cold §5.2 rebuild baseline is the same preset with
+// StandbyFailover and ShedBudget zeroed.
+func DirCrashStormParams(seed int64) Params {
+	p := ScaledParams(seed)
+	p.Duration = 30 * simkernel.Minute
+	p.BucketWidth = 10 * simkernel.Minute
+	p.Faults = &simnet.FaultConfig{
+		LossProb:    0.02,
+		JitterProb:  0.1,
+		JitterMaxMs: 80,
+	}
+	p.AuditEvery = simkernel.Minute
+	p.StandbyFailover = true
+	p.ShedBudget = 2
+	// Members escalate view misses to their directory: with the paper's
+	// view-only policy the directory plane goes quiet once bootstrap
+	// joining ends, and a crash after that point would be invisible to
+	// the crash→first-local-directory-hit probe on both sides.
+	p.QueryPolicy = core.PolicyViewThenDirectory
+	// Crash every active site's directory in two localities so the whole
+	// locality-wide directory plane takes the hit at once; the times sit
+	// past the first standby-sync rounds but inside dense bootstrap.
+	for si := 0; si < p.ActiveSites; si++ {
+		p.DirCrashes = append(p.DirCrashes,
+			DirCrash{SiteIdx: si, Locality: 0, At: 120 * simkernel.Second},
+			DirCrash{SiteIdx: si, Locality: 2, At: 150 * simkernel.Second},
+		)
+	}
 	return p
 }
 

@@ -111,6 +111,28 @@ type Params struct {
 	// plus once at end of run; 0 disables it. On sharded runs the audit
 	// ticks execute at epoch barriers, where the workers are parked.
 	AuditEvery simkernel.Time
+
+	// StandbyFailover arms the warm-standby directory extension
+	// (core.Config.StandbyFailover): designated standbys with delta-synced
+	// replica indexes that promote on directory silence.
+	StandbyFailover bool
+	// ShedBudget bounds per-locality in-flight new-client queries while the
+	// locality's directory position is down (core.Config.ShedBudget);
+	// 0 = no shedding.
+	ShedBudget int
+	// DirCrashes schedules deterministic directory crashes: at each entry's
+	// time the current holder of d(active-site SiteIdx, Locality) is
+	// crashed and the locality's crash-recovery probe armed. Crashes
+	// execute on the coordination kernel in both the classic and the
+	// sharded path, so worker count cannot reorder them.
+	DirCrashes []DirCrash
+}
+
+// DirCrash is one scheduled directory crash (see Params.DirCrashes).
+type DirCrash struct {
+	SiteIdx  int // active-site index
+	Locality int
+	At       simkernel.Time
 }
 
 // DefaultParams returns the paper's full-scale setup (Table 1, §6.1/§6.2):
@@ -297,6 +319,8 @@ func (p Params) CoreConfig(pools [][]int) core.Config {
 	cfg.QueryPolicy = p.QueryPolicy
 	cfg.SparseSeeds = p.SparseSeeds
 	cfg.ReplicationTopK = p.ReplicationTopK
+	cfg.StandbyFailover = p.StandbyFailover
+	cfg.ShedBudget = p.ShedBudget
 	if p.ChurnPerHour > 0 {
 		cfg.MaintenancePeriod = p.MaintenancePeriod
 	}

@@ -155,6 +155,37 @@ func finishFaultPlane(res *Result, sys *core.System, acc *auditAccum) {
 		}
 		res.Recovery = append(res.Recovery, lr)
 	}
+	// Directory-crash datapoints ride the same Recovery rows: HealAt is the
+	// crash time, RecoverMs the crash→first-local-directory-hit delay.
+	crashAt, crashRec := sys.DirCrashRecoveryTimes()
+	for loc, c := range crashAt {
+		if c < 0 {
+			continue
+		}
+		lr := LocalityRecovery{Locality: loc, HealAt: c, RecoverMs: -1}
+		if crashRec[loc] >= 0 {
+			lr.RecoverMs = float64(crashRec[loc])
+		}
+		res.Recovery = append(res.Recovery, lr)
+	}
+}
+
+// scheduleDirCrashes arms the Params.DirCrashes schedule on the
+// coordination kernel: crashes mutate the ring, so on sharded runs they
+// must land at epoch barriers, exactly like churn.
+func scheduleDirCrashes(k *simkernel.Kernel, sys *core.System, p Params) {
+	if len(p.DirCrashes) == 0 {
+		return
+	}
+	sites := model.MakeSites(p.Websites)[:p.ActiveSites]
+	for _, dc := range p.DirCrashes {
+		if dc.SiteIdx < 0 || dc.SiteIdx >= len(sites) || dc.Locality < 0 || dc.Locality >= p.Localities {
+			continue
+		}
+		site := sites[dc.SiteIdx]
+		loc := dc.Locality
+		k.At(dc.At, func() { sys.CrashDirectory(site, loc) })
+	}
 }
 
 // RunFlower executes a full Flower-CDN experiment.
@@ -199,6 +230,7 @@ func RunFlowerTraced(p Params, traceCapacity int) (Result, *trace.Buffer, error)
 		return Result{}, nil, err
 	}
 	acc := applyFaultPlane(kernel, sys, p)
+	scheduleDirCrashes(kernel, sys, p)
 	pumpQueries(kernel, p.Duration, gen.AsSource(), sys.Submit)
 	if p.ChurnPerHour > 0 {
 		injectChurn(kernel, p, func(rng *rand.Rand) {

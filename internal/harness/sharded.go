@@ -77,6 +77,7 @@ func runFlowerSharded(p Params, traceCapacity int) (Result, *trace.Buffer, error
 	// worker-invariant; the auditor always ticks on the coordination kernel
 	// (at barriers, workers parked).
 	acc := applyFaultPlane(global, sys, p)
+	scheduleDirCrashes(global, sys, p)
 	// Churn is a global process: failures rewire the ring and cancel timers
 	// across cells, so the whole injector lives on the coordination kernel
 	// and runs at barriers.

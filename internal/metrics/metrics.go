@@ -151,6 +151,9 @@ type Collector struct {
 	retries         int64
 	dirFallbacks    int64
 	originFallbacks int64
+	// shedQueries counts new-client queries short-circuited to the origin
+	// tier by the takeover shed budget (Config.ShedBudget).
+	shedQueries int64
 }
 
 // New creates a collector.
@@ -328,6 +331,7 @@ func (c *Collector) MergeFrom(o *Collector, end simkernel.Time) {
 	c.retries += o.retries
 	c.dirFallbacks += o.dirFallbacks
 	c.originFallbacks += o.originFallbacks
+	c.shedQueries += o.shedQueries
 }
 
 // RecordRedirectFailure counts a redirection to a dead peer (§5.1).
@@ -348,3 +352,7 @@ func (c *Collector) RecordDirFallback() { c.dirFallbacks++ }
 // RecordOriginFallback counts a query degrading to the origin server after
 // the P2P tiers were exhausted or unreachable.
 func (c *Collector) RecordOriginFallback() { c.originFallbacks++ }
+
+// RecordShed counts a query shed to the origin tier by the directory-
+// takeover in-flight budget instead of entering the lookup-retry chain.
+func (c *Collector) RecordShed() { c.shedQueries++ }

@@ -108,6 +108,9 @@ type Report struct {
 	Retries         int64
 	DirFallbacks    int64
 	OriginFallbacks int64
+	// ShedQueries counts takeover-window queries short-circuited straight
+	// to the origin tier by the shed budget (a subset of OriginFallbacks).
+	ShedQueries int64
 }
 
 // Snapshot computes the report at time end (usually the run duration).
@@ -123,6 +126,7 @@ func (c *Collector) Snapshot(end simkernel.Time) Report {
 		Retries:          c.retries,
 		DirFallbacks:     c.dirFallbacks,
 		OriginFallbacks:  c.originFallbacks,
+		ShedQueries:      c.shedQueries,
 	}
 	r.AvgLookupBySource = map[string]float64{}
 	for s := Source(0); s < 4; s++ {

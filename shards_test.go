@@ -47,6 +47,7 @@ func TestShardedWorkerInvariance(t *testing.T) {
 		{"flower sharded shrunk-massive seed=8", ShrunkMassiveParams(8)},
 		{"flower loss+jitter seed=9", lossy},
 		{"flower partition-storm seed=10", partitioned},
+		{"flower dircrash seed=11", DirCrashStormParams(11)},
 	}
 	for _, sc := range scenarios {
 		sc := sc
@@ -62,6 +63,7 @@ func TestShardedWorkerInvariance(t *testing.T) {
 				formatReport(&sb, sc.name, res.Report)
 				formatStats(&sb, res)
 				formatFaultSummary(&sb, res)
+				formatStandbySummary(&sb, res)
 				fmt.Fprintf(&sb, "shard_events=%v barrier_events=%d epochs=%d\n",
 					res.ShardEvents, res.BarrierEvents, res.Epochs)
 				sb.WriteString("trace:\n")
