@@ -397,15 +397,20 @@ func BenchmarkPopulationScale(b *testing.B) {
 // (scripts/bench.sh tags every cell with shards and GOMAXPROCS, and
 // bench_compare.sh only compares like-for-like cells); on an 8-core
 // machine the 20k-population cell is expected to clear 4× the serial
-// throughput. Results are byte-identical to a 1-worker sharded run —
+// throughput (a 1-core container can only show the single-core sharding
+// overhead). Each cell also reports coordination_share (barrier events
+// over total — the serial fraction that caps the parallel speedup) and
+// worker_stall_ns (wall-clock workers spent parked behind stragglers).
+// Results are byte-identical to a 1-worker sharded run —
 // TestShardedWorkerInvariance pins that — so this measures wall-clock
 // only.
 func BenchmarkPopulationScaleParallel(b *testing.B) {
 	shards := runtime.GOMAXPROCS(0)
 	for _, pop := range []int{1000, 5000, 20000} {
 		b.Run(fmt.Sprintf("pop=%d", pop), func(b *testing.B) {
-			var events uint64
+			var events, barrier uint64
 			var wall float64
+			var stallNs int64
 			for i := 0; i < b.N; i++ {
 				p := PopulationParams(int64(i)+1, pop)
 				p.Shards = shards
@@ -414,13 +419,21 @@ func BenchmarkPopulationScaleParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 				events += res.Events
+				barrier += res.BarrierEvents
 				wall += res.WallSeconds
+				for _, ns := range res.WorkerStallNs {
+					stallNs += ns
+				}
 			}
 			if wall > 0 {
 				b.ReportMetric(float64(events)/wall, "events/sec")
 			}
 			b.ReportMetric(float64(events)/float64(b.N), "events/run")
 			b.ReportMetric(float64(shards), "shards")
+			if events > 0 {
+				b.ReportMetric(float64(barrier)/float64(events), "coordination_share")
+			}
+			b.ReportMetric(float64(stallNs)/float64(b.N), "worker_stall_ns")
 		})
 	}
 }

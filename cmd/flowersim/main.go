@@ -88,6 +88,12 @@ var hoursOverride flowercdn.Time
 // (-shards 0) or a different worker count.
 var shardsOverride = -1
 
+// cellsOverride carries an explicit -cells value (0 when the flag was not
+// passed): the total cell count of a sharded single run. Above the
+// locality count it splits the hottest localities (HotCellSplit) so
+// -shards can usefully exceed the number of localities.
+var cellsOverride int
+
 // lossOverride carries the -loss grid (nil when the flag was not passed)
 // so `-exp faults` can sweep custom loss rates instead of the default
 // 0/1/2/5/10/20% ladder.
@@ -108,6 +114,7 @@ func run() int {
 		hours      = flag.Int("hours", 0, "override simulated duration in hours")
 		parallel   = flag.Int("parallel", 1, "sweep workers: 1 = sequential, N>1 = N workers, -1 = one per CPU")
 		shards     = flag.Int("shards", -1, "locality-sharded kernel workers for a single run: 0 = classic kernel, N>0 = N workers, -1 = preset default")
+		cells      = flag.Int("cells", 0, "total cells for a sharded single run: above the locality count splits hot localities (0 = one cell per locality)")
 		churn      = flag.Bool("churn", false, "massive: also run with the population-scaled failure injector")
 		loss       = flag.String("loss", "", "faults: comma-separated loss fractions for the sweep (e.g. 0,0.05,0.15; default 0,0.01,0.02,0.05,0.1,0.2)")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -121,6 +128,7 @@ func run() int {
 		hoursOverride = flowercdn.Time(*hours) * flowercdn.Hour
 	}
 	shardsOverride = *shards
+	cellsOverride = *cells
 	if *loss != "" {
 		for _, tok := range strings.Split(*loss, ",") {
 			r, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
@@ -563,6 +571,9 @@ func runMassive(w *writer, p flowercdn.Params) error {
 	if shardsOverride >= 0 {
 		mp.Shards = shardsOverride
 	}
+	if cellsOverride > 0 {
+		mp.CellSplit = flowercdn.HotCellSplit(mp, cellsOverride)
+	}
 	mp.MeasureMemory = true
 	w.notef("massive: 100,000 potential clients, %s simulated, %d shard workers — this is the stress preset, not a figure",
 		mp.Duration, mp.Shards)
@@ -628,8 +639,8 @@ func printShardSummary(w *writer, res flowercdn.Result) {
 		total += n
 	}
 	w.printf("shard events: %s", cells.String())
-	w.printf("barriers: %d epochs   %d coordination events (%.1f%% of %d total)",
-		res.Epochs, res.BarrierEvents,
+	w.printf("barriers: %d epochs (%d run, %d elided)   %d coordination events (%.1f%% of %d total)",
+		res.Epochs, res.BarriersRun, res.Epochs-res.BarriersRun, res.BarrierEvents,
 		100*float64(res.BarrierEvents)/float64(total+res.BarrierEvents), total+res.BarrierEvents)
 	if len(res.WorkerStallNs) > 0 {
 		var stalls strings.Builder

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"flowercdn/internal/dring"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/topology"
+)
+
+// Hot-cell splitting (Config.CellSplit): a locality whose client pools
+// dwarf the others leaves worker goroutines idle behind one straggler
+// cell, so the sharded kernel may spread a locality's hosts over several
+// cells. The partition follows the active-site index — a site's directory
+// instance and its whole client pool land in the same subcell — because
+// overlay-internal traffic (gossip, keepalives, pushes, peer queries,
+// directory redirects) never crosses site boundaries: the split keeps it
+// on the intra-cell fast path and adds no coordination work.
+
+// splitBases returns, per locality, the index of its first cell under
+// cfg.CellSplit (cells are laid out locality-major).
+func splitBases(cfg *Config) []int {
+	base := make([]int, cfg.Localities)
+	n := 0
+	for loc, f := range cfg.CellSplit {
+		base[loc] = n
+		n += f
+	}
+	return base
+}
+
+// splitCellMap builds the node→cell map for a split configuration. The
+// network (and its per-cell accounting) is constructed before any host is
+// placed, so the map replays the exact cursor walk placeServers and
+// placeDirectoriesAndPools will take: per-locality node cursors in
+// topology order, servers on uniform nodes first. placeDirectoriesAndPools
+// cross-checks every placement against the map (checkSubcell), so a drift
+// between the two walks is a hard construction error, not silent
+// misattribution. Nodes the walk never reaches stay on their locality's
+// first cell.
+func splitCellMap(cfg *Config, ks dring.KeySpec, topo *topology.Topology) []int32 {
+	base := splitBases(cfg)
+	cellOf := make([]int32, topo.NumNodes())
+	for id := range cellOf {
+		cellOf[id] = int32(base[topo.LocalityOf(simnet.NodeID(id))])
+	}
+	uniform := topo.UniformNodes()
+	if len(uniform) < len(cfg.Sites) {
+		return cellOf // placement will fail with a real error
+	}
+	taken := make([]bool, topo.NumNodes())
+	for i := range cfg.Sites {
+		taken[uniform[i]] = true
+	}
+	cursors := make([][]simnet.NodeID, cfg.Localities)
+	for loc := 0; loc < cfg.Localities; loc++ {
+		for _, n := range topo.NodesInLocality(loc) {
+			if !taken[n] {
+				cursors[loc] = append(cursors[loc], n)
+			}
+		}
+	}
+	next := func(loc int) (simnet.NodeID, bool) {
+		if len(cursors[loc]) == 0 {
+			return 0, false
+		}
+		n := cursors[loc][0]
+		cursors[loc] = cursors[loc][1:]
+		return n, true
+	}
+	for siteIdx := range cfg.Sites {
+		for loc := 0; loc < cfg.Localities; loc++ {
+			for inst := 0; inst < ks.Instances(); inst++ {
+				addr, ok := next(loc)
+				if !ok {
+					return cellOf
+				}
+				cellOf[addr] = int32(base[loc] + siteIdx%cfg.CellSplit[loc])
+			}
+		}
+	}
+	for si := 0; si < cfg.ActiveSites; si++ {
+		for loc := 0; loc < cfg.Localities; loc++ {
+			for m := 0; m < cfg.PoolSizes[si][loc]; m++ {
+				addr, ok := next(loc)
+				if !ok {
+					return cellOf
+				}
+				cellOf[addr] = int32(base[loc] + si%cfg.CellSplit[loc])
+			}
+		}
+	}
+	return cellOf
+}
+
+// checkSubcell asserts that placement put addr exactly where splitCellMap
+// predicted: locality loc, subcell idx%split. No-op on unsplit runs.
+func (s *System) checkSubcell(addr simnet.NodeID, loc, idx int) error {
+	if s.splitBase == nil {
+		return nil
+	}
+	want := s.splitBase[loc] + idx%s.cfg.CellSplit[loc]
+	if got := s.net.CellOf(addr); got != want {
+		return fmt.Errorf("core: split cell map drifted: node %d placed in cell %d, want %d", addr, got, want)
+	}
+	return nil
+}

@@ -13,6 +13,18 @@ import (
 // leaves with state transfer, and locality changes (§5.4). Redirection
 // failures (§5.1) live in query.go next to Algorithm 3.
 
+// assertRingMutable panics when a D-ring membership mutation is attempted
+// under Config.StaticRing: the static-ring venue rules (payloadVenue's
+// routedMsg claim) assume dring.NextHop answers identically at send time
+// and at delivery time, so a mutated ring would silently misroute claimed
+// hops. The harness only derives StaticRing for churn-, fault- and
+// crash-free scenarios; hitting this panic means that derivation drifted.
+func (s *System) assertRingMutable(op string) {
+	if s.cfg.StaticRing {
+		panic("core: D-ring mutation (" + op + ") under Config.StaticRing")
+	}
+}
+
 // FailPeer crashes a node: it stops participating and all traffic to it is
 // lost. Other peers discover the failure through their own timeouts.
 func (s *System) FailPeer(addr simnet.NodeID) {
@@ -24,6 +36,7 @@ func (s *System) FailPeer(addr simnet.NodeID) {
 	s.hs.stopTimers(addr)
 	s.stopStandbyTimers(h)
 	if h.dirNode != nil {
+		s.assertRingMutable("directory failure")
 		s.ring.Fail(h.dirNode)
 	}
 	if s.hs.has(addr, hfAccounted) {
@@ -198,12 +211,14 @@ func (s *System) handleDirJoinAccept(h *host, m dirJoinAcceptMsg) {
 			s.pushFullContent(h)
 			return
 		}
+		s.assertRingMutable("directory replacement join")
 		s.ring.RemoveNode(key)
 	}
 	bh := s.hosts[m.Bootstrap]
 	if bh == nil || bh.dirNode == nil || !bh.dirNode.Up() {
 		return
 	}
+	s.assertRingMutable("directory replacement join")
 	node, err := s.ring.AddNode(key, h.addr)
 	if err != nil {
 		return
@@ -291,6 +306,7 @@ func (s *System) DirectoryLeave(site model.SiteID, loc int) bool {
 		return false
 	}
 	// Hand over the D-ring position and the directory state.
+	s.assertRingMutable("directory handoff")
 	node := s.ring.Transplant(old.dirNode, best.addr)
 	s.installDirectory(best, node, site, loc)
 	best.dir.ImportEntries(old.dir.ExportEntries())

@@ -390,3 +390,73 @@ func payloadGlobal(payload any) bool {
 	}
 	return false
 }
+
+// payloadOwner resolves the owner cell of a payload: query-bearing
+// messages belong to the query origin's cell, because every parallel-phase
+// handler that touches a query executes there (delivery is either
+// intra-cell at the origin, or owner-claimed by payloadVenue). Installed
+// as the sharded network's SetOwner resolver; the network uses it to
+// attribute phase sends to the cell actually running them.
+func (s *System) payloadOwner(payload any) (int, bool) {
+	if q := queryOf(payload); q != nil {
+		return s.cellIdx(q.Origin), true
+	}
+	return 0, false
+}
+
+// payloadVenue claims the query-path reply legs whose handlers touch
+// nothing but the query origin's cell: they deliver on the origin's cell
+// lane instead of the coordination kernel, which is what keeps a
+// locality's query traffic inside its petal. A leg may only be claimed
+// when its handler (checked handler by handler)
+//
+//   - mutates no state outside the origin's cell (the query object, the
+//     origin host, the origin locality's accounting slots),
+//   - draws from no RNG stream but the origin cell's, and
+//   - cancels no timer armed on another kernel (settle abandons those).
+//
+// Installed as the sharded network's SetVenue classifier.
+func (s *System) payloadVenue(payload any, to simnet.NodeID) (int, bool) {
+	switch m := payload.(type) {
+	case fetchMsg:
+		// handleFetch → serveQuery(fromContentPeer=false): origin metrics,
+		// origin settle, no view-seed draw.
+		return s.cellIdx(m.Q.Origin), true
+	case serveMsg:
+		// handleServe touches only the origin — unless the serve admits the
+		// client into an overlay (joinOverlay/joinFounder gossip-ticker
+		// offsets draw prand(origin) in a fixed order the coordination
+		// kernel must own) — those legs stay on the old venue.
+		if q := m.Q; !(q.NewClient && (q.admitted || q.needDirBootstrap)) {
+			return s.cellIdx(q.Origin), true
+		}
+	case redirectAckMsg:
+		// Handler is a bare settle(q).
+		return s.cellIdx(m.Q.Origin), true
+	case redirectMsg:
+		// Only the origin-server leg: a server serves with
+		// fromContentPeer=false (no view-seed draw) and owns no overlay or
+		// directory state. Content-peer holders draw their own cell's RNG
+		// for the §4.2 view seed, so those deliveries keep the old venue.
+		if s.hs.has(to, hfServer) {
+			return s.cellIdx(m.Q.Origin), true
+		}
+	case routedMsg:
+		// Forward hops of Algorithm 2 only read ring state, which is
+		// immutable on a static ring; the delivering hop runs dirProcess
+		// (directory-owned draws and index writes) and keeps the old venue.
+		iq, ok := m.Inner.(innerQuery)
+		if !ok || !s.cfg.StaticRing || m.TTL <= 0 {
+			return 0, false
+		}
+		h := s.hosts[to]
+		if h == nil || h.dirNode == nil || !h.dirNode.Up() {
+			return 0, false
+		}
+		if _, deliver := dring.NextHop(h.dirNode, m.Key, s.ks); deliver {
+			return 0, false
+		}
+		return s.cellIdx(iq.Q.Origin), true
+	}
+	return 0, false
+}

@@ -247,7 +247,10 @@ func (s *System) handleRouted(h *host, m routedMsg) {
 		} else {
 			if iq, ok := m.Inner.(innerQuery); ok {
 				iq.Q.dringHops++
-				s.trace(trace.RouteHop, iq.Q.ID, h.addr, next.Addr(), "")
+				// Owner-claimed forward hops execute on the origin's cell
+				// even though h is a foreign directory: charge the trace to
+				// the origin's context (see payloadVenue).
+				s.traceAt(iq.Q.Origin, trace.RouteHop, iq.Q.ID, h.addr, next.Addr(), "")
 			}
 			s.net.Send(h.addr, next.Addr(), simnet.CatQuery, bytesQueryCtl,
 				routedMsg{Key: m.Key, TTL: m.TTL - 1, Inner: m.Inner})

@@ -75,6 +75,11 @@ type System struct {
 	cellMets    []*metrics.Collector
 	cellTracers []trace.Tracer
 
+	// splitBase[loc] is the first cell index of locality loc under hot-cell
+	// splitting (nil unless Config.CellSplit is set on a sharded run); see
+	// cellsplit.go.
+	splitBase []int
+
 	// mpools recycles gossip envelopes and the view-subset slices
 	// travelling inside them, one pool per cell so parallel phases never
 	// share a free list (a single pool on the classic path). Envelopes
@@ -251,15 +256,25 @@ func (s *System) settle(q *Query) {
 // host whose execution context the caller runs in (or a host of the same
 // cell): sharded runs route the event to that cell's tracer.
 func (s *System) trace(kind trace.Kind, qid uint64, node, peer simnet.NodeID, detail string) {
+	s.traceAt(node, kind, qid, node, peer, detail)
+}
+
+// traceAt is trace with the execution context named explicitly: ctx must
+// be a host of the cell the caller runs in, while node/peer are free to
+// point anywhere. Owner-claimed handlers run on the query origin's cell
+// but trace events about foreign hosts (a routed hop at a remote
+// directory, a serve at the origin server), so they pass the origin as
+// ctx — reading a foreign cell's clock or tracer mid-phase would race.
+func (s *System) traceAt(ctx simnet.NodeID, kind trace.Kind, qid uint64, node, peer simnet.NodeID, detail string) {
 	t := s.tracer
 	if s.cellTracers != nil {
-		t = s.cellTracers[s.net.CellOf(node)]
+		t = s.cellTracers[s.net.CellOf(ctx)]
 	}
 	if t == nil {
 		return
 	}
 	t.Record(trace.Event{
-		At: s.nowAt(node), Kind: kind, QueryID: qid, Node: node, Peer: peer, Detail: detail,
+		At: s.nowAt(ctx), Kind: kind, QueryID: qid, Node: node, Peer: peer, Detail: detail,
 	})
 }
 
@@ -280,8 +295,9 @@ func New(cfg Config, deps Deps) (*System, error) {
 		return nil, fmt.Errorf("core: topology has %d localities, config %d", deps.Topo.Localities(), cfg.Localities)
 	}
 	if deps.Cells != nil {
-		if len(deps.Cells) != cfg.Localities {
-			return nil, fmt.Errorf("core: %d cell kernels for %d localities", len(deps.Cells), cfg.Localities)
+		if len(deps.Cells) != cfg.TotalCells() {
+			return nil, fmt.Errorf("core: %d cell kernels for %d cells (%d localities)",
+				len(deps.Cells), cfg.TotalCells(), cfg.Localities)
 		}
 		if len(deps.CellMetrics) != len(deps.Cells) {
 			return nil, fmt.Errorf("core: %d cell collectors for %d cells", len(deps.CellMetrics), len(deps.Cells))
@@ -310,7 +326,14 @@ func New(cfg Config, deps Deps) (*System, error) {
 	}
 	var net *simnet.Network
 	if deps.Cells != nil {
-		net = simnet.NewSharded(deps.Kernel, deps.Cells, deps.Topo)
+		if len(cfg.CellSplit) > 0 {
+			// The node→cell map must exist before placement (construction
+			// itself accounts per cell), so it replays the placement
+			// cursor walk; placeDirectoriesAndPools cross-checks it.
+			net = simnet.NewShardedMapped(deps.Kernel, deps.Cells, deps.Topo, splitCellMap(&cfg, ks, deps.Topo))
+		} else {
+			net = simnet.NewSharded(deps.Kernel, deps.Cells, deps.Topo)
+		}
 	} else {
 		net = simnet.New(deps.Kernel, deps.Topo)
 	}
@@ -350,6 +373,11 @@ func New(cfg Config, deps Deps) (*System, error) {
 		s.net.SetCellSinks(sinks)
 		s.net.SetForeign(s.payloadForeign)
 		s.net.SetGlobalPayload(payloadGlobal)
+		s.net.SetOwner(s.payloadOwner)
+		s.net.SetVenue(s.payloadVenue)
+		if len(cfg.CellSplit) > 0 {
+			s.splitBase = splitBases(&cfg)
+		}
 	} else {
 		s.net.SetSink(deps.Metrics)
 	}
@@ -442,12 +470,15 @@ func (s *System) placeDirectoriesAndPools() error {
 	// With InstanceBits > 0 (§5.3 scale-up), several directory peers per
 	// (website, locality) join D-ring consecutively, each managing its own
 	// content overlay.
-	for _, site := range s.cfg.Sites {
+	for siteIdx, site := range s.cfg.Sites {
 		wid := s.widBySite[site]
 		for loc := 0; loc < s.cfg.Localities; loc++ {
 			for inst := 0; inst < s.ks.Instances(); inst++ {
 				addr, err := next(loc)
 				if err != nil {
+					return err
+				}
+				if err := s.checkSubcell(addr, loc, siteIdx); err != nil {
 					return err
 				}
 				key := s.ks.KeyForWebsiteID(wid, loc, inst)
@@ -480,6 +511,9 @@ func (s *System) placeDirectoriesAndPools() error {
 			for m := 0; m < s.cfg.PoolSizes[si][loc]; m++ {
 				addr, err := next(loc)
 				if err != nil {
+					return err
+				}
+				if err := s.checkSubcell(addr, loc, si); err != nil {
 					return err
 				}
 				h := &host{sys: s, addr: addr}

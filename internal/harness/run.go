@@ -46,9 +46,13 @@ type Result struct {
 	// coordination work; both are deterministic per seed. WorkerStallNs is
 	// wall-clock time each worker spent parked at epoch barriers waiting
 	// for stragglers — the load-imbalance signal, not deterministic.
+	// BarriersRun counts the epoch boundaries that actually executed the
+	// barrier rendezvous (< Epochs when elision skipped provable no-ops;
+	// deterministic per seed).
 	ShardEvents   []uint64
 	BarrierEvents uint64
 	Epochs        uint64
+	BarriersRun   uint64
 	WorkerStallNs []int64
 
 	// BytesPerClient is the post-run heap footprint per potential client,

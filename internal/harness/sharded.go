@@ -35,7 +35,10 @@ func runFlowerSharded(p Params, traceCapacity int) (Result, *trace.Buffer, error
 		return Result{}, nil, err
 	}
 	mcfg := metrics.Config{BucketWidth: p.BucketWidth, Horizon: p.Duration}
-	cells := make([]*simkernel.Kernel, p.Localities)
+	ccfg := p.CoreConfig(pools)
+	// One kernel/collector/tracer per cell: a cell per locality, more when
+	// CellSplit spreads a hot locality over several.
+	cells := make([]*simkernel.Kernel, ccfg.TotalCells())
 	cellMets := make([]*metrics.Collector, len(cells))
 	for i := range cells {
 		cells[i] = simkernel.New(int64(simkernel.Mix64(uint64(p.Seed) + uint64(i) + 1)))
@@ -56,7 +59,7 @@ func runFlowerSharded(p Params, traceCapacity int) (Result, *trace.Buffer, error
 		}
 		deps.CellTracers = tracers
 	}
-	sys, err := core.New(p.CoreConfig(pools), deps)
+	sys, err := core.New(ccfg, deps)
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -106,9 +109,18 @@ func runFlowerSharded(p Params, traceCapacity int) (Result, *trace.Buffer, error
 			return n
 		},
 		global.NextEvent)
+	if !p.EagerBarriers {
+		// Elide boundaries where the barrier would provably process zero
+		// events (no buffered mail, no coordination event due): same
+		// output, far fewer single-threaded rendezvous.
+		eng.EnableBarrierElision(func() bool { return net.MailPending() > 0 })
+	}
 	start := time.Now()
 	events := eng.Run(p.Duration)
 	wall := time.Since(start).Seconds()
+	// An elided final boundary leaves the network in parallel mode; the
+	// post-run accounting below is single-threaded.
+	net.EnterBarrier()
 	res := Result{
 		Kind:          KindFlower,
 		Stats:         sys.Stats(),
@@ -118,6 +130,7 @@ func runFlowerSharded(p Params, traceCapacity int) (Result, *trace.Buffer, error
 		ShardEvents:   append([]uint64(nil), eng.CellEvents()...),
 		BarrierEvents: eng.BarrierEvents(),
 		Epochs:        eng.Epochs(),
+		BarriersRun:   eng.BarriersRun(),
 		WorkerStallNs: append([]int64(nil), eng.WorkerStallNs()...),
 	}
 	merged := metrics.New(mcfg)

@@ -42,8 +42,26 @@ type Engine struct {
 	// events so fast-forward accounts for them.
 	earliestExtra func() (Time, bool)
 
+	// Barrier elision (EnableBarrierElision): when mailPending reports no
+	// cross-cell mail and earliestExtra shows no coordination event due at
+	// the boundary, the barrier callback is provably a no-op and is
+	// skipped, so idle epochs cost a heap peek instead of a full
+	// single-threaded rendezvous.
+	mailPending func() bool
+	elide       bool
+
+	// Cached earliest-pending-record time per cell. A parked cell's heap
+	// only changes when the cell itself runs or a barrier executes
+	// (mail import, coordination handlers scheduling or cancelling cell
+	// timers), so the cache is exact between refreshes — which lets the
+	// epoch loop skip the boundary Run call for cells with nothing due,
+	// instead of peeking every heap every epoch.
+	nextAt []Time
+	nextOk []bool
+
 	cellEvents    []uint64
 	barrierEvents uint64
+	barriersRun   uint64
 	epochs        uint64
 	stallNs       []int64
 
@@ -74,27 +92,38 @@ func NewEngine(cells []*Kernel, width Time, workers int, preParallel func(), bar
 		preParallel:   preParallel,
 		barrier:       barrier,
 		earliestExtra: earliestExtra,
+		nextAt:        make([]Time, len(cells)),
+		nextOk:        make([]bool, len(cells)),
 		cellEvents:    make([]uint64, len(cells)),
 		stallNs:       make([]int64, workers),
 	}
 }
 
-// earliest returns the minimum pending-event time across all cells and the
-// coordination kernel (via earliestExtra), or false when everything is idle.
+// refreshAll re-peeks every cell's heap into the next-event cache. Called
+// whenever something other than a cell's own Run may have touched its heap:
+// at Run entry (setup scheduled work before the engine started) and after
+// each executed barrier.
+func (e *Engine) refreshAll() {
+	for i, c := range e.cells {
+		e.nextAt[i], e.nextOk[i] = c.NextEvent()
+	}
+}
+
+// earliest returns the minimum pending-event time across all cells (from
+// the cache) and the coordination kernel (via earliestExtra), or false when
+// everything is idle.
 func (e *Engine) earliest() (Time, bool) {
 	var min Time
 	found := false
-	note := func(t Time, ok bool) {
-		if ok && (!found || t < min) {
-			min, found = t, true
+	for i := range e.cells {
+		if e.nextOk[i] && (!found || e.nextAt[i] < min) {
+			min, found = e.nextAt[i], true
 		}
 	}
-	for _, c := range e.cells {
-		t, ok := c.NextEvent()
-		note(t, ok)
-	}
 	if e.earliestExtra != nil {
-		note(e.earliestExtra())
+		if t, ok := e.earliestExtra(); ok && (!found || t < min) {
+			min, found = t, true
+		}
 	}
 	return min, found
 }
@@ -108,6 +137,7 @@ func (e *Engine) Run(until Time) uint64 {
 		before += n
 	}
 	b := e.cells[0].Now() // all kernels agree on the boundary between runs
+	e.refreshAll()
 	if e.workers > 1 {
 		e.startWorkers()
 		defer e.stopWorkers()
@@ -131,17 +161,49 @@ func (e *Engine) Run(until Time) uint64 {
 			e.preParallel()
 		}
 		if e.workers <= 1 {
+			// Only cells with a record due this epoch run; a skipped cell's
+			// heap is untouched (nothing fires, nothing is scheduled onto it
+			// outside a barrier), so its cached next time stays exact and
+			// only its clock lags — repaired before any barrier below.
 			for i, c := range e.cells {
-				e.cellEvents[i] += c.Run(next)
+				if e.nextOk[i] && e.nextAt[i] <= next {
+					e.cellEvents[i] += c.Run(next)
+					e.nextAt[i], e.nextOk[i] = c.NextEvent()
+				}
 			}
 		} else {
 			e.runParallel(next)
 		}
-		if e.barrier != nil {
+		runBarrier := e.barrier != nil
+		if runBarrier && e.elide && !e.mailPending() {
+			// With no mail to import, the barrier can only do work if the
+			// coordination kernel holds an event at or before the boundary;
+			// otherwise it is a no-op and the epoch's output is identical
+			// without it.
+			if t, ok := e.earliestExtra(); !ok || t > next {
+				runBarrier = false
+			}
+		}
+		if runBarrier {
+			// Coordination handlers may read any cell's clock and schedule
+			// or cancel work on any heap: park every cell exactly at the
+			// boundary first (a pure clock advance — skipped cells have
+			// nothing due, cells that ran are already there), then refresh
+			// every cache the barrier may have invalidated.
+			for i, c := range e.cells {
+				e.cellEvents[i] += c.Run(next)
+			}
 			e.barrierEvents += e.barrier(next)
+			e.barriersRun++
+			e.refreshAll()
 		}
 		b = next
 		e.epochs++
+	}
+	// Elided stretches leave idle cells' clocks behind their last-run
+	// boundary; park everyone at the horizon before handing control back.
+	for i, c := range e.cells {
+		e.cellEvents[i] += c.Run(until)
 	}
 	total := e.barrierEvents
 	for _, n := range e.cellEvents {
@@ -181,9 +243,18 @@ func (e *Engine) worker(w int) {
 			if i >= int64(len(e.cells)) {
 				break
 			}
+			// Cells with nothing due this epoch are skipped, exactly as in
+			// the single-worker loop. The cache reads are safe: the last
+			// write was by a worker holding this cell in a previous epoch or
+			// by the main goroutine with all workers parked, both ordered
+			// before this claim by the epoch channels.
+			if !e.nextOk[i] || e.nextAt[i] > b {
+				continue
+			}
 			// Distinct workers always hold distinct cells, so the per-cell
-			// counter update needs no synchronisation.
+			// counter and cache updates need no synchronisation.
 			e.cellEvents[i] += e.cells[i].Run(b)
+			e.nextAt[i], e.nextOk[i] = e.cells[i].NextEvent()
 		}
 		idleSince = time.Now()
 		e.doneCh <- struct{}{}
@@ -210,8 +281,28 @@ func (e *Engine) CellEvents() []uint64 { return e.cellEvents }
 // BarrierEvents returns the cumulative events processed by barrier phases.
 func (e *Engine) BarrierEvents() uint64 { return e.barrierEvents }
 
-// Epochs returns how many epoch barriers have run.
+// Epochs returns how many epochs have been stepped.
 func (e *Engine) Epochs() uint64 { return e.epochs }
+
+// BarriersRun returns how many epoch boundaries actually executed the
+// barrier callback (≤ Epochs when elision is enabled).
+func (e *Engine) BarriersRun() uint64 { return e.barriersRun }
+
+// EnableBarrierElision arms no-op-barrier skipping: at each boundary the
+// engine consults mailPending (cross-cell mail buffered?) and
+// earliestExtra (coordination event due at or before the boundary?) and
+// runs the barrier callback only when one of them says there is work.
+// Elision never changes a run's output — a skipped barrier would have
+// processed zero events — it only removes rendezvous overhead; Epochs
+// and BarrierEvents are unaffected, BarriersRun counts the survivors.
+// mailPending must be safe to call with all workers parked.
+func (e *Engine) EnableBarrierElision(mailPending func() bool) {
+	if e.barrier != nil && e.earliestExtra == nil {
+		panic("simkernel: barrier elision requires earliestExtra")
+	}
+	e.mailPending = mailPending
+	e.elide = mailPending != nil
+}
 
 // WorkerStallNs returns the cumulative wall-clock nanoseconds each worker
 // spent parked at barriers waiting for stragglers — the load-imbalance

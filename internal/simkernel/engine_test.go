@@ -94,6 +94,87 @@ func TestEngineDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestEngineBarrierElision pins the elision contract end to end: an
+// elided run produces the exact logs, counts and totals of the eager run
+// (a skipped barrier would have processed zero events), while actually
+// skipping a meaningful share of the boundaries.
+func TestEngineBarrierElision(t *testing.T) {
+	const until = 2000
+	refLogs, refCounts, refTotal := newEngineHarness(5, 42).run(1, until)
+
+	h := newEngineHarness(5, 42)
+	eng := NewEngine(h.cells, 10, 1, nil, h.barrier, h.coord.NextEvent)
+	eng.EnableBarrierElision(func() bool {
+		for _, slot := range h.out {
+			if len(slot) > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	total := eng.Run(until)
+	if !reflect.DeepEqual(h.logs, refLogs) {
+		t.Fatal("elided run's logs diverge from the eager run")
+	}
+	if counts := eng.CellEvents(); !reflect.DeepEqual(counts, refCounts) {
+		t.Fatalf("elided run's cell counts %v != %v", counts, refCounts)
+	}
+	if total != refTotal {
+		t.Fatalf("elided run's total %d != %d", total, refTotal)
+	}
+	if eng.BarriersRun() >= eng.Epochs() {
+		t.Fatalf("no barrier elided: %d run over %d epochs", eng.BarriersRun(), eng.Epochs())
+	}
+}
+
+// TestEngineElisionHonorsPendingMail: a boundary with buffered cross-cell
+// mail must run its barrier even when the coordination kernel is empty —
+// skipping it would delay the mail import past its arrival time.
+func TestEngineElisionHonorsPendingMail(t *testing.T) {
+	cell := New(1)
+	coord := New(2)
+	var delivered []Time
+	var out []Time // pending cross-cell mail, delivery times
+	cell.At(5, func() { out = append(out, 25) })
+	barrier := func(Time) uint64 {
+		for _, at := range out {
+			cell.At(at, func() { delivered = append(delivered, cell.Now()) })
+		}
+		out = out[:0]
+		return 0
+	}
+	eng := NewEngine([]*Kernel{cell}, 10, 1, nil, barrier, coord.NextEvent)
+	eng.EnableBarrierElision(func() bool { return len(out) > 0 })
+	eng.Run(100)
+	if !reflect.DeepEqual(delivered, []Time{25}) {
+		t.Fatalf("mail delivered at %v, want [25]", delivered)
+	}
+	// Exactly one boundary (the epoch that posted the mail) had work; every
+	// other boundary must have been elided.
+	if eng.BarriersRun() != 1 {
+		t.Fatalf("barriers run %d, want 1 (epochs %d)", eng.BarriersRun(), eng.Epochs())
+	}
+}
+
+// TestEngineElisionHonorsCoordinationEvents: a boundary with a coordination
+// event due at or before it must run its barrier even with no mail.
+func TestEngineElisionHonorsCoordinationEvents(t *testing.T) {
+	cell := New(1)
+	coord := New(2)
+	var fired []Time
+	coord.At(42, func() { fired = append(fired, coord.Now()) })
+	eng := NewEngine([]*Kernel{cell}, 10, 1, nil,
+		func(b Time) uint64 { return coord.Run(b) }, coord.NextEvent)
+	eng.EnableBarrierElision(func() bool { return false })
+	eng.Run(100)
+	if !reflect.DeepEqual(fired, []Time{42}) {
+		t.Fatalf("coordination event fired at %v, want [42]", fired)
+	}
+	if eng.BarriersRun() != 1 {
+		t.Fatalf("barriers run %d, want 1 (epochs %d)", eng.BarriersRun(), eng.Epochs())
+	}
+}
+
 // TestEngineFastForward checks that idle stretches cost one barrier, not
 // one barrier per empty epoch, and that events still fire at exact times.
 func TestEngineFastForward(t *testing.T) {

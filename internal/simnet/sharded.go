@@ -9,17 +9,30 @@
 //     slab + free-list + bound-callback fast path as the classic network,
 //     scheduled on the cell's own kernel (zero allocations in steady
 //     state);
+//   - a payload the protocol *claims* for an owner cell (SetVenue: the
+//     reply legs of a query whose handler only touches the query origin's
+//     state) is delivered on that owner cell's lane even when the
+//     endpoints live elsewhere — this is what keeps a locality's query
+//     traffic inside its petal instead of taxing the coordination kernel;
 //   - everything else (cross-cell messages, payloads the protocol marks
 //     foreign to the destination cell, and payloads marked global) must
 //     execute single-threaded: posted from a parallel phase it goes to
-//     the per-source-cell mailbox and is imported into the coordination
-//     kernel at the next epoch barrier; posted from barrier context it is
-//     scheduled directly.
+//     the per-executing-cell mailbox and is imported into the
+//     coordination kernel at the next epoch barrier; posted from barrier
+//     context it is scheduled directly.
 //
-// The mailbox import order is fixed — ascending source cell, FIFO within
-// a cell — and the coordination kernel breaks timestamp ties by schedule
-// order, so cross-cell delivery is totally ordered by (epoch, srcCell,
-// seq) no matter how the parallel phase interleaved across workers.
+// Owner-claimed handlers run on the query origin's cell, so their sends
+// execute on a goroutine that may not own the sender's cell. Every
+// phase-send is therefore attributed to the *executing* cell (SetOwner
+// resolves it from the payload; it always matches the running goroutine):
+// clock, traffic sink, counters, fault stream and mailbox slot all key on
+// that cell, which is exactly what makes the attribution race-free.
+//
+// The mailbox import order is fixed — ascending executing cell, FIFO
+// within a cell — and the coordination kernel breaks timestamp ties by
+// schedule order, so cross-cell delivery is totally ordered by (epoch,
+// execCell, seq) no matter how the parallel phase interleaved across
+// workers.
 package simnet
 
 import (
@@ -125,12 +138,22 @@ func (mb *Mailbox) Pending() int {
 // barriers. The network starts in barrier mode (construction is
 // single-threaded).
 func NewSharded(global *simkernel.Kernel, cells []*simkernel.Kernel, topo *topology.Topology) *Network {
+	cellOf := make([]int32, topo.NumNodes())
+	for id := 0; id < topo.NumNodes(); id++ {
+		cellOf[id] = int32(topo.LocalityOf(NodeID(id)))
+	}
+	return NewShardedMapped(global, cells, topo, cellOf)
+}
+
+// NewShardedMapped is NewSharded with an explicit node→cell map, for
+// configurations that split a hot locality across several cells (the map
+// must still keep each cell inside one locality — latency and fault
+// decisions remain locality-keyed). len(cells) must cover every value in
+// cellOf.
+func NewShardedMapped(global *simkernel.Kernel, cells []*simkernel.Kernel, topo *topology.Topology, cellOf []int32) *Network {
 	n := New(global, topo)
 	n.cells = cells
-	n.cellOf = make([]int32, topo.NumNodes())
-	for id := 0; id < topo.NumNodes(); id++ {
-		n.cellOf[id] = int32(topo.LocalityOf(NodeID(id)))
-	}
+	n.cellOf = cellOf
 	n.lanes = make([]*lane, len(cells))
 	for i, k := range cells {
 		n.lanes[i] = newLane(n, k)
@@ -160,6 +183,26 @@ func (n *Network) SetForeign(fn func(payload any, dstCell int) bool) { n.foreign
 // execute on the coordination kernel (e.g. DHT ring mutations), regardless
 // of the endpoints' cells.
 func (n *Network) SetGlobalPayload(fn func(payload any) bool) { n.globalFn = fn }
+
+// SetOwner installs the payload→owner-cell resolver: for payloads that
+// carry a query it returns the cell of the query's origin. During
+// parallel phases the network attributes each send (clock, sink,
+// counters, fault stream, mailbox slot) to the owner cell when the
+// resolver claims the payload, because owner-claimed handlers execute on
+// that cell's goroutine regardless of the sender's home cell.
+func (n *Network) SetOwner(fn func(payload any) (int, bool)) { n.ownerFn = fn }
+
+// SetVenue installs the delivery-venue classifier: when it claims a
+// (payload, receiver) pair, delivery is scheduled on the returned owner
+// cell's lane instead of the coordination kernel, even for cross-cell
+// sends. The protocol must only claim payloads whose handler touches
+// nothing but the owner cell's state and draws from no other cell's
+// random streams.
+func (n *Network) SetVenue(fn func(payload any, to NodeID) (int, bool)) { n.venueFn = fn }
+
+// MailPending reports how many cross-cell messages are buffered for the
+// next barrier import. Call only while parked (single-threaded).
+func (n *Network) MailPending() int { return n.mail.Pending() }
 
 // SetCellSinks installs one traffic sink per cell; message accounting goes
 // to the sender's cell so parallel phases never share a sink. Overrides
@@ -195,57 +238,94 @@ func (n *Network) venueGlobal(srcCell, dstCell int, payload any) bool {
 // the venue rules.
 func (n *Network) sendSharded(from, to NodeID, cat Category, bytes int, payload any) {
 	src := int(n.cellOf[from])
-	if !n.alive[from] {
-		n.lanes[src].dropped++
-		return
-	}
 	dst := int(n.cellOf[to])
-	var now simkernel.Time
 	if n.inBarrier {
-		now = n.kernel.Now()
-	} else {
-		now = n.cells[src].Now()
-	}
-	if n.cellSinks != nil {
-		if s := n.cellSinks[src]; s != nil {
-			s.RecordMessage(now, from, to, cat, bytes)
-		}
-	}
-	n.lanes[src].sent++
-	m := Message{From: from, To: to, Payload: payload, Bytes: bytes, Category: cat, SentAt: now}
-	if n.faults != nil {
-		// Parallel-phase sends always execute on the sender's cell kernel,
-		// in that cell's deterministic event order, so each cell consumes
-		// its private decision stream identically at any worker count.
-		// Barrier-context sends are single-threaded on the coordination
-		// kernel and draw from its stream. Cells are localities, so src/dst
-		// double as the locality indices.
-		rng := n.faultRNG
-		if !n.inBarrier {
-			rng = n.cellFaultRNG[src]
-		}
-		drop, extra := n.faults.decide(rng, src, dst, now)
-		if drop {
-			n.lanes[src].faultDropped++
+		// Single-threaded: attribute to the sender's cell, draw faults from
+		// the coordination stream, deliver directly. Owner-claimed payloads
+		// still ride the owner cell's lane — arrival is strictly after the
+		// next boundary (the epoch width never exceeds the minimum latency),
+		// so the cell is parked when the event lands.
+		if !n.alive[from] {
+			n.lanes[src].dropped++
 			return
 		}
-		m.Delay = extra
-	}
-	global := n.venueGlobal(src, dst, payload)
-	if n.inBarrier {
+		now := n.kernel.Now()
+		if n.cellSinks != nil {
+			if s := n.cellSinks[src]; s != nil {
+				s.RecordMessage(now, from, to, cat, bytes)
+			}
+		}
+		n.lanes[src].sent++
+		m := Message{From: from, To: to, Payload: payload, Bytes: bytes, Category: cat, SentAt: now}
+		if n.faults != nil {
+			drop, extra := n.faults.decide(n.faultRNG, n.topo.LocalityOf(from), n.topo.LocalityOf(to), now)
+			if drop {
+				n.lanes[src].faultDropped++
+				return
+			}
+			m.Delay = extra
+		}
 		at := now + n.topo.Latency(from, to) + m.Delay
-		if global {
+		if n.venueFn != nil {
+			if vc, ok := n.venueFn(payload, to); ok {
+				n.lanes[vc].post(at, m)
+				return
+			}
+		}
+		if n.venueGlobal(src, dst, payload) {
 			n.globalLane.post(at, m)
 		} else {
 			n.lanes[dst].post(at, m)
 		}
 		return
 	}
-	if !global { // src == dst here: the intra-cell zero-alloc fast path
-		n.lanes[src].post(now+n.topo.Latency(from, to)+m.Delay, m)
+	// Parallel phase: exec is the cell whose goroutine is running this
+	// send — the sender's home cell, unless the payload is owner-claimed
+	// (the handler issuing it executes on the query origin's cell). Every
+	// effect keys on exec; anything else would cross goroutines.
+	exec := src
+	if n.ownerFn != nil {
+		if oc, ok := n.ownerFn(payload); ok {
+			exec = oc
+		}
+	}
+	if !n.alive[from] {
+		n.lanes[exec].dropped++
 		return
 	}
-	n.mail.Post(src, m)
+	now := n.cells[exec].Now()
+	if n.cellSinks != nil {
+		if s := n.cellSinks[exec]; s != nil {
+			s.RecordMessage(now, from, to, cat, bytes)
+		}
+	}
+	n.lanes[exec].sent++
+	m := Message{From: from, To: to, Payload: payload, Bytes: bytes, Category: cat, SentAt: now}
+	if n.faults != nil {
+		// Each cell consumes its private decision stream in its own
+		// deterministic event order, identically at any worker count.
+		drop, extra := n.faults.decide(n.cellFaultRNG[exec], n.topo.LocalityOf(from), n.topo.LocalityOf(to), now)
+		if drop {
+			n.lanes[exec].faultDropped++
+			return
+		}
+		m.Delay = extra
+	}
+	if n.venueFn != nil {
+		if vc, ok := n.venueFn(payload, to); ok {
+			// Owner-claimed delivery executes on the owner cell — which is
+			// exactly the cell running this send, so the post stays on this
+			// goroutine's kernel.
+			n.lanes[vc].post(now+n.topo.Latency(from, to)+m.Delay, m)
+			return
+		}
+	}
+	if !n.venueGlobal(src, dst, payload) && exec == dst {
+		// src == dst == exec: the intra-cell zero-alloc fast path.
+		n.lanes[exec].post(now+n.topo.Latency(from, to)+m.Delay, m)
+		return
+	}
+	n.mail.Post(exec, m)
 }
 
 // ImportMail drains the cross-cell mailbox into the coordination kernel at

@@ -140,6 +140,8 @@ type Network struct {
 	cellSinks  []TrafficSink
 	foreignFn  func(payload any, dstCell int) bool
 	globalFn   func(payload any) bool
+	ownerFn    func(payload any) (int, bool)
+	venueFn    func(payload any, to NodeID) (int, bool)
 	inBarrier  bool
 }
 

@@ -25,13 +25,18 @@ run() { # run <benchtime> <pattern> <packages...>
   # a small fixed count keeps the script fast while staying comparable.
   run "$benchtime" 'CampaignSequential$' .
   # Population-scale chart: the shrunk 100k-preset shape at growing
-  # populations, reporting simulator throughput as events/sec. The
-  # pattern also matches PopulationScaleParallel (the locality-sharded
-  # kernel with one worker per CPU) and PopulationScaleFaulted (light
-  # loss + hardened protocol); parallel cells carry a "shards" metric
-  # and every events/sec cell records GOMAXPROCS, so bench_compare.sh
-  # can refuse to compare cells measured under different parallelism.
-  run "$benchtime" 'PopulationScale' .
+  # populations, reporting simulator throughput as events/sec. Parallel
+  # cells carry shards/coordination_share/worker_stall_ns metrics and
+  # every events/sec cell records GOMAXPROCS, so bench_compare.sh can
+  # refuse to compare cells measured under different parallelism.
+  run "$benchtime" 'PopulationScale$' .
+  run "$benchtime" 'PopulationScaleFaulted$' .
+  # The parallel chart is pinned at GOMAXPROCS=4 so the snapshot rows are
+  # tagged consistently across machines (Go only appends the -N name
+  # suffix for the procs the run actually used). Subshell, not an env
+  # prefix: `VAR=x shell_function` does not export into the function's
+  # child processes on all bash versions.
+  (export GOMAXPROCS=4 && run "$benchtime" 'PopulationScaleParallel$' .)
   # Substrate micro-benchmarks: hot-path costs, higher iteration counts.
   run 1000x 'QueryPath$' ./internal/core
   # Directory periodic sweep: the steady-state slab tick and the
@@ -45,15 +50,19 @@ run() { # run <benchtime> <pattern> <packages...>
   {
     # The -N suffix Go appends to benchmark names is GOMAXPROCS; keep it
     # so throughput cells are tagged with the parallelism they ran under.
-    name = $1; gmp = ""
+    # Go omits the suffix entirely when GOMAXPROCS is 1 (a 1-core runner),
+    # so no suffix means 1, not unknown.
+    name = $1; gmp = "1"
     if (match(name, /-[0-9]+$/)) { gmp = substr(name, RSTART + 1); sub(/-[0-9]+$/, "", name) }
-    ns = ""; bytes = ""; allocs = ""; eps = ""; shards = ""
+    ns = ""; bytes = ""; allocs = ""; eps = ""; shards = ""; coord = ""; stall = ""
     for (i = 2; i <= NF; i++) {
       if ($(i+1) == "ns/op") ns = $i
       if ($(i+1) == "B/op") bytes = $i
       if ($(i+1) == "allocs/op") allocs = $i
       if ($(i+1) == "events/sec") eps = $i
       if ($(i+1) == "shards") shards = $i
+      if ($(i+1) == "coordination_share") coord = $i
+      if ($(i+1) == "worker_stall_ns") stall = $i
     }
     if (ns == "") next
     if (!first) printf ",\n"
@@ -62,8 +71,10 @@ run() { # run <benchtime> <pattern> <packages...>
       name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
     if (eps != "") {
       printf ", \"events_per_sec\": %s", eps
-      printf ", \"gomaxprocs\": %s", (gmp == "" ? "null" : gmp)
+      printf ", \"gomaxprocs\": %s", gmp
       if (shards != "") printf ", \"shards\": %.0f", shards
+      if (coord != "") printf ", \"coordination_share\": %g", coord
+      if (stall != "") printf ", \"worker_stall_ns\": %.0f", stall
     }
     printf "}"
   }

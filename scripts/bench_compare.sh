@@ -110,11 +110,15 @@ done < <(grep -oh '"name": "BenchmarkPopulationScaleFaulted/[^"]*"' "$old" "$new
 # when both snapshots ran the same worker count on the same number of
 # CPUs — the bench sizes shards to GOMAXPROCS, so a laptop snapshot and
 # a workstation snapshot measure different machines AND different
-# configurations. Mismatched or missing tags skip the gate with a note.
+# configurations. Mismatched or missing tags skip the gate with a note;
+# a literal "null" tag (snapshots from before bench.sh defaulted the
+# GOMAXPROCS tag to 1) counts as missing — two nulls compare equal but
+# say nothing about what the runs actually used.
 while IFS= read -r cell; do
   os=$(extract "$old" "$cell" shards); ns=$(extract "$new" "$cell" shards)
   og=$(extract "$old" "$cell" gomaxprocs); ng=$(extract "$new" "$cell" gomaxprocs)
-  if [ -z "$os" ] || [ -z "$ns" ] || [ "$os" != "$ns" ] || [ "$og" != "$ng" ]; then
+  if [ -z "$og" ] || [ "$og" = "null" ] || [ -z "$ng" ] || [ "$ng" = "null" ] ||
+    [ -z "$os" ] || [ -z "$ns" ] || [ "$os" != "$ns" ] || [ "$og" != "$ng" ]; then
     echo "bench_compare: $cell not like-for-like (shards $os->$ns, gomaxprocs $og->$ng); skipped"
     continue
   fi

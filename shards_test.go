@@ -33,21 +33,37 @@ func TestShardedWorkerInvariance(t *testing.T) {
 	lossy := fixtureParams(9)
 	lossy.Faults = &FaultConfig{LossProb: 0.08, JitterProb: 0.25, JitterMaxMs: 90, SpikeProb: 0.02, SpikeMs: 300}
 	partitioned := FaultStormParams(10)
+	// Hot-cell splits: 5 localities spread over 8 cells, so the high-worker
+	// side can run more workers than localities exist.
+	split := ShrunkMassiveParams(12)
+	split.Shards = 1
+	split.CellSplit = HotCellSplit(split, 8)
+	splitLossy := ShrunkMassiveParams(13)
+	splitLossy.Shards = 1
+	splitLossy.CellSplit = HotCellSplit(splitLossy, 7)
+	splitLossy.Faults = &FaultConfig{LossProb: 0.05, JitterProb: 0.2, JitterMaxMs: 90}
+	splitLossy.MaintenancePeriod = 30 * Second
+	eager := ShrunkMassiveParams(14)
+	eager.EagerBarriers = true
 	scenarios := []struct {
-		name string
-		p    Params
+		name    string
+		p       Params
+		workers [2]int // 0,0 = the default 1-vs-4 comparison
 	}{
-		{"flower seed=1", fixtureParams(1)},
-		{"flower seed=2", fixtureParams(2)},
-		{"flower churn+replication seed=3", churn},
-		{"flower scale-up seed=4", scaleUp},
-		{"flower traced seed=5", fixtureParams(5)},
-		{"flower shrunk-massive seed=6", ShrunkMassiveParams(6)},
-		{"flower shrunk-massive-churn seed=7", WithMassiveChurn(ShrunkMassiveParams(7))},
-		{"flower sharded shrunk-massive seed=8", ShrunkMassiveParams(8)},
-		{"flower loss+jitter seed=9", lossy},
-		{"flower partition-storm seed=10", partitioned},
-		{"flower dircrash seed=11", DirCrashStormParams(11)},
+		{"flower seed=1", fixtureParams(1), [2]int{}},
+		{"flower seed=2", fixtureParams(2), [2]int{}},
+		{"flower churn+replication seed=3", churn, [2]int{}},
+		{"flower scale-up seed=4", scaleUp, [2]int{}},
+		{"flower traced seed=5", fixtureParams(5), [2]int{}},
+		{"flower shrunk-massive seed=6", ShrunkMassiveParams(6), [2]int{}},
+		{"flower shrunk-massive-churn seed=7", WithMassiveChurn(ShrunkMassiveParams(7)), [2]int{}},
+		{"flower sharded shrunk-massive seed=8", ShrunkMassiveParams(8), [2]int{}},
+		{"flower loss+jitter seed=9", lossy, [2]int{}},
+		{"flower partition-storm seed=10", partitioned, [2]int{}},
+		{"flower dircrash seed=11", DirCrashStormParams(11), [2]int{}},
+		{"flower hot-cell-split seed=12", split, [2]int{1, 8}},
+		{"flower hot-cell-split lossy seed=13", splitLossy, [2]int{1, 7}},
+		{"flower eager-barriers seed=14", eager, [2]int{}},
 	}
 	for _, sc := range scenarios {
 		sc := sc
@@ -64,14 +80,18 @@ func TestShardedWorkerInvariance(t *testing.T) {
 				formatStats(&sb, res)
 				formatFaultSummary(&sb, res)
 				formatStandbySummary(&sb, res)
-				fmt.Fprintf(&sb, "shard_events=%v barrier_events=%d epochs=%d\n",
-					res.ShardEvents, res.BarrierEvents, res.Epochs)
+				fmt.Fprintf(&sb, "shard_events=%v barrier_events=%d epochs=%d barriers_run=%d\n",
+					res.ShardEvents, res.BarrierEvents, res.Epochs, res.BarriersRun)
 				sb.WriteString("trace:\n")
 				sb.WriteString(FormatTrace(buf.Events()))
 				return sb.String()
 			}
-			one := render(1)
-			four := render(4)
+			lo, hi := sc.workers[0], sc.workers[1]
+			if lo == 0 {
+				lo, hi = 1, 4
+			}
+			one := render(lo)
+			four := render(hi)
 			if one == four {
 				return
 			}
@@ -86,6 +106,73 @@ func TestShardedWorkerInvariance(t *testing.T) {
 				}
 			}
 			t.Fatalf("worker counts diverged in length: %d vs %d lines", len(ol), len(fl))
+		})
+	}
+}
+
+// TestBarrierElisionEquivalence pins the elision contract at protocol
+// scale: the golden fault-storm and dircrash-storm scenarios, run sharded
+// with elision (the default) and with EagerBarriers, must produce
+// byte-identical transcripts — a skipped barrier would have processed zero
+// events, so only BarriersRun may differ, and the elided run must actually
+// have skipped some boundaries.
+func TestBarrierElisionEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two storm scenarios twice")
+	}
+	storm := FaultStormParams(21)
+	storm.Shards = 2
+	crash := DirCrashStormParams(22)
+	crash.Shards = 2
+	scenarios := []struct {
+		name string
+		p    Params
+	}{
+		{"fault-storm", storm},
+		{"dircrash-storm", crash},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			render := func(eager bool) (string, Result) {
+				p := sc.p
+				p.EagerBarriers = eager
+				res, buf, err := RunFlowerTraced(p, 300)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sb strings.Builder
+				formatReport(&sb, sc.name, res.Report)
+				formatStats(&sb, res)
+				formatFaultSummary(&sb, res)
+				formatStandbySummary(&sb, res)
+				fmt.Fprintf(&sb, "shard_events=%v barrier_events=%d epochs=%d\n",
+					res.ShardEvents, res.BarrierEvents, res.Epochs)
+				sb.WriteString("trace:\n")
+				sb.WriteString(FormatTrace(buf.Events()))
+				return sb.String(), res
+			}
+			elided, eres := render(false)
+			eager, gres := render(true)
+			if elided != eager {
+				el, gl := strings.Split(elided, "\n"), strings.Split(eager, "\n")
+				n := len(el)
+				if len(gl) < n {
+					n = len(gl)
+				}
+				for i := 0; i < n; i++ {
+					if el[i] != gl[i] {
+						t.Fatalf("elided vs eager diverged at line %d:\nelided: %s\n eager: %s", i+1, el[i], gl[i])
+					}
+				}
+				t.Fatalf("elided vs eager diverged in length: %d vs %d lines", len(el), len(gl))
+			}
+			if gres.BarriersRun != gres.Epochs {
+				t.Fatalf("eager run elided barriers: %d run over %d epochs", gres.BarriersRun, gres.Epochs)
+			}
+			if eres.BarriersRun >= eres.Epochs {
+				t.Fatalf("elision skipped nothing: %d run over %d epochs", eres.BarriersRun, eres.Epochs)
+			}
 		})
 	}
 }
