@@ -468,6 +468,43 @@ func BenchmarkPopulationScaleFaulted(b *testing.B) {
 	}
 }
 
+// BenchmarkPopulationScaleGray is BenchmarkPopulationScaleFaulted with the
+// gray-failure plane and the adaptive response both armed: per-send degrade/
+// asym-loss/flap gating on the fault side, estimator updates, hedge timers
+// and breaker checks on the protocol side. Gated by bench_compare.sh like
+// the other population cells, so the per-send gray checks and the adaptive
+// hot path can't silently tax the simulator.
+func BenchmarkPopulationScaleGray(b *testing.B) {
+	for _, pop := range []int{1000, 5000, 20000} {
+		b.Run(fmt.Sprintf("pop=%d", pop), func(b *testing.B) {
+			var events uint64
+			var wall float64
+			for i := 0; i < b.N; i++ {
+				p := PopulationParams(int64(i)+1, pop)
+				p.Faults = &FaultConfig{
+					LossProb:    0.02,
+					JitterProb:  0.1,
+					JitterMaxMs: 60,
+					AsymLoss:    []AsymLossRule{{FromLoc: 0, ToLoc: 1, Prob: 0.2}},
+					Flap: []FlapWindow{{Locality: 2, Start: 60 * Second, End: 300 * Second,
+						Period: 30 * Second, DownFor: 10 * Second}},
+				}
+				p.Adaptive = true
+				res, err := RunFlower(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+				wall += res.WallSeconds
+			}
+			if wall > 0 {
+				b.ReportMetric(float64(events)/wall, "events/sec")
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+		})
+	}
+}
+
 // --- Substrate micro-benchmarks --------------------------------------------
 
 func BenchmarkSimulationThroughput(b *testing.B) {

@@ -21,10 +21,13 @@
 // directory-sweep-dominated shape), "faults" (the deterministic
 // fault-storm scenario — loss, jitter, locality partitions — with the
 // invariant auditor, per-locality recovery times, and a loss-rate
-// degradation sweep; -loss overrides the sweep grid) and "dircrash"
+// degradation sweep; -loss overrides the sweep grid), "dircrash"
 // (scheduled directory crashes comparing warm-standby promotion against
-// the cold §5.2 rebuild) — all outside "all" because they measure the
-// simulator, not the paper.
+// the cold §5.2 rebuild) and "gray" (gray failures — degraded-but-alive
+// directories, one-way loss, a flapping uplink — comparing the fixed
+// timeout ladder against the adaptive plane of EWMA deadlines, hedged
+// lookups and the holder circuit breaker) — all outside "all" because
+// they measure the simulator, not the paper.
 //
 // Sweep-style experiments run one full simulation per point; -parallel N
 // executes points on N workers (results are identical to the sequential
@@ -69,6 +72,7 @@ var experiments = map[string]func(w *writer, p flowercdn.Params) error{
 	"dirstress":           runDirStress,
 	"faults":              runFaults,
 	"dircrash":            runDirCrash,
+	"gray":                runGray,
 }
 
 // massiveChurn is set by the -churn flag: the massive experiment then
@@ -724,6 +728,64 @@ func runFaults(w *writer, p flowercdn.Params) error {
 	for _, r := range rows {
 		w.printf("%-8s %-10.3f %-12.0f %-12d %-10d %-10d",
 			fmt.Sprintf("%.0f%%", r.LossPct), r.HitRatio, r.AvgLookupMs, r.FaultDrops, r.Retries, r.OriginFallbacks)
+	}
+	return nil
+}
+
+func runGray(w *writer, p flowercdn.Params) error {
+	gp := flowercdn.GrayStormParams(p.Seed)
+	if hoursOverride > 0 {
+		gp.Duration = hoursOverride
+	}
+	if shardsOverride >= 0 {
+		gp.Shards = shardsOverride
+	}
+	fc := gp.Faults
+	w.notef("gray: %d degraded directories (×%.0f), %d asym-loss rules, %d flap windows, %.0f%% loss floor, churn %.0f/h",
+		len(gp.DirDegrades), gp.DirDegrades[0].Factor, len(fc.AsymLoss), len(fc.Flap),
+		100*fc.LossProb, gp.ChurnPerHour)
+
+	fixed, adaptive, err := flowercdn.GrayComparison(gp)
+	if err != nil {
+		return err
+	}
+
+	w.printf("Gray-failure storm — %s simulated, seed %d", gp.Duration, gp.Seed)
+	w.printf("gray schedule:")
+	for _, dd := range gp.DirDegrades {
+		w.printf("  directory site %d locality %d slowed ×%.0f during [%s, %s)",
+			dd.SiteIdx, dd.Locality, dd.Factor, dd.Start, dd.End)
+	}
+	for _, r := range fc.AsymLoss {
+		w.printf("  one-way loss locality %d→%d p=%.2f", r.FromLoc, r.ToLoc, r.Prob)
+	}
+	for _, f := range fc.Flap {
+		w.printf("  locality %d uplink flaps %s down per %s during [%s, %s)",
+			f.Locality, f.DownFor, f.Period, f.Start, f.End)
+	}
+	w.printf("")
+	w.printf("%-22s %-12s %-12s", "metric", "fixed", "adaptive")
+	w.printf("%-22s %-12.3f %-12.3f", "hit ratio", fixed.HitRatio, adaptive.HitRatio)
+	w.printf("%-22s %-12.0f %-12.0f", "lookup p50 (ms)", fixed.P50Ms, adaptive.P50Ms)
+	w.printf("%-22s %-12.0f %-12.0f", "lookup p99 (ms)", fixed.P99Ms, adaptive.P99Ms)
+	w.printf("%-22s %-12d %-12d", "retries", fixed.Retries, adaptive.Retries)
+	w.printf("%-22s %-12d %-12d", "origin fallbacks", fixed.OriginFallbacks, adaptive.OriginFallbacks)
+	w.printf("%-22s %-12d %-12d", "hedged lookups", fixed.Hedges, adaptive.Hedges)
+	w.printf("%-22s %-12d %-12d", "hedge wins", fixed.HedgeWins, adaptive.HedgeWins)
+	w.printf("%-22s %-12d %-12d", "breaker trips", fixed.BreakerTrips, adaptive.BreakerTrips)
+	w.printf("%-22s %-12d %-12d", "fault drops", fixed.FaultDrops, adaptive.FaultDrops)
+	w.printf("%-22s %-12d %-12d", "audit checks", fixed.AuditChecks, adaptive.AuditChecks)
+	w.printf("%-22s %-12d %-12d", "audit violations", len(fixed.AuditViolations), len(adaptive.AuditViolations))
+	for _, v := range fixed.AuditViolations {
+		w.printf("  fixed violation: %s", v)
+	}
+	for _, v := range adaptive.AuditViolations {
+		w.printf("  adaptive violation: %s", v)
+	}
+	if adaptive.P99Ms > 0 {
+		w.printf("")
+		w.printf("tail latency: adaptive p99 %.1fx better than fixed (%.0f ms vs %.0f ms)",
+			fixed.P99Ms/adaptive.P99Ms, adaptive.P99Ms, fixed.P99Ms)
 	}
 	return nil
 }

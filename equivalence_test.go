@@ -192,6 +192,22 @@ func buildFixture(t *testing.T) string {
 	formatFaultSummary(&sb, dres)
 	formatStandbySummary(&sb, dres)
 
+	// Thirteenth scenario: the gray storm with the adaptive plane armed.
+	// Pins the gray fault machinery (degraded directories, asymmetric loss,
+	// flapping uplink) and the whole adaptive response surface — estimator-
+	// driven deadlines, hedged lookups with win accounting, and the holder
+	// circuit breaker — in one transcript.
+	gp := GrayStormParams(11)
+	gp.Adaptive = true
+	gres, err := RunFlower(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatReport(&sb, "flower gray-storm adaptive seed=11", gres.Report)
+	formatStats(&sb, gres)
+	formatFaultSummary(&sb, gres)
+	formatGraySummary(&sb, gres)
+
 	return sb.String()
 }
 

@@ -23,6 +23,91 @@ func formatFaultSummary(sb *strings.Builder, res Result) {
 	}
 }
 
+// formatGraySummary renders the adaptive plane's observables — hedge and
+// circuit-breaker accounting — for golden and invariance comparisons.
+func formatGraySummary(sb *strings.Builder, res Result) {
+	fmt.Fprintf(sb, "gray hedges=%d hedge_wins=%d breaker_trips=%d\n",
+		res.Hedges, res.HedgeWins, res.BreakerTrips)
+}
+
+// TestAdaptiveDisabledIdentical pins the gray plane's zero-cost-off
+// property: with Adaptive left false, neither the presence of the new
+// estimator/hedging/breaker code paths nor empty (installed-but-zero)
+// gray fault schedules may perturb a faulted run. The fault storm with
+// zero-length NodeDegrade/AsymLoss/Flap slices must produce a transcript
+// byte-identical to the plain storm — the gray checks draw no RNG, stamp
+// no timestamps and arm no extra timers unless actually configured.
+func TestAdaptiveDisabledIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full faulted simulation")
+	}
+	render := func(p Params) string {
+		res, err := RunFlower(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		formatReport(&sb, "gray-off", res.Report)
+		formatStats(&sb, res)
+		formatFaultSummary(&sb, res)
+		formatGraySummary(&sb, res)
+		return sb.String()
+	}
+	base := FaultStormParams(1)
+	gray := FaultStormParams(1)
+	fc := *gray.Faults
+	fc.NodeDegrade = []DegradeWindow{}
+	fc.AsymLoss = []AsymLossRule{}
+	fc.Flap = []FlapWindow{}
+	gray.Faults = &fc
+	gray.Adaptive = false
+	if a, b := render(base), render(gray); a != b {
+		al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+		n := len(al)
+		if len(bl) < n {
+			n = len(bl)
+		}
+		for i := 0; i < n; i++ {
+			if al[i] != bl[i] {
+				t.Fatalf("empty gray config changed behaviour at line %d:\nplain: %s\n gray: %s", i+1, al[i], bl[i])
+			}
+		}
+		t.Fatalf("empty gray config changed transcript length: %d vs %d lines", len(al), len(bl))
+	}
+}
+
+// TestGrayStormAdaptiveWins pins the headline acceptance claim behind
+// `-exp gray`: on the same seed, topology and fault schedule, the
+// adaptive plane must beat the fixed timeout ladder by ≥2× on p99 lookup
+// latency with a hit ratio no worse, zero auditor violations on both
+// sides, and the hedge/breaker machinery actually engaged.
+func TestGrayStormAdaptiveWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full gray-storm simulations")
+	}
+	fixed, adaptive, err := GrayComparison(GrayStormParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.P99Ms <= 0 || fixed.P99Ms < 2*adaptive.P99Ms {
+		t.Fatalf("adaptive p99 not ≥2× better: fixed=%.0fms adaptive=%.0fms", fixed.P99Ms, adaptive.P99Ms)
+	}
+	if adaptive.HitRatio < fixed.HitRatio {
+		t.Fatalf("adaptive hit ratio regressed: fixed=%.4f adaptive=%.4f", fixed.HitRatio, adaptive.HitRatio)
+	}
+	if len(fixed.AuditViolations) != 0 || len(adaptive.AuditViolations) != 0 {
+		t.Fatalf("auditor violations: fixed=%d adaptive=%d",
+			len(fixed.AuditViolations), len(adaptive.AuditViolations))
+	}
+	if adaptive.Hedges == 0 || adaptive.HedgeWins == 0 || adaptive.BreakerTrips == 0 {
+		t.Fatalf("adaptive machinery idle: hedges=%d wins=%d trips=%d",
+			adaptive.Hedges, adaptive.HedgeWins, adaptive.BreakerTrips)
+	}
+	if fixed.Hedges != 0 || fixed.BreakerTrips != 0 {
+		t.Fatalf("fixed side ran adaptive machinery: hedges=%d trips=%d", fixed.Hedges, fixed.BreakerTrips)
+	}
+}
+
 // TestFaultsDisabledIdentical pins the fault plane's zero-cost-off
 // property at the behaviour level: a run with Params.Faults nil and one
 // with an installed-but-all-zero FaultConfig must produce byte-identical

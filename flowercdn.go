@@ -161,6 +161,40 @@ type DirCrash = harness.DirCrash
 // preset with StandbyFailover and ShedBudget zeroed.
 func DirCrashStormParams(seed int64) Params { return harness.DirCrashStormParams(seed) }
 
+// DegradeWindow slows every message a gray node sends during [Start, End)
+// by Factor without killing it: the node answers, late. Attach to
+// FaultConfig.NodeDegrade.
+type DegradeWindow = simnet.DegradeWindow
+
+// AsymLossRule drops messages on the FromLoc→ToLoc direction only, the
+// asymmetric-link failure a symmetric detector cannot attribute.
+type AsymLossRule = simnet.AsymLossRule
+
+// FlapWindow takes one locality's uplink down for DownFor out of every
+// Period during [Start, End): the link that keeps "recovering".
+type FlapWindow = simnet.FlapWindow
+
+// DirDegrade schedules one gray directory for Params.DirDegrades: the
+// directory of (active site SiteIdx, Locality) has its outbound latency
+// multiplied by Factor during [Start, End).
+type DirDegrade = harness.DirDegrade
+
+// GrayStormParams is the gray-failure preset behind `-exp gray`: degraded
+// directories, one-way locality loss, a flapping uplink and mild churn.
+// Run it twice via GrayComparison — fixed timeout ladder vs Adaptive —
+// on an identical fault schedule.
+func GrayStormParams(seed int64) Params { return harness.GrayStormParams(seed) }
+
+// GrayRow is one side of the fixed-vs-adaptive gray-storm comparison.
+type GrayRow = harness.GrayRow
+
+// GrayComparison runs base twice on the same seed — fixed timeout ladder,
+// then the adaptive plane (EWMA deadlines + hedged lookups + holder
+// circuit breaker) — and reports both sides.
+func GrayComparison(base Params) (fixed, adaptive GrayRow, err error) {
+	return harness.GrayComparison(base)
+}
+
 // DefaultLossRates is the default grid for LossRateSweep (the `-exp
 // faults` sweep); override per-run with the -loss flag.
 var DefaultLossRates = harness.DefaultLossRates

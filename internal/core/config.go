@@ -80,6 +80,16 @@ type Config struct {
 	// on whenever fault injection is configured.
 	Hardened bool
 
+	// Adaptive layers the gray-failure response on top of Hardened (it
+	// implies Hardened; Validate enforces this): per-host EWMA RTT +
+	// variance estimators feed adaptive lookup/keepalive/probe deadlines
+	// in place of the fixed forms, D-ring lookups hedge a second entry
+	// point when the adaptive tail deadline passes, and holders that
+	// repeatedly time out are demoted by a circuit breaker (adaptive.go).
+	// Off by default: Hardened-only runs stay byte-identical, pinned by
+	// TestAdaptiveDisabledIdentical and the golden fault sections.
+	Adaptive bool
+
 	// SparseSeeds samples the §4.2 directory view seed with O(L_gossip)
 	// random draws against the directory's member list instead of
 	// materialising and shuffling the whole index membership (O(S_co) per
@@ -186,6 +196,11 @@ func (c *Config) Validate() error {
 	}
 	if c.TKeepalive <= 0 {
 		c.TKeepalive = c.TGossip
+	}
+	if c.Adaptive {
+		// The adaptive gray-failure response presupposes the hardened
+		// degraded-network behaviours (backed-off retries, delivery guards).
+		c.Hardened = true
 	}
 	if c.TDead <= 0 {
 		c.TDead = 4

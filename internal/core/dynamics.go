@@ -75,6 +75,7 @@ func (s *System) RevivePeer(addr simnet.NodeID) bool {
 	s.hs.gossipToken[addr]++
 	s.hs.kaToken[addr]++
 	s.hs.gossipTarget[addr] = 0
+	s.hs.resetAdaptive(addr)
 	s.stopStandbyWatch(h)
 	return true
 }

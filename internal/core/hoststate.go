@@ -80,6 +80,21 @@ type hostSoA struct {
 	// auditor consults this set so only entries with no admission behind
 	// them count as index corruption.
 	admitPending [][]model.ObjectRef
+
+	// Adaptive gray-failure state (nil unless Config.Adaptive; see
+	// adaptive.go). rttEwma/rttVar is each host's Jacobson estimator over
+	// its own observed exchange round trips (keepalive acks, query
+	// completions) — observer-indexed, so every write happens in the
+	// owning host's execution context. kaSentAt stamps the outstanding
+	// keepalive probe. holderStrikes/breakerUntil is the per-holder health
+	// score: consecutive redirect/peer-query timeouts trip a cooldown
+	// circuit breaker that demotes the holder from candidate lists.
+	rttEwma       []simkernel.Time
+	rttVar        []simkernel.Time
+	rttSamples    []uint32
+	kaSentAt      []simkernel.Time
+	holderStrikes []uint8
+	breakerUntil  []simkernel.Time
 }
 
 func newHostSoA(n int) hostSoA {

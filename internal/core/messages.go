@@ -40,6 +40,10 @@ type Query struct {
 	pending  simkernel.TimerHandle // armed retry/failure timeout, if any
 	recorded bool                  // metrics emitted
 	finished bool
+	// sentAt stamps the latest outbound attempt (adaptive runs only): the
+	// answering handler turns now−sentAt into an RTT sample for the
+	// origin's deadline estimator.
+	sentAt simkernel.Time
 
 	dringHops int
 
@@ -113,7 +117,13 @@ type routedMsg struct {
 	Inner any
 }
 
-type innerQuery struct{ Q *Query }
+// innerQuery wraps a query inside a routedMsg. Hedged marks the second
+// (raced) lookup of an adaptive hedge: if it reaches a directory first —
+// before any handler claimed the query — the hedge won.
+type innerQuery struct {
+	Q      *Query
+	Hedged bool
+}
 
 // innerDirJoin is the §5.2 replacement join: Candidate attempts to take
 // over the directory position Key.

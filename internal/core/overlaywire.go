@@ -54,7 +54,7 @@ func (s *System) gossipTick(h *host) {
 	s.hs.gossipToken[h.addr]++
 	s.hs.gossipTarget[h.addr] = target
 	s.hs.gossipTimeout[h.addr].Cancel()
-	s.hs.gossipTimeout[h.addr] = s.hostKernel(h.addr).AfterArg(s.timeout(h.addr, target),
+	s.hs.gossipTimeout[h.addr] = s.hostKernel(h.addr).AfterArg(s.exchangeTimeout(h.addr, target),
 		s.gossipTimeoutFn, packAddrTok(h.addr, s.hs.gossipToken[h.addr]))
 }
 
@@ -147,9 +147,12 @@ func (s *System) keepaliveTick(h *host) {
 		s.hs.kaPayload[h.addr] = keepaliveMsg{From: h.addr}
 	}
 	s.net.Send(h.addr, d.Addr, simnet.CatKeepalive, bytesKeepalive, s.hs.kaPayload[h.addr])
+	if s.cfg.Adaptive {
+		s.hs.kaSentAt[h.addr] = s.nowAt(h.addr)
+	}
 	s.hs.kaToken[h.addr]++
 	s.hs.kaTimeout[h.addr].Cancel()
-	s.hs.kaTimeout[h.addr] = s.hostKernel(h.addr).AfterArg(s.timeout(h.addr, d.Addr),
+	s.hs.kaTimeout[h.addr] = s.hostKernel(h.addr).AfterArg(s.exchangeTimeout(h.addr, d.Addr),
 		s.kaTimeoutFn, packAddrTok(h.addr, s.hs.kaToken[h.addr]))
 }
 
@@ -167,6 +170,12 @@ func (s *System) handleKeepalive(h *host, m keepaliveMsg) {
 func (s *System) handleKeepaliveAck(h *host, m keepaliveAckMsg) {
 	s.hs.kaToken[h.addr]++
 	s.hs.kaTimeout[h.addr].Cancel()
+	if s.cfg.Adaptive && s.hs.kaSentAt[h.addr] > 0 {
+		// Keepalive round trips are the steady drip that keeps every member's
+		// estimator warm even when it issues no queries.
+		s.observeRTT(h.addr, s.nowAt(h.addr)-s.hs.kaSentAt[h.addr])
+		s.hs.kaSentAt[h.addr] = 0
+	}
 	if h.cp != nil {
 		h.cp.RefreshDir()
 	}

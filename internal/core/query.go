@@ -50,11 +50,57 @@ func (s *System) startNewClientQuery(h *host, q *Query) {
 			q.shedCounted = true
 		}
 	}
+	if s.cfg.Adaptive {
+		q.sentAt = s.nowAt(q.Origin)
+	}
 	s.net.Send(q.Origin, entry, simnet.CatQuery, bytesQueryCtl,
 		routedMsg{Key: key, TTL: dring.RouteTTL(s.ks.Space), Inner: innerQuery{Q: q}})
 	// If the entry node (or the path) is dead the query would hang; retry
-	// through a different entry, then fall back to the server.
-	s.await(q, s.lookupRetryDelay(q, 0), func() { s.retryNewClientQuery(h, q, 1) })
+	// through a different entry, then fall back to the server. Adaptive
+	// runs split the wait: when the estimator's tail quantile passes with
+	// no answer, a hedge lookup races through another entry first.
+	s.awaitLookup(h, q, 0)
+}
+
+// awaitLookup arms one lookup attempt's deadline. Adaptive runs split the
+// wait in two: the hedge fires at the estimator's tail quantile, the
+// retry after the remainder of the full deadline.
+func (s *System) awaitLookup(h *host, q *Query, attempt int) {
+	d := s.lookupRetryDelay(q, attempt)
+	if hd, ok := s.hedgeDelay(q, d); ok {
+		s.await(q, hd, func() { s.hedgeLookup(h, q, attempt, d-hd) })
+		return
+	}
+	s.await(q, d, func() { s.retryNewClientQuery(h, q, attempt+1) })
+}
+
+// hedgeLookup fires when the adaptive tail deadline passed with no
+// directory claiming the query: race a second lookup through a different
+// D-ring entry point (first answer wins; the loser's effects are deduped
+// by the handler-claim and recorded guards), then fall through to the
+// normal retry chain after the remainder of the full deadline.
+func (s *System) hedgeLookup(h *host, q *Query, attempt int, remaining simkernel.Time) {
+	if q.handlerDir == 0 && !q.finished {
+		if entry, ok := s.randomAliveDir(s.prand(q.Origin)); ok {
+			s.metsAt(q.Origin).RecordHedge()
+			key := s.ks.KeyForWebsiteID(s.widBySite[q.Site], q.OriginLoc, q.targetInstance)
+			s.net.Send(q.Origin, entry, simnet.CatQuery, bytesQueryCtl,
+				routedMsg{Key: key, TTL: dring.RouteTTL(s.ks.Space), Inner: innerQuery{Q: q, Hedged: true}})
+		}
+	}
+	s.await(q, remaining, func() { s.retryNewClientQuery(h, q, attempt+1) })
+}
+
+// lookupAttemptLimit is how many D-ring lookup attempts a new-client query
+// makes before degrading to the origin tier. Adaptive runs retry on
+// RTT-scale deadlines, so they afford more attempts without queueing —
+// and need them, or the faster ladder would reach the origin fallback
+// before a gray-degraded directory plane gets a fair chance.
+func (s *System) lookupAttemptLimit() int {
+	if s.cfg.Adaptive {
+		return 5
+	}
+	return 3
 }
 
 func (s *System) retryNewClientQuery(h *host, q *Query, attempt int) {
@@ -63,7 +109,7 @@ func (s *System) retryNewClientQuery(h *host, q *Query, attempt int) {
 	}
 	s.statsAt(q.Origin).QueriesRetried++
 	s.metsAt(q.Origin).RecordRetry()
-	if attempt >= 3 {
+	if attempt >= s.lookupAttemptLimit() {
 		s.metsAt(q.Origin).RecordOriginFallback()
 		s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
 		s.awaitOriginRetry(h, q, 0, false)
@@ -77,9 +123,12 @@ func (s *System) retryNewClientQuery(h *host, q *Query, attempt int) {
 		return
 	}
 	key := s.ks.KeyForWebsiteID(s.widBySite[q.Site], q.OriginLoc, q.targetInstance)
+	if s.cfg.Adaptive {
+		q.sentAt = s.nowAt(q.Origin)
+	}
 	s.net.Send(q.Origin, entry, simnet.CatQuery, bytesQueryCtl,
 		routedMsg{Key: key, TTL: dring.RouteTTL(s.ks.Space), Inner: innerQuery{Q: q}})
-	s.await(q, s.lookupRetryDelay(q, attempt), func() { s.retryNewClientQuery(h, q, attempt+1) })
+	s.awaitLookup(h, q, attempt)
 }
 
 // lookupRetryDelay is the deadline for one D-ring lookup attempt: a flat
@@ -89,6 +138,28 @@ func (s *System) retryNewClientQuery(h *host, q *Query, attempt int) {
 func (s *System) lookupRetryDelay(q *Query, attempt int) simkernel.Time {
 	if !s.cfg.Hardened {
 		return 10 * simkernel.Second
+	}
+	if s.cfg.Adaptive {
+		// Adaptive ladder: deadlines scale with the origin's measured round
+		// trips (a few × the RTO) instead of the fixed 10s rungs, so a lost
+		// lookup is retried on the network's own timescale. A cold estimator
+		// (brand-new client) starts at 4s, well under the fixed first rung.
+		// Warm rungs are floored at 2s — lost-lookup recovery rides the
+		// hedges, the ladder only needs to stay patient enough to ride out
+		// flap down-phases — and capped so a truly dark path still degrades
+		// within the fixed ladder's horizon.
+		base := 4 * simkernel.Second
+		if s.hs.rttSamples[q.Origin] >= adaptiveWarmup {
+			base = 4 * (s.hs.rttEwma[q.Origin] + 4*s.hs.rttVar[q.Origin])
+			if base < 2*simkernel.Second {
+				base = 2 * simkernel.Second
+			}
+			if base > 10*simkernel.Second {
+				base = 10 * simkernel.Second
+			}
+		}
+		d := backoffDelay(base, attempt, 80*simkernel.Second)
+		return d + simkernel.Time(s.prand(q.Origin).Int63n(int64(d/4+1)))
 	}
 	d := backoffDelay(10*simkernel.Second, attempt, 80*simkernel.Second)
 	return d + simkernel.Time(s.prand(q.Origin).Int63n(int64(2*simkernel.Second)))
@@ -180,17 +251,21 @@ func (s *System) tryNextCandidate(h *host, q *Query) {
 	for q.candIdx < len(q.candidates) {
 		cand := q.candidates[q.candIdx]
 		q.candIdx++
-		if cand == q.Origin {
+		if cand == q.Origin || s.holderTripped(q, cand) {
 			continue
 		}
 		s.trace(trace.PeerQuery, q.ID, q.Origin, cand, "")
+		if s.cfg.Adaptive {
+			q.sentAt = s.nowAt(q.Origin)
+		}
 		s.net.Send(q.Origin, cand, simnet.CatQuery, bytesQueryCtl, peerQueryMsg{Q: q})
-		s.await(q, s.timeout(q.Origin, cand), func() {
+		s.await(q, s.exchangeTimeout(q.Origin, cand), func() {
 			// Dead contact (§5.1 style failure detection): forget it.
 			s.metsAt(q.Origin).RecordRetry()
 			if h.cp != nil {
 				h.cp.RemoveContact(cand)
 			}
+			s.noteHolderTimeout(q, cand)
 			s.tryNextCandidate(h, q)
 		})
 		return
@@ -219,12 +294,29 @@ func (s *System) tryNextCandidate(h *host, q *Query) {
 		}
 		q.viaDirectory = true
 		s.metsAt(q.Origin).RecordDirFallback()
+		if s.cfg.Adaptive {
+			q.sentAt = s.nowAt(q.Origin)
+		}
 		s.net.Send(q.Origin, dir, simnet.CatQuery, bytesQueryCtl, dirQueryMsg{Q: q})
-		s.await(q, 8*simkernel.Second, func() {
+		esc := s.escalationTimeout(q)
+		fallback := func() {
 			s.metsAt(q.Origin).RecordOriginFallback()
 			s.net.Send(q.Origin, s.servers[q.Site], simnet.CatQuery, bytesQueryCtl, fetchMsg{Q: q})
 			s.awaitOriginRetry(h, q, 0, false)
-		})
+		}
+		if hd, ok := s.hedgeDelay(q, esc); ok {
+			// Retransmit-on-silence: if the directory started processing,
+			// its own awaits re-armed this query's token and this timer is
+			// already dead — it fires only when the escalation (or every
+			// reaction to it) was lost, so the resend races nothing.
+			s.await(q, hd, func() {
+				s.metsAt(q.Origin).RecordRetry()
+				s.net.Send(q.Origin, dir, simnet.CatQuery, bytesQueryCtl, dirQueryMsg{Q: q})
+				s.await(q, esc-hd, fallback)
+			})
+			return
+		}
+		s.await(q, esc, fallback)
 		return
 	}
 	s.trace(trace.ServerFetch, q.ID, q.Origin, s.servers[q.Site], "view exhausted")
@@ -259,6 +351,10 @@ func (s *System) handleRouted(h *host, m routedMsg) {
 	}
 	switch inner := m.Inner.(type) {
 	case innerQuery:
+		if inner.Hedged && inner.Q.handlerDir == 0 && !inner.Q.finished {
+			// The hedge reached a directory before the primary lookup did.
+			s.metsAt(inner.Q.Origin).RecordHedgeWin()
+		}
 		s.dirProcess(h, inner.Q, false)
 	case innerDirJoin:
 		s.handleDirJoinRequest(h, m.Key, inner)
@@ -314,7 +410,7 @@ func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
 
 	// Stage A: directory index (complete view of the content overlay).
 	for _, holder := range h.dir.Holders(q.Ref) {
-		if holder == q.Origin || q.triedHolder(holder) {
+		if holder == q.Origin || q.triedHolder(holder) || s.holderTripped(q, holder) {
 			continue
 		}
 		s.dirRedirect(h, q, holder, forwarded)
@@ -328,7 +424,7 @@ func (s *System) dirProcess(h *host, q *Query, forwarded bool) {
 			return
 		}
 		for _, cand := range h.cp.CandidatesFor(q.Ref, s.prand(h.addr)) {
-			if cand == q.Origin || q.triedHolder(cand) {
+			if cand == q.Origin || q.triedHolder(cand) || s.holderTripped(q, cand) {
 				continue
 			}
 			s.dirRedirect(h, q, cand, forwarded)
@@ -394,13 +490,14 @@ func (q *Query) markFailedHolder(n simnet.NodeID) {
 func (s *System) dirRedirect(h *host, q *Query, holder simnet.NodeID, forwarded bool) {
 	s.trace(trace.Redirect, q.ID, h.addr, holder, "")
 	s.net.Send(h.addr, holder, simnet.CatQuery, bytesQueryCtl, redirectMsg{Q: q, FromDir: h.addr})
-	s.await(q, s.timeout(h.addr, holder), func() {
+	s.await(q, s.redirectTimeout(h.addr, holder), func() {
 		s.trace(trace.RedirectFailed, q.ID, h.addr, holder, "timeout")
 		s.metsAt(h.addr).RecordRedirectFailure()
 		h.dir.RemovePeer(holder)
 		if h.cp != nil {
 			h.cp.RemoveContact(holder)
 		}
+		s.noteHolderTimeout(q, holder)
 		q.markFailedHolder(holder)
 		s.dirProcess(h, q, forwarded)
 	})
@@ -414,6 +511,7 @@ func (s *System) handleRedirect(h *host, m redirectMsg) {
 		return
 	}
 	// Acknowledge liveness to the redirecting directory.
+	s.noteHolderAlive(h.addr)
 	s.net.Send(h.addr, m.FromDir, simnet.CatQuery, bytesQueryCtl, redirectAckMsg{Q: q, From: h.addr})
 	if h.cp != nil && h.cp.Has(q.Ref) {
 		s.serveQuery(h, q, q.atRemote, true)
@@ -463,6 +561,7 @@ func (s *System) handleDirQuery(h *host, m dirQueryMsg) {
 // handlePeerQuery runs at a view contact of the requesting content peer.
 func (s *System) handlePeerQuery(h *host, m peerQueryMsg) {
 	q := m.Q
+	s.noteHolderAlive(h.addr)
 	if h.cp != nil && h.cp.Has(q.Ref) {
 		s.serveQuery(h, q, false, true)
 		return
@@ -475,6 +574,10 @@ func (s *System) handlePeerQuery(h *host, m peerQueryMsg) {
 func (s *System) handleNack(h *host, m nackMsg, from simnet.NodeID) {
 	q := m.Q
 	s.settle(q)
+	if s.cfg.Adaptive && q.sentAt > 0 {
+		s.observeRTT(q.Origin, s.nowAt(q.Origin)-q.sentAt)
+		q.sentAt = 0
+	}
 	s.trace(trace.PeerNack, q.ID, h.addr, from, "stale summary or false positive")
 	s.tryNextCandidate(h, q)
 }
@@ -544,6 +647,12 @@ func (s *System) handleServe(h *host, m serveMsg) {
 		return // duplicate delivery after a retry race
 	}
 	q.finished = true
+	if s.cfg.Adaptive && q.sentAt > 0 {
+		// One completed attempt→delivery round trip feeds the origin's
+		// estimator; this is the timescale adaptive lookup deadlines target.
+		s.observeRTT(q.Origin, s.nowAt(q.Origin)-q.sentAt)
+		q.sentAt = 0
+	}
 	if q.shedCounted {
 		// Release the locality's shed budget slot (runs at the origin, i.e.
 		// the counting locality's own cell).

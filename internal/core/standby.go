@@ -180,7 +180,7 @@ func (s *System) standbyProbeTick(h *host) {
 	h.probeToken++
 	tok := h.probeToken
 	h.probeTimeout.Cancel()
-	h.probeTimeout = s.hostKernel(h.addr).After(s.timeout(h.addr, h.standbyFor), func() {
+	h.probeTimeout = s.hostKernel(h.addr).After(s.exchangeTimeout(h.addr, h.standbyFor), func() {
 		if h.probeToken == tok {
 			s.requestPromotion(h)
 		}

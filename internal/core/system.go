@@ -388,6 +388,9 @@ func New(cfg Config, deps Deps) (*System, error) {
 	if cfg.ShedBudget > 0 {
 		s.shedInFlight = make([]int32, cfg.Localities)
 	}
+	if cfg.Adaptive {
+		s.hs.enableAdaptive(deps.Topo.NumNodes())
+	}
 
 	if err := s.assignWebsiteIDs(); err != nil {
 		return nil, err

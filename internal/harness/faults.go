@@ -78,6 +78,101 @@ func DirCrashStormParams(seed int64) Params {
 	return p
 }
 
+// GrayStormParams is the gray-failure scenario behind `-exp gray`: nodes
+// that are slow rather than dead, links that lose traffic in one direction
+// only, and links that flap up and down — the failure modes a binary
+// alive/dead detector mishandles. Every active site's directory in
+// locality 1 is degraded (answers, late) for most of the run, locality
+// 0→1 traffic loses a third of its messages one-way, locality 2's uplink
+// flaps, and a light uniform loss floor keeps retry paths warm. The same
+// Params runs twice from `-exp gray` — fixed ladder vs Adaptive — so the
+// comparison shares seed, topology and fault schedule byte-for-byte.
+func GrayStormParams(seed int64) Params {
+	p := ScaledParams(seed)
+	p.Duration = 30 * simkernel.Minute
+	p.BucketWidth = 10 * simkernel.Minute
+	p.Faults = &simnet.FaultConfig{
+		LossProb:    0.02,
+		JitterProb:  0.2,
+		JitterMaxMs: 80,
+		AsymLoss: []simnet.AsymLossRule{
+			{FromLoc: 0, ToLoc: 1, Prob: 0.35},
+		},
+		Flap: []simnet.FlapWindow{
+			{Locality: 2, Start: 200 * simkernel.Second, End: 500 * simkernel.Second,
+				Period: 30 * simkernel.Second, DownFor: 10 * simkernel.Second},
+		},
+	}
+	// Keepalives every minute keep the estimators warm and make the gray
+	// directory's slowness visible to its members between queries.
+	p.TKeepalive = simkernel.Minute
+	p.QueryPolicy = core.PolicyViewThenDirectory
+	// Mild permanent churn seeds the overlays with genuinely dead holders
+	// (stale view contacts and index entries): the prey of the holder
+	// circuit breaker, which the gray nodes — slow but alive — are not.
+	p.ChurnPerHour = 20
+	for si := 0; si < p.ActiveSites; si++ {
+		p.DirDegrades = append(p.DirDegrades, DirDegrade{
+			SiteIdx: si, Locality: 1,
+			Start: 120 * simkernel.Second, End: 10 * simkernel.Minute, Factor: 8,
+		})
+	}
+	p.AuditEvery = simkernel.Minute
+	return p
+}
+
+// GrayRow is one side of the fixed-vs-adaptive gray-storm comparison.
+type GrayRow struct {
+	Label           string
+	HitRatio        float64
+	P50Ms           float64
+	P99Ms           float64
+	Retries         int64
+	OriginFallbacks int64
+	Hedges          int64
+	HedgeWins       int64
+	BreakerTrips    int64
+	FaultDrops      uint64
+	AuditChecks     int
+	AuditViolations []string
+}
+
+// GrayComparison runs base twice on the same seed — fixed timeout ladder,
+// then the adaptive plane (EWMA deadlines + hedged lookups + holder
+// breaker) — and reports both sides. The fault schedule, topology and
+// workload are identical; only the response differs.
+func GrayComparison(base Params) (fixed, adaptive GrayRow, err error) {
+	row := func(label string, p Params) (GrayRow, error) {
+		res, err := RunFlower(p)
+		if err != nil {
+			return GrayRow{}, err
+		}
+		return GrayRow{
+			Label:           label,
+			HitRatio:        res.Report.HitRatio,
+			P50Ms:           res.Report.LookupPercentiles.P50,
+			P99Ms:           res.Report.LookupPercentiles.P99,
+			Retries:         res.Report.Retries,
+			OriginFallbacks: res.Report.OriginFallbacks,
+			Hedges:          res.Hedges,
+			HedgeWins:       res.HedgeWins,
+			BreakerTrips:    res.BreakerTrips,
+			FaultDrops:      res.FaultDrops,
+			AuditChecks:     res.AuditChecks,
+			AuditViolations: res.AuditViolations,
+		}, nil
+	}
+	pf := base
+	pf.Adaptive = false
+	if fixed, err = row("fixed", pf); err != nil {
+		return
+	}
+	pa := base
+	pa.Adaptive = true
+	adaptive, err = row("adaptive", pa)
+	return
+}
+
 // LossRateRow is one point of the loss-rate degradation sweep.
 type LossRateRow struct {
 	LossPct         float64

@@ -146,6 +146,17 @@ type Params struct {
 	// execute on the coordination kernel in both the classic and the
 	// sharded path, so worker count cannot reorder them.
 	DirCrashes []DirCrash
+
+	// Adaptive arms the gray-failure response (core.Config.Adaptive):
+	// EWMA-driven exchange and lookup deadlines, hedged directory lookups
+	// and the per-holder circuit breaker. Implies Hardened.
+	Adaptive bool
+	// DirDegrades schedules gray degradations of directory positions: at
+	// run start each entry is resolved to the node currently holding
+	// d(active-site SiteIdx, Locality) and a simnet.DegradeWindow with the
+	// given span and factor is appended to the fault plane for that node.
+	// Unlike DirCrashes the node stays alive — it answers, slowly.
+	DirDegrades []DirDegrade
 }
 
 // DirCrash is one scheduled directory crash (see Params.DirCrashes).
@@ -153,6 +164,17 @@ type DirCrash struct {
 	SiteIdx  int // active-site index
 	Locality int
 	At       simkernel.Time
+}
+
+// DirDegrade is one scheduled gray degradation of a directory position
+// (see Params.DirDegrades): the holder of d(SiteIdx, Locality) has its
+// outbound latency multiplied by Factor during [Start, End).
+type DirDegrade struct {
+	SiteIdx  int // active-site index
+	Locality int
+	Start    simkernel.Time
+	End      simkernel.Time
+	Factor   float64
 }
 
 // DefaultParams returns the paper's full-scale setup (Table 1, §6.1/§6.2):
@@ -348,7 +370,7 @@ func (p Params) CoreConfig(pools [][]int) core.Config {
 	// routed query hops on their owner cell (core panics on any mutation if
 	// this derivation ever drifts).
 	cfg.StaticRing = p.ChurnPerHour == 0 && !p.Faults.Enabled() &&
-		len(p.DirCrashes) == 0 && !p.StandbyFailover
+		len(p.DirCrashes) == 0 && len(p.DirDegrades) == 0 && !p.StandbyFailover
 	if p.ChurnPerHour > 0 {
 		cfg.MaintenancePeriod = p.MaintenancePeriod
 	}
@@ -359,6 +381,7 @@ func (p Params) CoreConfig(pools [][]int) core.Config {
 		cfg.Hardened = true
 		cfg.MaintenancePeriod = p.MaintenancePeriod
 	}
+	cfg.Adaptive = p.Adaptive
 	return cfg
 }
 

@@ -77,6 +77,13 @@ type Result struct {
 	// found (capped; empty means the run held every invariant).
 	AuditChecks     int
 	AuditViolations []string
+
+	// Adaptive gray-failure tally (Params.Adaptive; copied from the report
+	// for row-level access): hedged lookups sent, hedges that beat the
+	// primary, holder circuit breakers tripped.
+	Hedges       int64
+	HedgeWins    int64
+	BreakerTrips int64
 }
 
 // LocalityRecovery is one partitioned locality's heal/recovery datapoint.
@@ -125,8 +132,22 @@ func (a *auditAccum) absorb(r core.AuditReport) {
 // execute at epoch barriers while the workers are parked. Returns nil when
 // no audit was requested.
 func applyFaultPlane(k *simkernel.Kernel, sys *core.System, p Params) *auditAccum {
-	if p.Faults.Enabled() {
-		sys.InstallFaults(p.Faults)
+	faults := p.Faults
+	if len(p.DirDegrades) > 0 {
+		// Resolve the scheduled directory degradations now that the system
+		// exists: only it knows which node holds each d(site, loc). The
+		// caller's FaultConfig is cloned, not mutated, so a Params value can
+		// drive several runs.
+		fc := simnet.FaultConfig{}
+		if faults != nil {
+			fc = *faults
+		}
+		fc.NodeDegrade = append(append([]simnet.DegradeWindow{}, fc.NodeDegrade...),
+			resolveDirDegrades(sys, p)...)
+		faults = &fc
+	}
+	if faults.Enabled() {
+		sys.InstallFaults(faults)
 	}
 	if p.AuditEvery <= 0 {
 		return nil
@@ -136,6 +157,26 @@ func applyFaultPlane(k *simkernel.Kernel, sys *core.System, p Params) *auditAccu
 	return acc
 }
 
+// resolveDirDegrades maps Params.DirDegrades onto the nodes currently
+// holding the named directory positions (run start, before any churn).
+func resolveDirDegrades(sys *core.System, p Params) []simnet.DegradeWindow {
+	sites := model.MakeSites(p.Websites)[:p.ActiveSites]
+	var wins []simnet.DegradeWindow
+	for _, dd := range p.DirDegrades {
+		if dd.SiteIdx < 0 || dd.SiteIdx >= len(sites) || dd.Locality < 0 || dd.Locality >= p.Localities {
+			continue
+		}
+		addr, ok := sys.DirectoryAddr(sites[dd.SiteIdx], dd.Locality)
+		if !ok {
+			continue
+		}
+		wins = append(wins, simnet.DegradeWindow{
+			Node: addr, Start: dd.Start, End: dd.End, Factor: dd.Factor,
+		})
+	}
+	return wins
+}
+
 // finishFaultPlane runs the end-of-run audit pass and fills the network
 // delivery totals, recovery datapoints and audit tally of res.
 func finishFaultPlane(res *Result, sys *core.System, acc *auditAccum) {
@@ -143,6 +184,9 @@ func finishFaultPlane(res *Result, sys *core.System, acc *auditAccum) {
 	res.MessagesSent = net.Sent()
 	res.MessagesDropped = net.Dropped()
 	res.FaultDrops = net.FaultDropped()
+	res.Hedges = res.Report.Hedges
+	res.HedgeWins = res.Report.HedgeWins
+	res.BreakerTrips = res.Report.BreakerTrips
 	if acc != nil {
 		acc.absorb(sys.Audit())
 		res.AuditChecks = acc.checks

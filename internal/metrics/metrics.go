@@ -154,6 +154,12 @@ type Collector struct {
 	// shedQueries counts new-client queries short-circuited to the origin
 	// tier by the takeover shed budget (Config.ShedBudget).
 	shedQueries int64
+	// Adaptive gray-failure accounting (Config.Adaptive): hedged lookups
+	// sent, hedges that reached a directory before the primary, and holder
+	// circuit breakers tripped open.
+	hedges       int64
+	hedgeWins    int64
+	breakerTrips int64
 }
 
 // New creates a collector.
@@ -332,6 +338,9 @@ func (c *Collector) MergeFrom(o *Collector, end simkernel.Time) {
 	c.dirFallbacks += o.dirFallbacks
 	c.originFallbacks += o.originFallbacks
 	c.shedQueries += o.shedQueries
+	c.hedges += o.hedges
+	c.hedgeWins += o.hedgeWins
+	c.breakerTrips += o.breakerTrips
 }
 
 // RecordRedirectFailure counts a redirection to a dead peer (§5.1).
@@ -352,6 +361,18 @@ func (c *Collector) RecordDirFallback() { c.dirFallbacks++ }
 // RecordOriginFallback counts a query degrading to the origin server after
 // the P2P tiers were exhausted or unreachable.
 func (c *Collector) RecordOriginFallback() { c.originFallbacks++ }
+
+// RecordHedge counts a hedged lookup sent after the adaptive tail deadline
+// passed with no directory claiming the query.
+func (c *Collector) RecordHedge() { c.hedges++ }
+
+// RecordHedgeWin counts a hedged lookup that reached a directory before
+// the primary lookup did.
+func (c *Collector) RecordHedgeWin() { c.hedgeWins++ }
+
+// RecordBreakerTrip counts a holder circuit breaker opening after
+// repeated redirect/peer-query timeouts.
+func (c *Collector) RecordBreakerTrip() { c.breakerTrips++ }
 
 // RecordShed counts a query shed to the origin tier by the directory-
 // takeover in-flight budget instead of entering the lookup-retry chain.

@@ -111,6 +111,12 @@ type Report struct {
 	// ShedQueries counts takeover-window queries short-circuited straight
 	// to the origin tier by the shed budget (a subset of OriginFallbacks).
 	ShedQueries int64
+
+	// Adaptive gray-failure accounting (Config.Adaptive): hedged lookups
+	// sent, hedges that beat the primary lookup, breakers tripped.
+	Hedges       int64
+	HedgeWins    int64
+	BreakerTrips int64
 }
 
 // Snapshot computes the report at time end (usually the run duration).
@@ -127,6 +133,9 @@ func (c *Collector) Snapshot(end simkernel.Time) Report {
 		DirFallbacks:     c.dirFallbacks,
 		OriginFallbacks:  c.originFallbacks,
 		ShedQueries:      c.shedQueries,
+		Hedges:           c.hedges,
+		HedgeWins:        c.hedgeWins,
+		BreakerTrips:     c.breakerTrips,
 	}
 	r.AvgLookupBySource = map[string]float64{}
 	for s := Source(0); s < 4; s++ {

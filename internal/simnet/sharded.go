@@ -257,15 +257,16 @@ func (n *Network) sendSharded(from, to NodeID, cat Category, bytes int, payload 
 		}
 		n.lanes[src].sent++
 		m := Message{From: from, To: to, Payload: payload, Bytes: bytes, Category: cat, SentAt: now}
+		lat := n.topo.Latency(from, to)
 		if n.faults != nil {
-			drop, extra := n.faults.decide(n.faultRNG, n.topo.LocalityOf(from), n.topo.LocalityOf(to), now)
+			drop, extra := n.fplan.decide(n.faultRNG, from, n.topo.LocalityOf(from), n.topo.LocalityOf(to), lat, now)
 			if drop {
 				n.lanes[src].faultDropped++
 				return
 			}
 			m.Delay = extra
 		}
-		at := now + n.topo.Latency(from, to) + m.Delay
+		at := now + lat + m.Delay
 		if n.venueFn != nil {
 			if vc, ok := n.venueFn(payload, to); ok {
 				n.lanes[vc].post(at, m)
@@ -301,10 +302,11 @@ func (n *Network) sendSharded(from, to NodeID, cat Category, bytes int, payload 
 	}
 	n.lanes[exec].sent++
 	m := Message{From: from, To: to, Payload: payload, Bytes: bytes, Category: cat, SentAt: now}
+	lat := n.topo.Latency(from, to)
 	if n.faults != nil {
 		// Each cell consumes its private decision stream in its own
 		// deterministic event order, identically at any worker count.
-		drop, extra := n.faults.decide(n.cellFaultRNG[exec], n.topo.LocalityOf(from), n.topo.LocalityOf(to), now)
+		drop, extra := n.fplan.decide(n.cellFaultRNG[exec], from, n.topo.LocalityOf(from), n.topo.LocalityOf(to), lat, now)
 		if drop {
 			n.lanes[exec].faultDropped++
 			return
@@ -316,13 +318,13 @@ func (n *Network) sendSharded(from, to NodeID, cat Category, bytes int, payload 
 			// Owner-claimed delivery executes on the owner cell — which is
 			// exactly the cell running this send, so the post stays on this
 			// goroutine's kernel.
-			n.lanes[vc].post(now+n.topo.Latency(from, to)+m.Delay, m)
+			n.lanes[vc].post(now+lat+m.Delay, m)
 			return
 		}
 	}
 	if !n.venueGlobal(src, dst, payload) && exec == dst {
 		// src == dst == exec: the intra-cell zero-alloc fast path.
-		n.lanes[exec].post(now+n.topo.Latency(from, to)+m.Delay, m)
+		n.lanes[exec].post(now+lat+m.Delay, m)
 		return
 	}
 	n.mail.Post(exec, m)

@@ -121,10 +121,12 @@ type Network struct {
 	dropped uint64
 
 	// Fault plane (see faults.go); nil when disabled, so the healthy send
-	// path pays one pointer check. faultRNG drives decisions for classic
-	// and barrier-context sends; cellFaultRNG[i] drives cell i's parallel
+	// path pays one pointer check. fplan is the compiled schedule index
+	// built at install; faultRNG drives decisions for classic and
+	// barrier-context sends; cellFaultRNG[i] drives cell i's parallel
 	// sends (each consumed only on its owning kernel's goroutine).
 	faults       *FaultConfig
+	fplan        *faultPlan
 	faultRNG     *rand.Rand
 	cellFaultRNG []*rand.Rand
 	faultDropped uint64
@@ -212,7 +214,7 @@ func (n *Network) Send(from, to NodeID, cat Category, bytes int, payload any) {
 	if n.faults != nil {
 		// Accounting stays above: the bytes crossed the sender's link even
 		// when the network loses them, matching the dead-receiver semantics.
-		drop, extra := n.faults.decide(n.faultRNG, n.topo.LocalityOf(from), n.topo.LocalityOf(to), now)
+		drop, extra := n.fplan.decide(n.faultRNG, from, n.topo.LocalityOf(from), n.topo.LocalityOf(to), lat, now)
 		if drop {
 			n.faultDropped++
 			return

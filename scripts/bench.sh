@@ -31,6 +31,7 @@ run() { # run <benchtime> <pattern> <packages...>
   # refuse to compare cells measured under different parallelism.
   run "$benchtime" 'PopulationScale$' .
   run "$benchtime" 'PopulationScaleFaulted$' .
+  run "$benchtime" 'PopulationScaleGray$' .
   # The parallel chart is pinned at GOMAXPROCS=4 so the snapshot rows are
   # tagged consistently across machines (Go only appends the -N name
   # suffix for the procs the run actually used). Subshell, not an env

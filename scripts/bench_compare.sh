@@ -9,6 +9,9 @@
 #   - BenchmarkPopulationScaleFaulted/pop=* events/sec — the same chart
 #     with a light fault plane + hardened protocol enabled, gating the
 #     faulted hot path separately     (lower is worse)
+#   - BenchmarkPopulationScaleGray/pop=* events/sec — the chart with the
+#     gray-failure plane (degrade/asym-loss/flap) and the adaptive
+#     response armed, gating that hot path (lower is worse)
 #
 # Snapshots are measured on the author's machine when a PR lands
 # (scripts/bench.sh <pr>), so consecutive snapshots are comparable; CI
@@ -104,6 +107,16 @@ while IFS= read -r cell; do
     "$(extract "$old" "$cell" events_per_sec)" \
     "$(extract "$new" "$cell" events_per_sec)" down
 done < <(grep -oh '"name": "BenchmarkPopulationScaleFaulted/[^"]*"' "$old" "$new" |
+  sed 's/"name": "//; s/"$//' | sort -u)
+
+# Gray population cells (degrade/asym-loss/flap gating + the adaptive
+# plane: estimator updates, hedge timers, breaker checks) gate the
+# gray-failure hot path the same way.
+while IFS= read -r cell; do
+  compare "$cell" \
+    "$(extract "$old" "$cell" events_per_sec)" \
+    "$(extract "$new" "$cell" events_per_sec)" down
+done < <(grep -oh '"name": "BenchmarkPopulationScaleGray/[^"]*"' "$old" "$new" |
   sed 's/"name": "//; s/"$//' | sort -u)
 
 # Parallel (locality-sharded) population cells are only like-for-like

@@ -45,6 +45,12 @@ func TestShardedWorkerInvariance(t *testing.T) {
 	splitLossy.MaintenancePeriod = 30 * Second
 	eager := ShrunkMassiveParams(14)
 	eager.EagerBarriers = true
+	// Gray storm with the adaptive plane armed: degrade factors, asymmetric
+	// loss and flap gating must all be worker-invariant, and so must every
+	// adaptive decision (estimator updates, hedge timing, breaker trips) —
+	// they run in the owning host's cell context.
+	gray := GrayStormParams(15)
+	gray.Adaptive = true
 	scenarios := []struct {
 		name    string
 		p       Params
@@ -64,6 +70,7 @@ func TestShardedWorkerInvariance(t *testing.T) {
 		{"flower hot-cell-split seed=12", split, [2]int{1, 8}},
 		{"flower hot-cell-split lossy seed=13", splitLossy, [2]int{1, 7}},
 		{"flower eager-barriers seed=14", eager, [2]int{}},
+		{"flower gray-storm adaptive seed=15", gray, [2]int{}},
 	}
 	for _, sc := range scenarios {
 		sc := sc
@@ -79,6 +86,7 @@ func TestShardedWorkerInvariance(t *testing.T) {
 				formatReport(&sb, sc.name, res.Report)
 				formatStats(&sb, res)
 				formatFaultSummary(&sb, res)
+				formatGraySummary(&sb, res)
 				formatStandbySummary(&sb, res)
 				fmt.Fprintf(&sb, "shard_events=%v barrier_events=%d epochs=%d barriers_run=%d\n",
 					res.ShardEvents, res.BarrierEvents, res.Epochs, res.BarriersRun)
